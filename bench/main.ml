@@ -1,0 +1,265 @@
+(* Benchmark harness.
+
+   Two layers, both driven from this one executable:
+
+   1. {b Experiment tables} — one per table/figure-equivalent of the
+      paper's claims (E1..E16 plus the design-choice ablations), printed
+      exactly as `bin/vtp_experiments` prints them.  These are the
+      "regenerate the evaluation" benchmarks.
+
+   2. {b Microbenchmarks} (Bechamel) — one [Test.make] per computational
+      kernel the protocols exercise per packet or per feedback, so the
+      cost-model claims (QTP_light's cheap receiver, the sender-side
+      reconstruction price) can be checked against real ns/op numbers.
+
+   Usage:
+     dune exec bench/main.exe                 # micro + all tables
+     dune exec bench/main.exe -- micro        # microbenchmarks only
+     dune exec bench/main.exe -- tables       # tables only
+     dune exec bench/main.exe -- tables e1 e5 # a table subset *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark subjects *)
+
+let bench_equation =
+  Test.make ~name:"tfrc.equation.rate"
+    (Staged.stage @@ fun () ->
+     ignore (Tfrc.Equation.rate ~s:1500 ~r:0.1 ~p:0.02 ()))
+
+let bench_equation_inverse =
+  Test.make ~name:"tfrc.equation.inverse"
+    (Staged.stage @@ fun () ->
+     ignore (Tfrc.Equation.loss_rate_for ~s:1500 ~r:0.1 ~target:1e6))
+
+(* The standard receiver's steady-state duty cycle over 1000 packets
+   with 1% holes: per-packet history maintenance plus a loss-event-rate
+   recomputation at every feedback epoch (one per 50-packet "RTT"). *)
+let bench_loss_history =
+  Test.make ~name:"recv.std.1000pkts(duty cycle)"
+    (Staged.stage @@ fun () ->
+     let lh = Tfrc.Loss_history.create () in
+     for i = 0 to 999 do
+       if i mod 100 <> 99 then
+         Tfrc.Loss_history.on_packet lh ~seq:(Packet.Serial.of_int i)
+           ~arrival:(float_of_int i *. 0.001)
+           ~rtt:0.05 ~is_retx:false;
+       if i mod 50 = 49 then ignore (Tfrc.Loss_history.loss_event_rate lh)
+     done)
+
+(* The light receiver's duty cycle on the same arrival pattern: O(1)
+   tracking per packet, one SACK render per epoch, and the sender's
+   forward point pruning abandoned holes (which keeps the range list
+   bounded, as the protocol guarantees). *)
+let bench_rcv_tracker =
+  Test.make ~name:"recv.light.1000pkts(duty cycle)"
+    (Staged.stage @@ fun () ->
+     let tr = Sack.Rcv_tracker.create () in
+     for i = 0 to 999 do
+       if i mod 100 <> 99 then
+         Sack.Rcv_tracker.on_data tr ~seq:(Packet.Serial.of_int i);
+       if i mod 50 = 49 then begin
+         ignore (Sack.Rcv_tracker.sack_blocks tr);
+         Sack.Rcv_tracker.apply_fwd_point tr (Packet.Serial.of_int (i - 49))
+       end
+     done)
+
+let bench_scoreboard =
+  Test.make ~name:"sack.scoreboard.1000pkts+fb"
+    (Staged.stage @@ fun () ->
+     let sb = Sack.Scoreboard.create () in
+     for i = 0 to 999 do
+       Sack.Scoreboard.on_send sb ~seq:(Packet.Serial.of_int i)
+         ~now:(float_of_int i *. 0.001)
+         ~size:1500 ~is_retx:false
+     done;
+     for k = 0 to 9 do
+       ignore
+         (Sack.Scoreboard.on_feedback sb
+            ~cum_ack:(Packet.Serial.of_int (100 * (k + 1)))
+            ~blocks:[])
+     done)
+
+let bench_reconstructor =
+  Test.make ~name:"qtp.reconstruction.1000covers"
+    (Staged.stage @@ fun () ->
+     let lr = Qtp.Loss_reconstructor.create () in
+     let covers =
+       List.init 990 (fun i ->
+           let i = if i mod 99 = 98 then i + 1 else i in
+           {
+             Sack.Scoreboard.cov_seq = Packet.Serial.of_int i;
+             cov_sent_at = float_of_int i *. 0.001;
+             cov_was_retx = false;
+           })
+     in
+     Qtp.Loss_reconstructor.on_covers lr ~covers ~rtt:0.05 ~x_recv:1e6
+       ~packet_size:1500)
+
+let bench_red =
+  Test.make ~name:"netsim.red.decide"
+    (let rng = Engine.Rng.create ~seed:1 in
+     let red = Netsim.Red.create Netsim.Red.default_params ~rng in
+     let i = ref 0 in
+     Staged.stage @@ fun () ->
+     incr i;
+     ignore (Netsim.Red.decide red ~now:(float_of_int !i *. 1e-4) ~qlen:10))
+
+let bench_token_bucket =
+  Test.make ~name:"netsim.token_bucket.conform"
+    (let tb = Netsim.Token_bucket.create ~rate_bps:1e6 ~burst:10000 ~now:0.0 in
+     let i = ref 0 in
+     Staged.stage @@ fun () ->
+     incr i;
+     ignore
+       (Netsim.Token_bucket.conform tb
+          ~now:(float_of_int !i *. 1e-4)
+          ~bytes:1500))
+
+let bench_wire_encode =
+  Test.make ~name:"packet.wire.encode_data"
+    (let hdr =
+       Packet.Header.Data
+         {
+           seq = Packet.Serial.of_int 123456;
+           tstamp = 1.5;
+           rtt_estimate = 0.05;
+           is_retransmit = false;
+           fwd_point = Packet.Serial.of_int 123000;
+         }
+     in
+     Staged.stage @@ fun () -> ignore (Packet.Wire.encode hdr))
+
+let bench_wire_roundtrip =
+  Test.make ~name:"packet.wire.sack_roundtrip"
+    (let hdr =
+       Packet.Header.Sack_feedback
+         {
+           cum_ack = Packet.Serial.of_int 1000;
+           blocks =
+             List.init 4 (fun i ->
+                 {
+                   Packet.Header.block_start =
+                     Packet.Serial.of_int (1010 + (i * 10));
+                   block_end = Packet.Serial.of_int (1015 + (i * 10));
+                 });
+           sack_tstamp_echo = 1.0;
+           sack_t_delay = 0.001;
+           sack_x_recv = 1e6;
+           sack_ce_count = 2;
+         }
+     in
+     Staged.stage @@ fun () ->
+     ignore (Packet.Wire.decode (Packet.Wire.encode hdr)))
+
+let bench_rng =
+  Test.make ~name:"engine.rng.bits64"
+    (let rng = Engine.Rng.create ~seed:7 in
+     Staged.stage @@ fun () -> ignore (Engine.Rng.bits64 rng))
+
+let bench_heap =
+  Test.make ~name:"engine.heap.add_pop_100"
+    (Staged.stage @@ fun () ->
+     let h = Engine.Heap.create ~compare:Float.compare in
+     for i = 0 to 99 do
+       Engine.Heap.add h (float_of_int ((i * 7919) mod 100))
+     done;
+     for _ = 0 to 99 do
+       ignore (Engine.Heap.pop_min h)
+     done)
+
+(* A full end-to-end simulated second of a TFRC transfer, to price the
+   whole stack rather than one kernel. *)
+let bench_end_to_end =
+  Test.make ~name:"e2e.tfrc_1s_sim"
+    (Staged.stage @@ fun () ->
+     let sim = Engine.Sim.create ~seed:3 () in
+     let forward =
+       Netsim.Topology.spec ~rate_bps:10e6 ~delay:0.01
+         ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:50)
+         ()
+     in
+     let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+     let agreed =
+       Qtp.Profile.agreed_exn (Qtp.Profile.qtp_tfrc ())
+         (Qtp.Profile.anything ())
+     in
+     let conn =
+       Qtp.Connection.create ~sim
+         ~endpoint:(Netsim.Topology.endpoint topo 0)
+         (Qtp.Connection.config ~initial_rtt:0.1 agreed)
+     in
+     Engine.Sim.run ~until:1.0 sim;
+     ignore (Qtp.Connection.delivered conn))
+
+let micro_tests =
+  [
+    bench_rng;
+    bench_heap;
+    bench_equation;
+    bench_equation_inverse;
+    bench_loss_history;
+    bench_rcv_tracker;
+    bench_scoreboard;
+    bench_reconstructor;
+    bench_red;
+    bench_token_bucket;
+    bench_wire_encode;
+    bench_wire_roundtrip;
+    bench_end_to_end;
+  ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Stats.Table.create ~title:"Microbenchmarks (Bechamel, monotonic clock)"
+      ~columns:
+        [
+          ("benchmark", Stats.Table.Left);
+          ("ns/run", Stats.Table.Right);
+          ("r2", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          Stats.Table.add_row table
+            [
+              name;
+              Stats.Table.cell_f ~decimals:1 ns;
+              Stats.Table.cell_f ~decimals:4 r2;
+            ])
+        analysis)
+    micro_tests;
+  Stats.Table.print table
+
+let run_tables ids =
+  let ids = match ids with [] -> None | l -> Some l in
+  Experiments.Runner.run_all ?ids ~out:Format.std_formatter ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "tables" :: ids -> run_tables ids
+  | _ ->
+      run_micro ();
+      run_tables []

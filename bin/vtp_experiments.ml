@@ -1,0 +1,56 @@
+(* CLI: run the paper-reproduction experiment suite (E1..E16 + ablations).
+
+   Examples:
+     vtp_experiments                 # everything
+     vtp_experiments e1 e5 e7        # a subset
+     vtp_experiments --list          # what exists
+     vtp_experiments --seed 7 e9     # different RNG seed *)
+
+open Cmdliner
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available experiments and exit.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root RNG seed.")
+
+let csv =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+
+let run list_only seed csv ids =
+  if list_only then begin
+    List.iter
+      (fun (e : Experiments.Runner.entry) ->
+        Format.printf "%-4s %s@.     %s@." e.Experiments.Runner.id
+          e.Experiments.Runner.title e.Experiments.Runner.claim)
+      Experiments.Runner.all;
+    `Ok ()
+  end
+  else begin
+    let unknown =
+      List.filter (fun id -> Experiments.Runner.find id = None) ids
+    in
+    match unknown with
+    | _ :: _ ->
+        `Error (false, "unknown experiment id(s): " ^ String.concat ", " unknown)
+    | [] ->
+        let ids = match ids with [] -> None | l -> Some l in
+        let format = if csv then `Csv else `Table in
+        Experiments.Runner.run_all ~seed ?ids ~format
+          ~out:Format.std_formatter ();
+        `Ok ()
+  end
+
+let cmd =
+  let doc =
+    "Regenerate the evaluation tables of 'Towards a Versatile Transport \
+     Protocol' (CoNEXT'06)."
+  in
+  Cmd.v
+    (Cmd.info "vtp_experiments" ~doc)
+    Term.(ret (const run $ list_flag $ seed $ csv $ ids))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,159 @@
+(* CLI: run one ad-hoc transport-over-simulated-path scenario.
+
+   Examples:
+     vtp_sim --proto tfrc --loss 0.02
+     vtp_sim --proto light --reliability partial --loss 0.05 --burstiness 0.7
+     vtp_sim --proto af --g 3e6 --duration 30
+     vtp_sim --proto tcp --rate 5e6 --delay 0.06 *)
+
+open Cmdliner
+
+type proto = P_tcp | P_tfrc | P_light | P_af | P_full
+
+let proto_conv =
+  let parse = function
+    | "tcp" -> Ok P_tcp
+    | "tfrc" -> Ok P_tfrc
+    | "light" -> Ok P_light
+    | "af" -> Ok P_af
+    | "full" -> Ok P_full
+    | s -> Error (`Msg ("unknown protocol: " ^ s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | P_tcp -> "tcp"
+      | P_tfrc -> "tfrc"
+      | P_light -> "light"
+      | P_af -> "af"
+      | P_full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let rel_conv =
+  let parse = function
+    | "none" -> Ok Qtp.Capabilities.R_none
+    | "partial" -> Ok Qtp.Capabilities.R_partial
+    | "full" -> Ok Qtp.Capabilities.R_full
+    | s -> Error (`Msg ("unknown reliability: " ^ s))
+  in
+  Arg.conv (parse, fun fmt m -> Qtp.Capabilities.pp_mode fmt m)
+
+let proto =
+  Arg.(value & opt proto_conv P_tfrc
+       & info [ "proto" ] ~docv:"PROTO" ~doc:"tcp | tfrc | light | af | full")
+
+let rate =
+  Arg.(value & opt float 10e6 & info [ "rate" ] ~docv:"BPS" ~doc:"Link rate (b/s).")
+
+let delay =
+  Arg.(value & opt float 0.04 & info [ "delay" ] ~docv:"S" ~doc:"One-way delay (s).")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Stationary loss rate.")
+
+let burstiness =
+  Arg.(value & opt float 0.0
+       & info [ "burstiness" ] ~docv:"B"
+           ~doc:"0 = random (Bernoulli); >0 = Gilbert-Elliott burstiness.")
+
+let g =
+  Arg.(value & opt float 2e6 & info [ "g" ] ~docv:"BPS" ~doc:"AF target rate for --proto af.")
+
+let duration =
+  Arg.(value & opt float 30.0 & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let reliability =
+  Arg.(value & opt rel_conv Qtp.Capabilities.R_none
+       & info [ "reliability" ] ~docv:"MODE" ~doc:"none | partial | full (for --proto light).")
+
+let run proto rate delay loss burstiness g duration seed reliability =
+  let loss_of rng =
+    if loss <= 0.0 then Netsim.Loss_model.none
+    else if burstiness <= 0.0 then Netsim.Loss_model.bernoulli ~p:loss ~rng
+    else Experiments.Common.gilbert ~loss ~burstiness rng
+  in
+  match proto with
+  | P_af ->
+      let r =
+        Experiments.Af_scenario.run ~seed ~g_mbps:(g /. 1e6)
+          ~proto:Experiments.Af_scenario.Qtp_af ()
+      in
+      Format.printf
+        "QTP_AF on the AF dumbbell: achieved %.2f Mb/s (%.0f%% of g), retx %d@."
+        (r.Experiments.Af_scenario.achieved_wire_bps /. 1e6)
+        (100.0 *. r.Experiments.Af_scenario.achieved_wire_bps /. g)
+        r.Experiments.Af_scenario.retransmissions
+  | P_tcp ->
+      let sim = Engine.Sim.create ~seed () in
+      let rng = Engine.Sim.split_rng sim in
+      let forward =
+        Netsim.Topology.spec ~rate_bps:rate ~delay
+          ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:50)
+          ~loss:(fun () -> loss_of (Engine.Rng.split rng))
+          ()
+      in
+      let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+      let flow =
+        Tcp.Flow.create ~sim ~endpoint:(Netsim.Topology.endpoint topo 0) ()
+      in
+      Engine.Sim.run ~until:duration sim;
+      let s = Tcp.Flow.sender flow in
+      Format.printf
+        "TCP: goodput %.2f Mb/s over [1s,%gs); sent %d, retx %d, timeouts %d, \
+         cwnd %.1f@."
+        (Tcp.Flow.goodput_bps flow ~from_:1.0 ~until:duration /. 1e6)
+        duration
+        (Tcp.Tcp_sender.segments_sent s)
+        (Tcp.Tcp_sender.retransmits s)
+        (Tcp.Tcp_sender.timeouts s)
+        (Tcp.Tcp_sender.cwnd s)
+  | P_tfrc | P_light | P_full ->
+      let sim = Engine.Sim.create ~seed () in
+      let rng = Engine.Sim.split_rng sim in
+      let forward =
+        Netsim.Topology.spec ~rate_bps:rate ~delay
+          ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:50)
+          ~loss:(fun () -> loss_of (Engine.Rng.split rng))
+          ()
+      in
+      let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+      let offer, responder =
+        match proto with
+        | P_tfrc -> (Qtp.Profile.qtp_tfrc (), Qtp.Profile.anything ())
+        | P_full -> (Qtp.Profile.qtp_full (), Qtp.Profile.anything ())
+        | P_light | P_tcp | P_af ->
+            ( Qtp.Profile.qtp_light ~reliability:[ reliability ] (),
+              Qtp.Profile.mobile_receiver () )
+      in
+      let agreed = Qtp.Profile.agreed_exn offer responder in
+      let conn =
+        Qtp.Connection.create ~sim
+          ~endpoint:(Netsim.Topology.endpoint topo 0)
+          (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+      in
+      Engine.Sim.run ~until:duration sim;
+      Format.printf
+        "%a: throughput %.2f Mb/s over [1s,%gs); sent %d, retx %d, delivered \
+         %d, skipped %d, p=%.4f@."
+        Qtp.Capabilities.pp_agreed agreed
+        (Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:1.0
+           ~until:duration
+        /. 1e6)
+        duration
+        (Qtp.Connection.data_sent conn)
+        (Qtp.Connection.retransmissions conn)
+        (Qtp.Connection.delivered conn)
+        (Qtp.Connection.skipped conn)
+        (Qtp.Connection.sender_loss_estimate conn)
+
+let cmd =
+  let doc = "Run one transport scenario on the VTP network simulator." in
+  Cmd.v (Cmd.info "vtp_sim" ~doc)
+    Term.(
+      const run $ proto $ rate $ delay $ loss $ burstiness $ g $ duration
+      $ seed $ reliability)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,34 @@
+(* QoS bulk transfer over a DiffServ/AF network — the QTP_AF scenario
+   (§4): an application negotiated a committed rate g with the network's
+   AF class (edge token-bucket marking, RIO core queue), then tries to
+   actually use it for a reliable transfer while unresponsive excess
+   traffic loads the class.
+
+   TCP cannot exploit the reservation; QTP_AF (gTFRC + full SACK
+   reliability) collects it.
+
+   Run with:  dune exec examples/qos_bulk_transfer.exe *)
+
+let g_mbps = 3.0
+
+let describe name (r : Experiments.Af_scenario.result) =
+  Format.printf "%-28s achieved %.2f Mb/s  (%.0f%% of g)  retx=%d@." name
+    (r.Experiments.Af_scenario.achieved_wire_bps /. 1e6)
+    (100.0 *. r.Experiments.Af_scenario.achieved_wire_bps /. (g_mbps *. 1e6))
+    r.Experiments.Af_scenario.retransmissions
+
+let () =
+  Format.printf
+    "AF class: 10 Mb/s RIO bottleneck, committed rate g = %.1f Mb/s,@.\
+     8 Mb/s of unresponsive excess traffic in the same class.@.@."
+    g_mbps;
+  let run proto =
+    Experiments.Af_scenario.run ~seed:11 ~g_mbps ~proto ()
+  in
+  describe "TCP NewReno" (run Experiments.Af_scenario.Tcp_newreno);
+  describe "QTP_AF (gTFRC + SACK full)" (run Experiments.Af_scenario.Qtp_af);
+  describe "TFRC+SACK without floor" (run Experiments.Af_scenario.Tfrc_full_nofloor);
+  Format.printf
+    "@.TCP's AIMD reacts to out-of-profile drops and cannot hold the@.\
+     reservation; gTFRC never descends below g, so QTP_AF delivers the@.\
+     negotiated QoS with full reliability on top.@."

@@ -1,0 +1,206 @@
+type feedback_plane = Standard | Light
+
+type reliability_mode = R_none | R_partial | R_full
+
+type offer = {
+  planes : feedback_plane list;
+  reliability : reliability_mode list;
+  qos_target_bps : float;
+  partial_max_retx : int;
+  partial_deadline : float;
+  ecn : bool;
+}
+
+type agreed = {
+  plane : feedback_plane;
+  mode : reliability_mode;
+  target_bps : float;
+  max_retx : int;
+  deadline : float;
+  use_ecn : bool;
+}
+
+let plane_to_string = function Standard -> "std" | Light -> "light"
+
+let plane_of_string = function
+  | "std" -> Ok Standard
+  | "light" -> Ok Light
+  | s -> Error ("unknown feedback plane: " ^ s)
+
+let mode_to_string = function
+  | R_none -> "none"
+  | R_partial -> "partial"
+  | R_full -> "full"
+
+let mode_of_string = function
+  | "none" -> Ok R_none
+  | "partial" -> Ok R_partial
+  | "full" -> Ok R_full
+  | s -> Error ("unknown reliability mode: " ^ s)
+
+let pp_plane fmt p = Format.pp_print_string fmt (plane_to_string p)
+
+let pp_mode fmt m = Format.pp_print_string fmt (mode_to_string m)
+
+let pp_agreed fmt a =
+  Format.fprintf fmt "plane=%a rel=%a g=%.0fbps retx<=%d deadline=%.2fs%s"
+    pp_plane a.plane pp_mode a.mode a.target_bps a.max_retx a.deadline
+    (if a.use_ecn then " ecn" else "")
+
+let first_common pref supported =
+  List.find_opt (fun x -> List.mem x supported) pref
+
+let negotiate ~initiator ~responder =
+  match first_common initiator.planes responder.planes with
+  | None -> Error "no common feedback plane"
+  | Some plane -> (
+      match first_common initiator.reliability responder.reliability with
+      | None -> Error "no common reliability mode"
+      | Some mode ->
+          let target_bps =
+            if responder.qos_target_bps <= 0.0 then initiator.qos_target_bps
+            else Float.min initiator.qos_target_bps responder.qos_target_bps
+          in
+          Ok
+            {
+              plane;
+              mode;
+              target_bps;
+              max_retx =
+                Stdlib.min initiator.partial_max_retx
+                  responder.partial_max_retx;
+              deadline =
+                Float.min initiator.partial_deadline
+                  responder.partial_deadline;
+              use_ecn = initiator.ecn && responder.ecn;
+            })
+
+(* The textual encoding: "qtp1;<k>=<v>;…".  Lists are comma-separated,
+   preference order preserved. *)
+
+let magic_offer = "qtp1-offer"
+let magic_agreed = "qtp1-agreed"
+
+let encode_offer o =
+  Printf.sprintf "%s;planes=%s;rel=%s;g=%.17g;pmr=%d;pdl=%.17g;ecn=%d"
+    magic_offer
+    (String.concat "," (List.map plane_to_string o.planes))
+    (String.concat "," (List.map mode_to_string o.reliability))
+    o.qos_target_bps o.partial_max_retx o.partial_deadline
+    (if o.ecn then 1 else 0)
+
+let fields_of s =
+  match String.split_on_char ';' s with
+  | magic :: rest ->
+      let kvs =
+        List.filter_map
+          (fun part ->
+            match String.index_opt part '=' with
+            | Some i ->
+                Some
+                  ( String.sub part 0 i,
+                    String.sub part (i + 1) (String.length part - i - 1) )
+            | None -> None)
+          rest
+      in
+      Ok (magic, kvs)
+  | [] -> Error "empty capability string"
+
+let lookup kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> Ok v
+  | None -> Error ("missing field: " ^ k)
+
+let ( let* ) = Result.bind
+
+let parse_list of_string s =
+  let items = if s = "" then [] else String.split_on_char ',' s in
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* x = of_string item in
+      Ok (acc @ [ x ]))
+    (Ok []) items
+
+let parse_float name s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error ("bad float in " ^ name)
+
+let parse_int name s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error ("bad int in " ^ name)
+
+let decode_offer s =
+  let* magic, kvs = fields_of s in
+  if magic <> magic_offer then Error ("bad magic: " ^ magic)
+  else
+    let* planes_s = lookup kvs "planes" in
+    let* planes = parse_list plane_of_string planes_s in
+    let* rel_s = lookup kvs "rel" in
+    let* reliability = parse_list mode_of_string rel_s in
+    let* g_s = lookup kvs "g" in
+    let* qos_target_bps = parse_float "g" g_s in
+    let* pmr_s = lookup kvs "pmr" in
+    let* partial_max_retx = parse_int "pmr" pmr_s in
+    let* pdl_s = lookup kvs "pdl" in
+    let* partial_deadline = parse_float "pdl" pdl_s in
+    let* ecn_s = lookup kvs "ecn" in
+    let* ecn_i = parse_int "ecn" ecn_s in
+    if planes = [] then Error "offer with no feedback plane"
+    else if reliability = [] then Error "offer with no reliability mode"
+    else
+      Ok
+        {
+          planes;
+          reliability;
+          qos_target_bps;
+          partial_max_retx;
+          partial_deadline;
+          ecn = ecn_i <> 0;
+        }
+
+let encode_agreed a =
+  Printf.sprintf "%s;plane=%s;rel=%s;g=%.17g;pmr=%d;pdl=%.17g;ecn=%d"
+    magic_agreed (plane_to_string a.plane) (mode_to_string a.mode)
+    a.target_bps a.max_retx a.deadline
+    (if a.use_ecn then 1 else 0)
+
+let decode_agreed s =
+  let* magic, kvs = fields_of s in
+  if magic <> magic_agreed then Error ("bad magic: " ^ magic)
+  else
+    let* plane_s = lookup kvs "plane" in
+    let* plane = plane_of_string plane_s in
+    let* mode_s = lookup kvs "rel" in
+    let* mode = mode_of_string mode_s in
+    let* g_s = lookup kvs "g" in
+    let* target_bps = parse_float "g" g_s in
+    let* pmr_s = lookup kvs "pmr" in
+    let* max_retx = parse_int "pmr" pmr_s in
+    let* pdl_s = lookup kvs "pdl" in
+    let* deadline = parse_float "pdl" pdl_s in
+    let* ecn_s = lookup kvs "ecn" in
+    let* ecn_i = parse_int "ecn" ecn_s in
+    Ok { plane; mode; target_bps; max_retx; deadline; use_ecn = ecn_i <> 0 }
+
+let to_policy a =
+  match a.mode with
+  | R_none -> Sack.Reliability.Unreliable
+  | R_partial ->
+      Sack.Reliability.Partial { max_retx = a.max_retx; deadline = a.deadline }
+  | R_full -> Sack.Reliability.Full
+
+let equal_offer (a : offer) (b : offer) =
+  a.planes = b.planes && a.reliability = b.reliability
+  && a.qos_target_bps = b.qos_target_bps
+  && a.partial_max_retx = b.partial_max_retx
+  && a.partial_deadline = b.partial_deadline
+  && a.ecn = b.ecn
+
+let equal_agreed (a : agreed) (b : agreed) =
+  a.plane = b.plane && a.mode = b.mode && a.target_bps = b.target_bps
+  && a.max_retx = b.max_retx
+  && a.deadline = b.deadline
+  && a.use_ecn = b.use_ecn

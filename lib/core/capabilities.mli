@@ -1,0 +1,58 @@
+(** Negotiable transport features.
+
+    The paper's §1 lists the features a connection negotiates between
+    transport entities: (1) partial/full reliability, (2) light receiver
+    processing, (3) QoS awareness.  An {!offer} is what one endpoint can
+    and wants to do (lists in preference order); {!negotiate} intersects
+    the initiator's and responder's offers into the {!agreed}
+    configuration both run, or explains why no composition exists.
+
+    Offers travel inside handshake segments as a versioned textual
+    encoding (robust, debuggable; this is control-plane traffic). *)
+
+type feedback_plane =
+  | Standard  (** RFC 3448 receiver computes the loss event rate *)
+  | Light  (** SACK-only receiver; the sender reconstructs loss *)
+
+type reliability_mode = R_none | R_partial | R_full
+
+type offer = {
+  planes : feedback_plane list;  (** supported, preferred first *)
+  reliability : reliability_mode list;  (** supported, preferred first *)
+  qos_target_bps : float;  (** requested AF committed rate; 0 = none *)
+  partial_max_retx : int;  (** parameters used if R_partial is agreed *)
+  partial_deadline : float;
+  ecn : bool;  (** willing to use ECN (RFC 3168) congestion marking *)
+}
+
+type agreed = {
+  plane : feedback_plane;
+  mode : reliability_mode;
+  target_bps : float;
+  max_retx : int;
+  deadline : float;
+  use_ecn : bool;  (** both endpoints support it *)
+}
+
+val negotiate : initiator:offer -> responder:offer -> (agreed, string) result
+(** First initiator preference the responder also supports wins, for
+    both the plane and the reliability mode.  The QoS target is the
+    initiator's request capped by the responder's (a receiver may lower,
+    never raise, the reservation it will honour; a responder target of 0
+    means "no opinion").  Partial-reliability parameters: the stricter of
+    the two (fewer retransmits, shorter deadline). *)
+
+val encode_offer : offer -> string
+val decode_offer : string -> (offer, string) result
+
+val encode_agreed : agreed -> string
+val decode_agreed : string -> (agreed, string) result
+
+val to_policy : agreed -> Sack.Reliability.policy
+
+val pp_plane : Format.formatter -> feedback_plane -> unit
+val pp_mode : Format.formatter -> reliability_mode -> unit
+val pp_agreed : Format.formatter -> agreed -> unit
+
+val equal_offer : offer -> offer -> bool
+val equal_agreed : agreed -> agreed -> bool

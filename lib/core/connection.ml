@@ -1,0 +1,796 @@
+module Header = Packet.Header
+module Serial = Packet.Serial
+
+let log_src = Logs.Src.create "qtp.connection" ~doc:"VTP connection events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type sack_cadence = Per_packet | Per_rtt
+
+type config = {
+  agreed : Capabilities.agreed;
+  packet_size : int;
+  initial_rtt : float;
+  max_rate_bps : float option;
+  cadence : sack_cadence;
+  selfish_p_factor : float;
+  sack_blocks : int;
+  oscillation_damping : bool;
+}
+
+let config ?(packet_size = 1500) ?(initial_rtt = 0.5) ?max_rate_bps
+    ?(cadence = Per_rtt) ?(selfish_p_factor = 1.0) ?(sack_blocks = 4)
+    ?(oscillation_damping = false) agreed =
+  {
+    agreed;
+    packet_size;
+    initial_rtt;
+    max_rate_bps;
+    cadence;
+    selfish_p_factor;
+    sack_blocks;
+    oscillation_damping;
+  }
+
+type state =
+  | Negotiating
+  | Established of Capabilities.agreed
+  | Closing  (** [close] called; draining reliability obligations *)
+  | Closed
+  | Failed of string
+
+type receiver_side = {
+  mutable std_recv : Tfrc.Receiver.t option;
+  tracker : Sack.Rcv_tracker.t option;
+  reassembly : Sack.Reassembly.t;
+  mutable rx_window_bytes : int;
+  mutable rx_window_start : float;
+  mutable rx_x_recv : float;
+  mutable rx_last : (float * float) option;  (* sender tstamp, arrival *)
+  mutable rx_last_rtt : float;
+  mutable rx_ce_count : int;  (* cumulative CE marks seen (light echo) *)
+  mutable sack_timer : Engine.Timer.t option;
+}
+
+type sender_side = {
+  cc : Tfrc.Sender.t;
+  scoreboard : Sack.Scoreboard.t option;
+  reliability : Sack.Reliability.t option;
+  reconstructor : Loss_reconstructor.t option;
+  source : Source.t;
+  mutable expiry_timer : Engine.Timer.t option;
+  mutable plain_seq : Serial.t;  (* sequencing when no scoreboard *)
+  mutable known_ce : int;  (* highest CE echo processed so far *)
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  endpoint : Netsim.Topology.endpoint;
+  cfg : config;
+  mutable state : state;
+  (* [responder_offer] is consulted by the receiver half during the
+     handshake; [initiator_offer] is what the SYN carries. *)
+  mutable initiator_offer : Capabilities.offer option;
+  mutable responder_offer : Capabilities.offer option;
+  snd : sender_side;
+  rcv : receiver_side;
+  goodput : Stats.Series.t;
+  arrivals : Stats.Series.t;
+  first_sent : (int, float) Hashtbl.t;  (* seq -> original send time *)
+  mutable delays : float list;  (* in-order delivery delays, newest first *)
+  mutable feedback_packets : int;
+  mutable feedback_bytes : int;
+  mutable handshake_packets : int;
+  mutable hs_timer : Engine.Timer.t option;  (* SYN retransmission *)
+  mutable hs_tries : int;
+  mutable close_timer : Engine.Timer.t option;  (* CLOSE retransmission *)
+  mutable close_tries : int;
+  mutable close_ticks : int;
+}
+
+let uses_sack cfg =
+  cfg.agreed.Capabilities.plane = Capabilities.Light
+  || cfg.agreed.Capabilities.mode <> Capabilities.R_none
+
+let payload_of cfg = Stdlib.max 1 (cfg.packet_size - Header.data_header_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Emission helpers *)
+
+let send_forward t segment =
+  t.endpoint.Netsim.Topology.to_receiver
+    (Vtp_wire.frame_of ~sim:t.sim ~flow_id:t.endpoint.Netsim.Topology.flow_id
+       segment)
+
+let send_reverse t segment =
+  t.endpoint.Netsim.Topology.to_sender
+    (Vtp_wire.frame_of ~sim:t.sim ~flow_id:t.endpoint.Netsim.Topology.flow_id
+       segment)
+
+(* ------------------------------------------------------------------ *)
+(* Sender side *)
+
+let fwd_point_now t =
+  match (t.snd.scoreboard, t.snd.reliability) with
+  | Some sb, Some rel ->
+      let fwd =
+        Sack.Reliability.fwd_point rel
+          ~highest_sent:(Sack.Scoreboard.next_seq sb)
+      in
+      Sack.Scoreboard.abandon_below sb fwd;
+      fwd
+  | _ ->
+      (* No SACK plane: the receiver should never wait for repairs. *)
+      t.snd.plain_seq
+
+let emit_data t ~seq ~is_retx =
+  let now = Engine.Sim.now t.sim in
+  let hdr =
+    Header.Data
+      {
+        seq;
+        tstamp = now;
+        rtt_estimate = Tfrc.Sender.rtt t.snd.cc;
+        is_retransmit = is_retx;
+        fwd_point = fwd_point_now t;
+      }
+  in
+  let segment =
+    Vtp_wire.segment ~sim:t.sim ~flow_id:t.endpoint.Netsim.Topology.flow_id
+      ~hdr ~payload:(payload_of t.cfg)
+  in
+  let frame =
+    Vtp_wire.frame_of ~sim:t.sim ~flow_id:t.endpoint.Netsim.Topology.flow_id
+      segment
+  in
+  frame.Netsim.Frame.ect <- t.cfg.agreed.Capabilities.use_ecn;
+  t.endpoint.Netsim.Topology.to_receiver frame
+
+let transmit_opportunity t =
+  let now = Engine.Sim.now t.sim in
+  let decision =
+    match t.snd.reliability with
+    | Some rel -> Sack.Reliability.next_decision rel ~now
+    | None -> Sack.Reliability.Fresh_data
+  in
+  match decision with
+  | Sack.Reliability.Retransmit seq ->
+      (match t.snd.scoreboard with
+      | Some sb ->
+          Sack.Scoreboard.on_send sb ~seq ~now ~size:t.cfg.packet_size
+            ~is_retx:true
+      | None -> assert false);
+      emit_data t ~seq ~is_retx:true;
+      true
+  | Sack.Reliability.Fresh_data ->
+      if t.state <> Closing && t.state <> Closed && Source.take t.snd.source
+      then begin
+        let seq =
+          match t.snd.scoreboard with
+          | Some sb ->
+              let s = Sack.Scoreboard.next_seq sb in
+              Sack.Scoreboard.on_send sb ~seq:s ~now ~size:t.cfg.packet_size
+                ~is_retx:false;
+              s
+          | None ->
+              let s = t.snd.plain_seq in
+              t.snd.plain_seq <- Serial.succ s;
+              s
+        in
+        Hashtbl.replace t.first_sent (Serial.to_int seq) now;
+        emit_data t ~seq ~is_retx:false;
+        true
+      end
+      else false
+
+let feed_losses t ~now losses =
+  match t.snd.reliability with
+  | Some rel when losses <> [] ->
+      Sack.Reliability.on_losses rel ~now losses;
+      Tfrc.Sender.notify_data t.snd.cc
+  | Some _ | None -> ()
+
+let merge_covers (a : Sack.Scoreboard.cover list)
+    (b : Sack.Scoreboard.cover list) =
+  List.sort
+    (fun (x : Sack.Scoreboard.cover) (y : Sack.Scoreboard.cover) ->
+      Serial.compare x.cov_seq y.cov_seq)
+    (a @ b)
+
+let sender_on_sack t (sf : Header.sack_feedback) =
+  match t.snd.scoreboard with
+  | None -> ()
+  | Some sb ->
+      let now = Engine.Sim.now t.sim in
+      let res =
+        Sack.Scoreboard.on_feedback sb ~cum_ack:sf.cum_ack ~blocks:sf.blocks
+      in
+      feed_losses t ~now res.newly_lost;
+      (match t.snd.reconstructor with
+      | Some lr ->
+          Loss_reconstructor.on_covers lr
+            ~covers:(merge_covers res.newly_acked res.newly_sacked)
+            ~rtt:(Tfrc.Sender.rtt t.snd.cc)
+            ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size;
+          if sf.sack_ce_count > t.snd.known_ce then begin
+            Loss_reconstructor.on_ce_marks lr
+              ~new_marks:(sf.sack_ce_count - t.snd.known_ce)
+              ~rtt:(Tfrc.Sender.rtt t.snd.cc)
+              ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size;
+            t.snd.known_ce <- sf.sack_ce_count
+          end;
+          let p = Loss_reconstructor.loss_event_rate lr in
+          Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:sf.sack_tstamp_echo
+            ~t_delay:sf.sack_t_delay ~x_recv:sf.sack_x_recv ~p
+      | None -> ())
+
+let sender_on_std_feedback t (f : Header.feedback) =
+  Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:f.tstamp_echo
+    ~t_delay:f.t_delay ~x_recv:f.x_recv ~p:f.p
+
+let arm_expiry_timer t =
+  match (t.snd.scoreboard, t.snd.reliability) with
+  | Some sb, Some rel ->
+      let timer = ref None in
+      let fire () =
+        let now = Engine.Sim.now t.sim in
+        let rtt = Tfrc.Sender.rtt t.snd.cc in
+        let timeout = Float.max (4.0 *. rtt) 0.2 in
+        let expired = Sack.Scoreboard.mark_expired sb ~now ~timeout in
+        if expired <> [] then begin
+          Sack.Reliability.on_losses rel ~now expired;
+          Tfrc.Sender.notify_data t.snd.cc
+        end;
+        match !timer with
+        | Some tm -> Engine.Timer.start tm ~after:(Float.max rtt 0.05)
+        | None -> ()
+      in
+      let tm = Engine.Timer.create t.sim ~on_expire:fire in
+      timer := Some tm;
+      t.snd.expiry_timer <- Some tm;
+      Engine.Timer.start tm ~after:(Float.max t.cfg.initial_rtt 0.05)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Receiver side *)
+
+let update_x_recv t ~now =
+  let r = t.rcv in
+  let elapsed = now -. r.rx_window_start in
+  (* Re-estimate only over windows of at least half an RTT so that
+     per-packet SACK cadences don't produce a wildly noisy x_recv. *)
+  if elapsed >= 0.5 *. Float.max r.rx_last_rtt 1e-3 && r.rx_window_bytes > 0
+  then begin
+    r.rx_x_recv <- float_of_int r.rx_window_bytes /. elapsed;
+    r.rx_window_bytes <- 0;
+    r.rx_window_start <- now
+  end
+
+let emit_sack t =
+  match t.rcv.tracker with
+  | None -> ()
+  | Some tr -> (
+      match t.rcv.rx_last with
+      | None -> ()
+      | Some (tstamp, arrival) ->
+          let now = Engine.Sim.now t.sim in
+          update_x_recv t ~now;
+          let blocks = Sack.Rcv_tracker.sack_blocks tr in
+          let hdr =
+            Header.Sack_feedback
+              {
+                cum_ack = Sack.Rcv_tracker.cum_ack tr;
+                blocks;
+                sack_tstamp_echo = tstamp;
+                sack_t_delay = now -. arrival;
+                sack_x_recv = t.rcv.rx_x_recv;
+                sack_ce_count = t.rcv.rx_ce_count;
+              }
+          in
+          let segment =
+            Vtp_wire.segment ~sim:t.sim
+              ~flow_id:t.endpoint.Netsim.Topology.flow_id ~hdr ~payload:0
+          in
+          t.feedback_packets <- t.feedback_packets + 1;
+          t.feedback_bytes <- t.feedback_bytes + Packet.Segment.size segment;
+          send_reverse t segment)
+
+let arm_sack_timer t =
+  let fire () =
+    if t.rcv.rx_last <> None then emit_sack t;
+    match t.rcv.sack_timer with
+    | Some tm -> Engine.Timer.start tm ~after:(Float.max t.rcv.rx_last_rtt 1e-3)
+    | None -> ()
+  in
+  let tm = Engine.Timer.create t.sim ~on_expire:fire in
+  t.rcv.sack_timer <- Some tm
+
+let receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
+  let now = Engine.Sim.now t.sim in
+  let r = t.rcv in
+  Stats.Series.record t.arrivals ~time:now ~bytes:wire_size;
+  if d.rtt_estimate > 0.0 then r.rx_last_rtt <- d.rtt_estimate;
+  let first = r.rx_last = None in
+  r.rx_last <- Some (d.tstamp, now);
+  r.rx_window_bytes <- r.rx_window_bytes + wire_size;
+  if ce then r.rx_ce_count <- r.rx_ce_count + 1;
+  (* Standard plane: the heavy RFC 3448 receiver. *)
+  (match r.std_recv with
+  | Some sr -> Tfrc.Receiver.on_data sr ~ce d ~size:wire_size
+  | None -> ());
+  (* SACK plane: O(1) tracking; note whether this arrival opened a new
+     hole (a fresh loss indication worth an expedited report). *)
+  let new_hole = ref false in
+  (match r.tracker with
+  | Some tr ->
+      let expected =
+        match List.rev (Sack.Rcv_tracker.all_ranges tr) with
+        | (last : Sack.Blocks.t) :: _ -> last.block_end
+        | [] -> Sack.Rcv_tracker.cum_ack tr
+      in
+      if Serial.( > ) d.seq expected then new_hole := true;
+      Sack.Rcv_tracker.on_data tr ~seq:d.seq;
+      Sack.Rcv_tracker.apply_fwd_point tr d.fwd_point
+  | None -> ());
+  (* Application delivery. *)
+  Sack.Reassembly.on_data r.reassembly ~seq:d.seq ~size:payload;
+  Sack.Reassembly.apply_fwd_point r.reassembly d.fwd_point;
+  (* Feedback emission policy. *)
+  match (t.cfg.agreed.Capabilities.plane, r.tracker) with
+  | Capabilities.Standard, Some _ ->
+      (* Reliability ack-clock alongside RFC 3448 reports. *)
+      emit_sack t
+  | Capabilities.Standard, None -> ()
+  | Capabilities.Light, Some _ -> (
+      match t.cfg.cadence with
+      | Per_packet -> emit_sack t
+      | Per_rtt ->
+          if !new_hole || first || ce then begin
+            emit_sack t;
+            match r.sack_timer with
+            | Some tm ->
+                Engine.Timer.start tm ~after:(Float.max r.rx_last_rtt 1e-3)
+            | None -> ()
+          end
+          else begin
+            match r.sack_timer with
+            | Some tm when not (Engine.Timer.is_armed tm) ->
+                Engine.Timer.start tm ~after:(Float.max r.rx_last_rtt 1e-3)
+            | Some _ | None -> ()
+          end)
+  | Capabilities.Light, None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Handshake *)
+
+let send_handshake t ~forward kind payload =
+  let hdr = Header.Handshake { kind; payload } in
+  let segment =
+    Vtp_wire.segment ~sim:t.sim ~flow_id:t.endpoint.Netsim.Topology.flow_id
+      ~hdr ~payload:0
+  in
+  t.handshake_packets <- t.handshake_packets + 1;
+  if forward then send_forward t segment else send_reverse t segment
+
+let max_handshake_tries = 6
+
+let stop_hs_timer t =
+  match t.hs_timer with Some tm -> Engine.Timer.stop tm | None -> ()
+
+(* Retransmit the SYN with exponential backoff until the SYN-ACK lands
+   (the responder answers every SYN statelessly, so duplicate SYNs and a
+   lost final ACK are harmless). *)
+let send_syn_with_retry t offer =
+  let backoff tries = Float.min 8.0 (t.cfg.initial_rtt *. (2.0 ** float_of_int tries)) in
+  let timer =
+    match t.hs_timer with
+    | Some tm -> tm
+    | None ->
+        let tm =
+          Engine.Timer.create t.sim ~on_expire:(fun () ->
+              if t.state = Negotiating then begin
+                if t.hs_tries >= max_handshake_tries then
+                  t.state <- Failed "handshake timeout"
+                else begin
+                  t.hs_tries <- t.hs_tries + 1;
+                  send_handshake t ~forward:true Header.Syn
+                    (Capabilities.encode_offer offer);
+                  match t.hs_timer with
+                  | Some tm -> Engine.Timer.start tm ~after:(backoff t.hs_tries)
+                  | None -> ()
+                end
+              end)
+        in
+        t.hs_timer <- Some tm;
+        tm
+  in
+  t.hs_tries <- 1;
+  send_handshake t ~forward:true Header.Syn (Capabilities.encode_offer offer);
+  Engine.Timer.start timer ~after:(backoff 1)
+
+let establish t agreed =
+  stop_hs_timer t;
+  t.state <- Established agreed;
+  Log.info (fun m ->
+      m "flow %d established: %a" t.endpoint.Netsim.Topology.flow_id
+        Capabilities.pp_agreed agreed);
+  arm_expiry_timer t;
+  Tfrc.Sender.start t.snd.cc
+
+let handle_handshake_at_receiver t (h : Header.handshake) =
+  match h.kind with
+  | Header.Close ->
+      (* The sender has no more data and no pending repairs: confirm and
+         quiesce the receiving side. *)
+      (match t.rcv.sack_timer with
+      | Some tm -> Engine.Timer.stop tm
+      | None -> ());
+      send_handshake t ~forward:false Header.Close_ack ""
+  | Header.Close_ack -> ()
+  | Header.Syn -> (
+      match
+        ( Capabilities.decode_offer h.payload,
+          t.responder_offer )
+      with
+      | Ok initiator, Some responder -> (
+          match Capabilities.negotiate ~initiator ~responder with
+          | Ok agreed ->
+              send_handshake t ~forward:false Header.Syn_ack
+                (Capabilities.encode_agreed agreed)
+          | Error e ->
+              send_handshake t ~forward:false Header.Syn_ack ("error:" ^ e))
+      | Error e, _ ->
+          send_handshake t ~forward:false Header.Syn_ack ("error:" ^ e)
+      | Ok _, None ->
+          send_handshake t ~forward:false Header.Syn_ack
+            "error:responder has no offer")
+  | Header.Ack_hs | Header.Syn_ack -> ()
+
+let finish_close t =
+  if t.state <> Closed then begin
+    t.state <- Closed;
+    Log.info (fun m -> m "flow %d closed" t.endpoint.Netsim.Topology.flow_id);
+    (match t.close_timer with
+    | Some tm -> Engine.Timer.stop tm
+    | None -> ());
+    (match t.snd.expiry_timer with
+    | Some tm -> Engine.Timer.stop tm
+    | None -> ());
+    Tfrc.Sender.stop t.snd.cc
+  end
+
+let handle_handshake_at_sender t (h : Header.handshake) =
+  match h.kind with
+  | Header.Close_ack -> if t.state = Closing then finish_close t
+  | Header.Close -> ()
+  | Header.Syn_ack -> (
+      if t.state = Negotiating then
+        match Capabilities.decode_agreed h.payload with
+        | Ok agreed ->
+            send_handshake t ~forward:true Header.Ack_hs "";
+            establish t agreed
+        | Error _ ->
+            let reason =
+              if String.length h.payload >= 6
+                 && String.sub h.payload 0 6 = "error:"
+              then String.sub h.payload 6 (String.length h.payload - 6)
+              else "malformed SYN-ACK"
+            in
+            stop_hs_timer t;
+            Log.warn (fun m ->
+                m "flow %d negotiation failed: %s"
+                  t.endpoint.Netsim.Topology.flow_id reason);
+            t.state <- Failed reason)
+  | Header.Syn | Header.Ack_hs -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Graceful close *)
+
+let drained t =
+  match t.snd.scoreboard with
+  | None -> true
+  | Some sb -> Sack.Scoreboard.outstanding sb = 0
+
+let max_close_tries = 8
+
+let max_close_ticks = 200  (* hard bound: never linger in Closing forever *)
+
+(* The close driver: poll until the reliability plane drains (actively
+   advancing abandonment, since no data emission does it for us any
+   more), then send CLOSE with retries; close unilaterally once either
+   budget runs out. *)
+let close_tick t =
+  if t.state = Closing then begin
+    (match (t.snd.scoreboard, t.snd.reliability) with
+    | Some sb, Some rel ->
+        let fwd =
+          Sack.Reliability.fwd_point rel
+            ~highest_sent:(Sack.Scoreboard.next_seq sb)
+        in
+        Sack.Scoreboard.abandon_below sb fwd
+    | _ -> ());
+    t.close_ticks <- t.close_ticks + 1;
+    if t.close_ticks > max_close_ticks then finish_close t
+    else begin
+      if drained t then begin
+        if t.close_tries >= max_close_tries then finish_close t
+        else begin
+          t.close_tries <- t.close_tries + 1;
+          send_handshake t ~forward:true Header.Close ""
+        end
+      end;
+      if t.state = Closing then
+        match t.close_timer with
+        | Some tm ->
+            Engine.Timer.start tm
+              ~after:(Float.max (2.0 *. Tfrc.Sender.rtt t.snd.cc) 0.05)
+        | None -> ()
+    end
+  end
+
+let close t =
+  match t.state with
+  | Closed | Closing -> ()
+  | Negotiating | Failed _ ->
+      stop_hs_timer t;
+      finish_close t
+  | Established _ ->
+      t.state <- Closing;
+      (* New data stops immediately; retransmissions keep flowing until
+         the scoreboard drains (full reliability finishes its job). *)
+      (match t.close_timer with
+      | Some _ -> ()
+      | None ->
+          t.close_timer <-
+            Some (Engine.Timer.create t.sim ~on_expire:(fun () -> close_tick t)));
+      close_tick t
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
+    ~initial_state ~initiator_offer ~responder_offer cfg =
+  let agreed = cfg.agreed in
+  let uses_sack_plane = uses_sack cfg in
+  let policy = Capabilities.to_policy agreed in
+  let scoreboard =
+    if uses_sack_plane then Some (Sack.Scoreboard.create ?cost:cost_sender ())
+    else None
+  in
+  let reliability =
+    Option.map
+      (fun sb ->
+        Sack.Reliability.create ?cost:cost_sender policy ~scoreboard:sb ())
+      scoreboard
+  in
+  let reconstructor =
+    if agreed.Capabilities.plane = Capabilities.Light then
+      Some (Loss_reconstructor.create ?cost:cost_sender ())
+    else None
+  in
+  let source = match source with Some s -> s | None -> Source.greedy () in
+  let t_ref = ref None in
+  let with_t f = match !t_ref with Some t -> f t | None -> () in
+  let reassembly =
+    Sack.Reassembly.create ?cost:cost_receiver
+      ~deliver:(fun ~seq ~size ->
+        with_t (fun t ->
+            let now = Engine.Sim.now sim in
+            Stats.Series.record t.goodput ~time:now ~bytes:size;
+            match Hashtbl.find_opt t.first_sent (Serial.to_int seq) with
+            | Some sent ->
+                t.delays <- (now -. sent) :: t.delays;
+                Hashtbl.remove t.first_sent (Serial.to_int seq)
+            | None -> ()))
+      ~on_gap:(fun ~skipped:_ -> ())
+      ()
+  in
+  let cc =
+    Tfrc.Sender.create ~sim ?cost:cost_sender
+      {
+        Tfrc.Sender.default_params with
+        packet_size = cfg.packet_size;
+        initial_rtt = cfg.initial_rtt;
+        min_rate_bps = agreed.Capabilities.target_bps;
+        max_rate_bps = cfg.max_rate_bps;
+        oscillation_damping = cfg.oscillation_damping;
+      }
+      ~on_transmit:(fun () ->
+        match !t_ref with
+        | Some t -> transmit_opportunity t
+        | None -> false)
+      ()
+  in
+  let t =
+    {
+      sim;
+      endpoint;
+      cfg;
+      state = initial_state;
+      initiator_offer;
+      responder_offer;
+      snd =
+        {
+          cc;
+          scoreboard;
+          reliability;
+          reconstructor;
+          source;
+          expiry_timer = None;
+          plain_seq = Serial.zero;
+          known_ce = 0;
+        };
+      rcv =
+        {
+          std_recv = None;
+          tracker =
+            (if uses_sack_plane then
+               Some
+                 (Sack.Rcv_tracker.create ~max_blocks:cfg.sack_blocks
+                    ?cost:cost_receiver ())
+             else None);
+          reassembly;
+          rx_window_bytes = 0;
+          rx_window_start = Engine.Sim.now sim;
+          rx_x_recv = 0.0;
+          rx_last = None;
+          rx_last_rtt = cfg.initial_rtt;
+          rx_ce_count = 0;
+          sack_timer = None;
+        };
+      goodput = Stats.Series.create ();
+      arrivals = Stats.Series.create ();
+      first_sent = Hashtbl.create 1024;
+      delays = [];
+      feedback_packets = 0;
+      feedback_bytes = 0;
+      handshake_packets = 0;
+      hs_timer = None;
+      hs_tries = 0;
+      close_timer = None;
+      close_tries = 0;
+      close_ticks = 0;
+    }
+  in
+  t_ref := Some t;
+  Source.set_notify source (fun () -> Tfrc.Sender.notify_data cc);
+  if agreed.Capabilities.plane = Capabilities.Standard then begin
+    let send_feedback (f : Header.feedback) =
+      (* The selfish-receiver knob only exists where the receiver
+         computes p — that is the attack surface QTP_light removes. *)
+      let f =
+        if cfg.selfish_p_factor = 1.0 then f
+        else { f with p = f.p *. cfg.selfish_p_factor }
+      in
+      let segment =
+        Vtp_wire.segment ~sim ~flow_id:endpoint.Netsim.Topology.flow_id
+          ~hdr:(Header.Feedback f) ~payload:0
+      in
+      t.feedback_packets <- t.feedback_packets + 1;
+      t.feedback_bytes <- t.feedback_bytes + Packet.Segment.size segment;
+      send_reverse t segment
+    in
+    t.rcv.std_recv <-
+      Some (Tfrc.Receiver.create ~sim ?cost:cost_receiver ~send_feedback ())
+  end;
+  if agreed.Capabilities.plane = Capabilities.Light && cfg.cadence = Per_rtt
+  then arm_sack_timer t;
+  endpoint.Netsim.Topology.on_receiver_rx (fun frame ->
+      match frame.Netsim.Frame.body with
+      | Vtp_wire.Vtp seg -> (
+          match seg.Packet.Segment.hdr with
+          | Header.Data d ->
+              receiver_on_data t d ~ce:frame.Netsim.Frame.ce
+                ~wire_size:(Packet.Segment.size seg)
+                ~payload:seg.Packet.Segment.payload
+          | Header.Handshake h -> handle_handshake_at_receiver t h
+          | Header.Feedback _ | Header.Sack_feedback _ -> ())
+      | _ -> ());
+  endpoint.Netsim.Topology.on_sender_rx (fun frame ->
+      match frame.Netsim.Frame.body with
+      | Vtp_wire.Vtp seg -> (
+          match seg.Packet.Segment.hdr with
+          | Header.Feedback f -> sender_on_std_feedback t f
+          | Header.Sack_feedback sf -> sender_on_sack t sf
+          | Header.Handshake h -> handle_handshake_at_sender t h
+          | Header.Data _ -> ())
+      | _ -> ());
+  ignore
+    (Engine.Sim.schedule_at sim start_at (fun () ->
+         match t.state with
+         | Established _ ->
+             arm_expiry_timer t;
+             Tfrc.Sender.start t.snd.cc
+         | Negotiating -> (
+             match t.initiator_offer with
+             | Some offer -> send_syn_with_retry t offer
+             | None -> t.state <- Failed "no initiator offer")
+         | Closing | Closed | Failed _ -> ()));
+  t
+
+let create ~sim ~endpoint ?cost_sender ?cost_receiver ?source
+    ?(start_at = 0.0) cfg =
+  build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
+    ~initial_state:(Established cfg.agreed) ~initiator_offer:None
+    ~responder_offer:None cfg
+
+let create_negotiated ~sim ~endpoint ?cost_sender ?cost_receiver ?source
+    ?(start_at = 0.0) ?packet_size ?initial_rtt ~initiator ~responder () =
+  match Capabilities.negotiate ~initiator ~responder with
+  | Ok agreed ->
+      let cfg = config ?packet_size ?initial_rtt agreed in
+      build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
+        ~initial_state:Negotiating ~initiator_offer:(Some initiator)
+        ~responder_offer:(Some responder) cfg
+  | Error reason ->
+      (* Build an inert connection that still runs the wire handshake so
+         the failure is observable end to end. *)
+      let dummy =
+        {
+          Capabilities.plane = Capabilities.Standard;
+          mode = Capabilities.R_none;
+          target_bps = 0.0;
+          max_retx = 0;
+          deadline = 0.0;
+          use_ecn = false;
+        }
+      in
+      let cfg = config ?packet_size ?initial_rtt dummy in
+      let t =
+        build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
+          ~initial_state:Negotiating ~initiator_offer:(Some initiator)
+          ~responder_offer:(Some responder) cfg
+      in
+      ignore reason;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Observation *)
+
+let state t = t.state
+
+let goodput t = t.goodput
+
+let arrivals t = t.arrivals
+
+let cc t = t.snd.cc
+
+let current_rate_bps t = Tfrc.Sender.rate_bps t.snd.cc
+
+let sender_loss_estimate t =
+  match t.snd.reconstructor with
+  | Some lr -> Loss_reconstructor.loss_event_rate lr
+  | None -> (
+      match t.rcv.std_recv with
+      | Some r -> Tfrc.Receiver.loss_event_rate r
+      | None -> 0.0)
+
+let receiver_loss_estimate t =
+  Option.map Tfrc.Receiver.loss_event_rate t.rcv.std_recv
+
+let data_sent t =
+  match t.snd.scoreboard with
+  | Some sb -> Sack.Scoreboard.stats_sent sb
+  | None -> Tfrc.Sender.packets_sent t.snd.cc
+
+let retransmissions t =
+  match t.snd.scoreboard with
+  | Some sb -> Sack.Scoreboard.stats_retx sb
+  | None -> 0
+
+let abandoned t =
+  match t.snd.reliability with
+  | Some rel -> Sack.Reliability.abandoned rel
+  | None -> 0
+
+let delivered t = Sack.Reassembly.delivered t.rcv.reassembly
+
+let skipped t = Sack.Reassembly.skipped t.rcv.reassembly
+
+let delivery_delays t = Array.of_list (List.rev t.delays)
+
+let feedback_packets t = t.feedback_packets
+
+let feedback_bytes t = t.feedback_bytes
+
+let handshake_packets t = t.handshake_packets

@@ -1,0 +1,120 @@
+(** A VTP connection: the composition of a congestion-control plane, a
+    reliability plane and a feedback plane over a simulated path.
+
+    This module is the paper's "versatile transport protocol": both
+    endpoints are built here from an agreed {!Capabilities.agreed}
+    configuration — either fixed by the caller or negotiated in-band
+    through a SYN / SYN-ACK / ACK handshake carrying encoded offers.
+
+    Composition map:
+
+    - congestion control: {!Tfrc.Sender} (gTFRC when [target_bps > 0]);
+    - feedback plane [Standard]: an RFC 3448 {!Tfrc.Receiver} computes
+      [p] remotely; when reliability is on, per-packet SACK reports run
+      alongside as the repair ack-clock;
+    - feedback plane [Light]: the receiver runs only a
+      {!Sack.Rcv_tracker}; the sender reconstructs loss events with
+      {!Loss_reconstructor} (QTP_light);
+    - reliability: {!Sack.Scoreboard} + {!Sack.Reliability} decide
+      retransmissions; abandoned holes propagate to the receiver through
+      the data-header forward point. *)
+
+type sack_cadence = Per_packet | Per_rtt
+
+type config = {
+  agreed : Capabilities.agreed;
+  packet_size : int;  (** on-wire bytes per data segment *)
+  initial_rtt : float;
+  max_rate_bps : float option;
+  cadence : sack_cadence;  (** light-plane report cadence *)
+  selfish_p_factor : float;
+      (** receiver misbehaviour knob for the standard plane: reported
+          [p] is multiplied by this (1.0 = honest, 0.0 = claims a
+          loss-free path).  The light plane has no [p] to lie about. *)
+  sack_blocks : int;  (** SACK blocks carried per report (default 4) *)
+  oscillation_damping : bool;  (** RFC 3448 §4.5 (default off) *)
+}
+
+val config : ?packet_size:int -> ?initial_rtt:float -> ?max_rate_bps:float ->
+  ?cadence:sack_cadence -> ?selfish_p_factor:float -> ?sack_blocks:int ->
+  ?oscillation_damping:bool -> Capabilities.agreed -> config
+
+type state =
+  | Negotiating
+  | Established of Capabilities.agreed
+  | Closing
+      (** {!close} was called: no new data; retransmissions continue
+          until the reliability plane drains, then CLOSE / CLOSE-ACK *)
+  | Closed
+  | Failed of string
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  endpoint:Netsim.Topology.endpoint ->
+  ?cost_sender:Stats.Cost.t ->
+  ?cost_receiver:Stats.Cost.t ->
+  ?source:Source.t ->
+  ?start_at:float ->
+  config ->
+  t
+(** Build both endpoints with a fixed configuration and start the
+    sender at [start_at] (default 0).  [source] defaults to greedy. *)
+
+val create_negotiated :
+  sim:Engine.Sim.t ->
+  endpoint:Netsim.Topology.endpoint ->
+  ?cost_sender:Stats.Cost.t ->
+  ?cost_receiver:Stats.Cost.t ->
+  ?source:Source.t ->
+  ?start_at:float ->
+  ?packet_size:int ->
+  ?initial_rtt:float ->
+  initiator:Capabilities.offer ->
+  responder:Capabilities.offer ->
+  unit ->
+  t
+(** Run the in-band handshake; data flows only if negotiation succeeds
+    (check {!state} after the simulation ran past the handshake). *)
+
+val state : t -> state
+
+val close : t -> unit
+(** Graceful teardown: stop accepting application data, finish pending
+    retransmissions, then exchange CLOSE / CLOSE-ACK (with retries; the
+    sender eventually closes unilaterally if the peer vanished).
+    Idempotent. *)
+
+(** {2 Observation} *)
+
+val goodput : t -> Stats.Series.t
+(** Payload bytes delivered in order to the receiving application. *)
+
+val arrivals : t -> Stats.Series.t
+(** Wire bytes of every data segment reaching the receiver (includes
+    out-of-order and duplicates) — the throughput view. *)
+
+val cc : t -> Tfrc.Sender.t
+
+val current_rate_bps : t -> float
+
+val sender_loss_estimate : t -> float
+(** The loss event rate steering the sender: receiver-reported on the
+    standard plane, reconstructed on the light plane. *)
+
+val receiver_loss_estimate : t -> float option
+(** The RFC 3448 receiver's own estimate (standard plane only). *)
+
+val delivery_delays : t -> float array
+(** Per-segment time from first transmission to in-order delivery, in
+    delivery order (retransmission and reassembly waits included). *)
+
+val data_sent : t -> int
+val retransmissions : t -> int
+val abandoned : t -> int
+val delivered : t -> int
+val skipped : t -> int
+val feedback_packets : t -> int
+val feedback_bytes : t -> int
+val handshake_packets : t -> int

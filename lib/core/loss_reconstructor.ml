@@ -1,0 +1,61 @@
+type t = {
+  lh : Tfrc.Loss_history.t;
+  mutable last_arrival : float;
+  mutable seeded : bool;
+}
+
+let create ?ndup ?discount ?cost () =
+  {
+    lh = Tfrc.Loss_history.create ?ndup ?discount ?cost ();
+    last_arrival = 0.0;
+    seeded = false;
+  }
+
+(* §6.3.1 seeding must happen immediately when the first loss event
+   appears — checking only at batch boundaries would make the estimate
+   depend on how covers were batched into feedback packets. *)
+let maybe_seed t ~rtt ~x_recv ~packet_size =
+  if (not t.seeded) && Tfrc.Loss_history.loss_events t.lh >= 1 then begin
+    t.seeded <- true;
+    let x_target =
+      Float.max (float_of_int packet_size /. Float.max rtt 1e-3) x_recv
+    in
+    let p_seed =
+      Tfrc.Equation.loss_rate_for ~s:(Stdlib.max 1 packet_size)
+        ~r:(Float.max rtt 1e-3) ~target:x_target
+    in
+    if p_seed > 0.0 then
+      Tfrc.Loss_history.set_first_interval t.lh (1.0 /. p_seed)
+  end
+
+let on_covers t ~covers ~rtt ~x_recv ~packet_size =
+  List.iter
+    (fun (c : Sack.Scoreboard.cover) ->
+      (* Clamp to keep the virtual clock monotone even when covers from
+         reordered feedback interleave. *)
+      let arrival = Float.max t.last_arrival (c.cov_sent_at +. rtt) in
+      t.last_arrival <- arrival;
+      Tfrc.Loss_history.on_packet t.lh ~seq:c.cov_seq ~arrival ~rtt
+        ~is_retx:c.cov_was_retx;
+      maybe_seed t ~rtt ~x_recv ~packet_size)
+    covers
+
+let on_ce_marks t ~new_marks ~rtt ~x_recv ~packet_size =
+  if new_marks > 0 then begin
+    let seq =
+      match Tfrc.Loss_history.max_seq t.lh with
+      | Some s -> s
+      | None -> Packet.Serial.zero
+    in
+    for _ = 1 to new_marks do
+      Tfrc.Loss_history.on_congestion_mark t.lh ~seq ~arrival:t.last_arrival
+        ~rtt
+    done;
+    maybe_seed t ~rtt ~x_recv ~packet_size
+  end
+
+let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.lh
+
+let loss_events t = Tfrc.Loss_history.loss_events t.lh
+
+let history t = t.lh

@@ -1,0 +1,49 @@
+(** Sender-side loss-event reconstruction — the heart of QTP_light.
+
+    The receiver only reports *which* sequence numbers arrived (SACK);
+    this module replays those reports as a virtual arrival stream into
+    the very same {!Tfrc.Loss_history} machinery a standard receiver
+    runs, yielding the loss event rate [p] on the sender side.
+
+    Virtual arrival times: a number first covered by feedback at time
+    [now], originally sent at [sent_at], is replayed with arrival time
+    [sent_at +. rtt] — the moment it would have reached the receiver
+    plus the feedback path, preserving the relative spacing that drives
+    RTT-based loss-event grouping.
+
+    Because the sender computes [p] itself, a selfish receiver cannot
+    deflate it (Georg & Gorinsky's attack), and the receiver no longer
+    pays for the history — the paper's two QTP_light claims. *)
+
+type t
+
+val create : ?ndup:int -> ?discount:bool -> ?cost:Stats.Cost.t -> unit -> t
+
+val on_covers :
+  t ->
+  covers:Sack.Scoreboard.cover list ->
+  rtt:float ->
+  x_recv:float ->
+  packet_size:int ->
+  unit
+(** Replay the numbers newly known received (ascending; merged
+    cumulative + SACK coverage).  [x_recv] and [packet_size] are used to
+    seed the synthetic first interval exactly as an RFC 3448 receiver
+    would (§6.3.1). *)
+
+val on_ce_marks :
+  t ->
+  new_marks:int ->
+  rtt:float ->
+  x_recv:float ->
+  packet_size:int ->
+  unit
+(** Account ECN Congestion-Experienced signals echoed by the receiver
+    (the cumulative counter increased by [new_marks] since the previous
+    report).  Marks are attributed to the most recently replayed
+    sequence position; like losses, marks within one RTT collapse into a
+    single congestion event. *)
+
+val loss_event_rate : t -> float
+val loss_events : t -> int
+val history : t -> Tfrc.Loss_history.t

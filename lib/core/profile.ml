@@ -1,0 +1,38 @@
+open Capabilities
+
+let base ?(ecn = false) ~planes ~reliability ~g () =
+  {
+    planes;
+    reliability;
+    qos_target_bps = g;
+    partial_max_retx = 3;
+    partial_deadline = 0.5;
+    ecn;
+  }
+
+let qtp_af ?ecn ~g_bps () =
+  base ?ecn ~planes:[ Standard ] ~reliability:[ R_full ] ~g:g_bps ()
+
+let qtp_light ?ecn ?(reliability = [ R_partial; R_none ]) () =
+  base ?ecn ~planes:[ Light ] ~reliability ~g:0.0 ()
+
+let qtp_tfrc ?ecn () =
+  base ?ecn ~planes:[ Standard ] ~reliability:[ R_none ] ~g:0.0 ()
+
+let qtp_full ?ecn () =
+  base ?ecn ~planes:[ Standard ] ~reliability:[ R_full ] ~g:0.0 ()
+
+let mobile_receiver () =
+  base ~ecn:true ~planes:[ Light ]
+    ~reliability:[ R_partial; R_none; R_full ] ~g:0.0 ()
+
+let anything () =
+  base ~ecn:true
+    ~planes:[ Standard; Light ]
+    ~reliability:[ R_full; R_partial; R_none ]
+    ~g:0.0 ()
+
+let agreed_exn initiator responder =
+  match negotiate ~initiator ~responder with
+  | Ok a -> a
+  | Error e -> invalid_arg ("Profile.agreed_exn: " ^ e)

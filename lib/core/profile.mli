@@ -1,0 +1,39 @@
+(** The protocol instances of the paper, as capability offers.
+
+    A profile is just a canned {!Capabilities.offer}; composing it with
+    a peer's offer through {!Capabilities.negotiate} (or fixing it with
+    [agreed_exn]) yields a runnable configuration for
+    {!Connection.create}. *)
+
+val qtp_af : ?ecn:bool -> g_bps:float -> unit -> Capabilities.offer
+(** {b QTP_AF} (§4): QoS-aware reliable transport for DiffServ/AF
+    networks — standard TFRC feedback specialised with the gTFRC target
+    rate [g], composed with full SACK reliability. *)
+
+val qtp_light : ?ecn:bool ->
+  ?reliability:Capabilities.reliability_mode list ->
+  unit -> Capabilities.offer
+(** {b QTP_light} (§3): for resource-limited receivers — light (SACK
+    only) feedback plane, loss estimation on the sender.  Reliability
+    defaults to partial-then-none preference: multimedia wants fresh
+    data over late repairs. *)
+
+val qtp_tfrc : ?ecn:bool -> unit -> Capabilities.offer
+(** Plain RFC 3448 TFRC: standard feedback, no reliability — the
+    baseline composition. *)
+
+val qtp_full : ?ecn:bool -> unit -> Capabilities.offer
+(** TFRC + full reliability over a best-effort network (QTP_AF without
+    the QoS specialisation). *)
+
+val mobile_receiver : unit -> Capabilities.offer
+(** What a constrained handset offers: light plane only; accepts any
+    reliability. *)
+
+val anything : unit -> Capabilities.offer
+(** A fully permissive endpoint (all planes, all modes). *)
+
+val agreed_exn :
+  Capabilities.offer -> Capabilities.offer -> Capabilities.agreed
+(** [negotiate] or raise [Invalid_argument] — convenience for examples
+    and tests where failure is a bug. *)

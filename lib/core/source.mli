@@ -1,0 +1,46 @@
+(** Application traffic sources feeding a connection's sender.
+
+    The congestion-control plane pulls: at each transmission opportunity
+    it asks the source for one packet ([take]).  A source that answers
+    [false] must later call the notifier (installed by the connection)
+    when data becomes available again, waking the sender. *)
+
+type t
+
+val take : t -> bool
+(** Consume one packet's worth of data if available now. *)
+
+val set_notify : t -> (unit -> unit) -> unit
+(** Install the data-available callback (connection internal). *)
+
+val offered_packets : t -> int
+(** Packets handed out so far. *)
+
+val greedy : unit -> t
+(** Always has data (bulk transfer). *)
+
+val finite : packets:int -> t
+(** Greedy for exactly [packets] packets, then dry forever. *)
+
+val cbr :
+  sim:Engine.Sim.t -> rate_bps:float -> packet_size:int -> unit -> t
+(** Constant bit rate media: bytes accrue at [rate_bps]; a packet is
+    available once [packet_size] bytes have accumulated.  When asked too
+    early, wakes the sender exactly when the next packet completes. *)
+
+val queued : unit -> t * (int -> unit)
+(** A source fed externally: the returned function pushes [n] packets
+    into the source's queue and wakes the sender.  Used for trace-driven
+    workloads (e.g. video frames arriving from an encoder). *)
+
+val on_off :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  mean_on:float ->
+  mean_off:float ->
+  rate_bps:float ->
+  packet_size:int ->
+  unit ->
+  t
+(** Exponential on/off source emitting CBR at [rate_bps] during ON
+    periods (VoIP/video talk-spurt model). *)

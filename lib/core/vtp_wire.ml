@@ -1,0 +1,18 @@
+(** VTP segments as simulator frame bodies, and frame construction. *)
+
+type Netsim.Frame.body += Vtp of Packet.Segment.t
+
+let next_uid = ref 0
+
+let frame_of ~sim ~flow_id segment =
+  incr next_uid;
+  Netsim.Frame.make ~uid:!next_uid ~flow_id
+    ~size:(Packet.Segment.size segment)
+    ~born:(Engine.Sim.now sim) (Vtp segment)
+
+let next_pkt_id = ref 0
+
+let segment ~sim ~flow_id ~hdr ~payload =
+  incr next_pkt_id;
+  Packet.Segment.make ~id:!next_pkt_id ~flow_id ~hdr ~payload
+    ~sent_at:(Engine.Sim.now sim)

@@ -1,0 +1,35 @@
+let exponential rng ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. Rng.uniform rng in
+  -.mean *. log u
+
+let pareto rng ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  let u = 1.0 -. Rng.uniform rng in
+  scale /. (u ** (1.0 /. shape))
+
+let normal rng ~mean ~stddev =
+  let u1 = 1.0 -. Rng.uniform rng in
+  let u2 = Rng.uniform rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let geometric rng ~p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = 1.0 -. Rng.uniform rng in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let uniform_range rng ~lo ~hi =
+  assert (lo < hi);
+  lo +. Rng.float rng (hi -. lo)
+
+let poisson rng ~mean =
+  assert (mean >= 0.0);
+  let limit = exp (-.mean) in
+  let rec loop k prod =
+    let prod = prod *. Rng.uniform rng in
+    if prod <= limit then k else loop (k + 1) prod
+  in
+  if mean = 0.0 then 0 else loop 0 1.0

@@ -1,0 +1,23 @@
+(** Random variates over an {!Rng.t} stream.
+
+    Every sampler takes the generator explicitly so that call sites make
+    their randomness dependency visible and seedable. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponentially distributed, [mean > 0]. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto (type I): density [shape * scale^shape / x^(shape+1)] for
+    [x >= scale]. Used for heavy-tailed on-off burst sizes. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; [0 < p <= 1]. *)
+
+val uniform_range : Rng.t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]; requires [lo < hi]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson-distributed count (Knuth's method; adequate for mean ≲ 500). *)

@@ -1,0 +1,69 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands a 64-bit seed into the 256-bit xoshiro state.
+   Reference: Vigna, http://prng.di.unimi.it/splitmix64.c *)
+let splitmix64 state =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (Int64.logxor z (Int64.shift_right_logical z 30)) *% 0xBF58476D1CE4E5B9L in
+  let z = (Int64.logxor z (Int64.shift_right_logical z 27)) *% 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** step. Reference: Blackman & Vigna. *)
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create ~seed
+
+(* Top 53 bits give a uniform float in [0,1). *)
+let uniform t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let float t b =
+  assert (b > 0.0);
+  uniform t *. b
+
+let int t n =
+  assert (n >= 1);
+  if n = 1 then 0
+  else begin
+    (* Rejection sampling over the top bits to avoid modulo bias. *)
+    let n64 = Int64.of_int n in
+    let limit = Int64.sub (Int64.div Int64.max_int n64) 1L in
+    let bound = Int64.mul limit n64 in
+    let rec draw () =
+      let x = Int64.shift_right_logical (bits64 t) 1 in
+      if x >= bound && bound > 0L then draw () else Int64.to_int (Int64.rem x n64)
+    in
+    draw ()
+  end
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let chance t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else uniform t < p

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256** seeded through splitmix64, implemented
+    from the reference algorithms.  It is self-contained so that
+    simulation runs are reproducible across OCaml versions and platforms
+    (the stdlib [Random] implementation has changed between releases).
+
+    Generators are cheap to [split]: a child generator is seeded from the
+    parent stream, letting independent simulation components draw from
+    statistically independent streams while the whole run stays a pure
+    function of the root seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator fully determined by [seed]. *)
+
+val copy : t -> t
+(** Snapshot of the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** Child generator seeded from the parent (which advances). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. [b] must be positive. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)] without modulo bias. [n >= 1]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [0,1]). *)

@@ -1,0 +1,65 @@
+type event = { time : float; seq : int; run : unit -> unit; mutable live : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_event a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Heap.create ~compare:compare_event;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let split_rng t = Rng.split t.root_rng
+
+let schedule_at t time run =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  let ev = { time; seq = t.next_seq; run; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue ev;
+  ev
+
+let schedule_after t delay run =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) run
+
+let cancel _t handle = handle.live <- false
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      if ev.live then ev.run ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Heap.min t.queue with
+        | Some ev when ev.time <= horizon -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- Stdlib.max t.clock horizon;
+            continue := false
+      done

@@ -1,0 +1,46 @@
+(** Discrete-event simulation core.
+
+    A simulation owns a virtual clock and an event queue.  Events are
+    thunks scheduled at absolute or relative virtual times; ties are
+    broken by insertion order so runs are fully deterministic.  Time is
+    in seconds (float). *)
+
+type t
+
+type handle
+(** Cancellation token for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulation at time 0.  [seed] (default 42) seeds the root RNG
+    from which components should [split] their own streams. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The root random stream of this simulation. *)
+
+val split_rng : t -> Rng.t
+(** Convenience for [Rng.split (rng t)]. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> handle
+(** [schedule_at t time f] runs [f] at virtual [time].  Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> handle
+(** [schedule_after t delay f] = [schedule_at t (now t +. delay) f]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling a fired or cancelled event is a
+    no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled placeholders). *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue in time order.  With [until], stops once the
+    next event is strictly later than [until] and advances the clock to
+    [until].  Without it, runs until the queue empties. *)
+
+val step : t -> bool
+(** Execute the single next event. [false] if the queue was empty. *)

@@ -1,0 +1,27 @@
+type t = {
+  sim : Sim.t;
+  on_expire : unit -> unit;
+  mutable pending : Sim.handle option;
+  mutable deadline : float option;
+}
+
+let create sim ~on_expire = { sim; on_expire; pending = None; deadline = None }
+
+let stop t =
+  (match t.pending with Some h -> Sim.cancel t.sim h | None -> ());
+  t.pending <- None;
+  t.deadline <- None
+
+let start t ~after =
+  stop t;
+  let fire () =
+    t.pending <- None;
+    t.deadline <- None;
+    t.on_expire ()
+  in
+  t.deadline <- Some (Sim.now t.sim +. after);
+  t.pending <- Some (Sim.schedule_after t.sim after fire)
+
+let is_armed t = t.pending <> None
+
+let deadline t = t.deadline

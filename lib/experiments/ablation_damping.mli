@@ -1,0 +1,10 @@
+(** Ablation a4 — RFC 3448 §4.5 oscillation damping.
+
+    On an underbuffered path (queueing delay comparable to the base
+    RTT), the equation's RTT feedback loop can oscillate: rate up →
+    queue builds → RTT up → equation rate down → queue drains → …
+    Damping scales the instantaneous rate by [sqrt(R_sample)/R_sqmean],
+    braking as the queue grows.  Compare throughput CoV and queue
+    variance with damping on/off. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,15 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {!loss_event_grouping}: RTT-window grouping of losses into events
+      vs counting every lost packet (grouping is what keeps TFRC's [p]
+      comparable to TCP's per-window reaction under bursty loss).
+    - {!history_discounting}: RFC 3448 §5.5 discounting on/off — how
+      fast [p] decays after the path turns clean.
+    - {!sack_block_budget}: SACK blocks per report (1..8) vs the
+      fidelity of sender-side reconstruction and achieved rate. *)
+
+val loss_event_grouping : ?seed:int -> unit -> Stats.Table.t
+
+val history_discounting : ?seed:int -> unit -> Stats.Table.t
+
+val sack_block_budget : ?seed:int -> unit -> Stats.Table.t

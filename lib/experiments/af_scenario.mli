@@ -1,0 +1,37 @@
+(** The DiffServ/AF assurance scenario shared by E1 and E2.
+
+    One flow under test crosses an AF-class RIO bottleneck with a
+    committed (edge-marked) rate [g]; unresponsive Poisson excess
+    traffic loads the class beyond its capacity.  The question is
+    whether the transport actually collects the assured [g]. *)
+
+type proto =
+  | Tcp_newreno  (** the baseline that "fails to deliver this QoS" *)
+  | Qtp_af  (** gTFRC (floor at g) + full reliability *)
+  | Tfrc_full_nofloor
+      (** ablation: same composition but without the gTFRC floor *)
+
+val proto_name : proto -> string
+
+type result = {
+  achieved_wire_bps : float;  (** delivered goodput scaled to wire bytes *)
+  goodput_bps : float;  (** application payload rate *)
+  retransmissions : int;
+  bottleneck_green_drops : int;
+  bottleneck_total_drops : int;
+}
+
+val run :
+  seed:int ->
+  g_mbps:float ->
+  proto:proto ->
+  ?bottleneck_mbps:float ->
+  ?excess_mbps:float ->
+  ?n_excess_flows:int ->
+  ?link_loss:float ->
+  unit ->
+  result
+(** [link_loss] adds random non-congestion loss on the bottleneck (a
+    lossy AF path, e.g. a wireless segment inside the class): green
+    packets die too, TFRC's equation share drops below [g], and only the
+    gTFRC floor preserves the assurance. *)

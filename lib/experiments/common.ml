@@ -1,0 +1,97 @@
+let mbps x = x *. 1e6
+
+let warmup = 5.0
+
+let duration = 60.0
+
+let red_params ~min_th ~max_th ~max_p =
+  {
+    Netsim.Red.min_th;
+    max_th;
+    max_p;
+    w_q = 0.002;
+    gentle = true;
+    idle_pkt_time = 1500.0 *. 8.0 /. 10_000_000.0;
+  }
+
+let af_rio ~rng () =
+  Netsim.Qdisc.rio ~capacity_pkts:100
+    ~in_params:(red_params ~min_th:40.0 ~max_th:70.0 ~max_p:0.02)
+    ~out_params:(red_params ~min_th:10.0 ~max_th:30.0 ~max_p:0.5)
+    ~rng ()
+
+let af_dumbbell ~seed ~n_flows ~bottleneck_mbps ?(bottleneck_delay = 0.03)
+    ~committed_mbps () =
+  assert (Array.length committed_mbps = n_flows);
+  let sim = Engine.Sim.create ~seed () in
+  let qdisc_rng = Engine.Sim.split_rng sim in
+  let bottleneck =
+    Netsim.Topology.spec
+      ~rate_bps:(mbps bottleneck_mbps)
+      ~delay:bottleneck_delay
+      ~qdisc:(fun () -> af_rio ~rng:(Engine.Rng.split qdisc_rng) ())
+      ()
+  in
+  let committed_rates = Array.map mbps committed_mbps in
+  let topo =
+    Netsim.Topology.dumbbell ~sim ~n_flows ~bottleneck ~committed_rates ()
+  in
+  (sim, topo)
+
+let plain_dumbbell ~seed ~n_flows ~bottleneck_mbps ?(bottleneck_delay = 0.03)
+    ?(buffer_pkts = 85) () =
+  let sim = Engine.Sim.create ~seed () in
+  let bottleneck =
+    Netsim.Topology.spec
+      ~rate_bps:(mbps bottleneck_mbps)
+      ~delay:bottleneck_delay
+      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:buffer_pkts)
+      ()
+  in
+  let topo = Netsim.Topology.dumbbell ~sim ~n_flows ~bottleneck () in
+  (sim, topo)
+
+let lossy_path ~seed ~rate_mbps ?(delay = 0.04) ~loss ?rev_loss () =
+  let sim = Engine.Sim.create ~seed () in
+  let rng = Engine.Sim.split_rng sim in
+  let forward =
+    Netsim.Topology.spec ~rate_bps:(mbps rate_mbps) ~delay
+      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:50)
+      ~loss:(fun () -> loss (Engine.Rng.split rng))
+      ()
+  in
+  let reverse =
+    match rev_loss with
+    | None -> None
+    | Some rl ->
+        Some
+          (Netsim.Topology.spec ~rate_bps:(mbps rate_mbps) ~delay
+             ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:2000)
+             ~loss:(fun () -> rl (Engine.Rng.split rng))
+             ())
+  in
+  let topo = Netsim.Topology.duplex_path ~sim ~forward ?reverse () in
+  (sim, topo)
+
+let bernoulli p rng =
+  if p <= 0.0 then Netsim.Loss_model.none
+  else Netsim.Loss_model.bernoulli ~p ~rng
+
+(* Stationary loss = pi_bad * loss_bad with loss_good = 0.  We fix
+   loss_bad and derive the state probabilities; burstiness shrinks the
+   bad->good escape probability, lengthening loss bursts. *)
+let gilbert ~loss ~burstiness rng =
+  assert (loss > 0.0 && loss < 0.5);
+  assert (burstiness >= 0.0 && burstiness <= 1.0);
+  let loss_bad = 0.5 in
+  let pi_bad = loss /. loss_bad in
+  let p_bg = 0.5 *. (1.0 -. (0.9 *. burstiness)) in
+  let p_gb = p_bg *. pi_bad /. (1.0 -. pi_bad) in
+  Netsim.Loss_model.gilbert_elliott ~p_good_to_bad:p_gb ~p_bad_to_good:p_bg
+    ~loss_good:0.0 ~loss_bad ~rng
+
+let sink_background (ep : Netsim.Topology.endpoint) =
+  ep.Netsim.Topology.on_receiver_rx (fun _ -> ())
+
+let measured_rate series =
+  Stats.Series.rate_bps series ~from_:warmup ~until:duration

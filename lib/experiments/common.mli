@@ -1,0 +1,65 @@
+(** Shared scenario scaffolding for the experiment suite.
+
+    Every experiment builds its network from these helpers so that
+    parameters (bottleneck speed, AF queue configuration, measurement
+    windows) stay consistent across tables. *)
+
+val mbps : float -> float
+(** Megabits/s to bits/s. *)
+
+val warmup : float
+(** Seconds discarded at the start of every measurement (default 5). *)
+
+val duration : float
+(** Total simulated seconds per run (default 60). *)
+
+val af_rio : rng:Engine.Rng.t -> unit -> Netsim.Qdisc.t
+(** The DiffServ/AF core queue used by all QoS experiments: RIO with a
+    lenient in-profile RED curve (min 40 / max 70 pkts, maxp 0.02) and
+    an aggressive out-of-profile curve (min 10 / max 30 pkts, maxp
+    0.5). *)
+
+val af_dumbbell :
+  seed:int ->
+  n_flows:int ->
+  bottleneck_mbps:float ->
+  ?bottleneck_delay:float ->
+  committed_mbps:float array ->
+  unit ->
+  Engine.Sim.t * Netsim.Topology.t
+(** Dumbbell whose bottleneck runs {!af_rio}; per-flow edge markers are
+    installed for every positive committed rate. *)
+
+val plain_dumbbell :
+  seed:int ->
+  n_flows:int ->
+  bottleneck_mbps:float ->
+  ?bottleneck_delay:float ->
+  ?buffer_pkts:int ->
+  unit ->
+  Engine.Sim.t * Netsim.Topology.t
+(** Droptail dumbbell for fairness/smoothness experiments. *)
+
+val lossy_path :
+  seed:int ->
+  rate_mbps:float ->
+  ?delay:float ->
+  loss:(Engine.Rng.t -> Netsim.Loss_model.t) ->
+  ?rev_loss:(Engine.Rng.t -> Netsim.Loss_model.t) ->
+  unit ->
+  Engine.Sim.t * Netsim.Topology.t
+(** Single duplex path whose forward link applies the given loss model;
+    [rev_loss] optionally applies one to the reverse (feedback) link. *)
+
+val bernoulli : float -> Engine.Rng.t -> Netsim.Loss_model.t
+
+val gilbert : loss:float -> burstiness:float -> Engine.Rng.t -> Netsim.Loss_model.t
+(** Gilbert–Elliott model with the given stationary [loss] rate; higher
+    [burstiness] (0..1) concentrates losses into longer bad periods
+    while keeping the stationary rate. *)
+
+val sink_background : Netsim.Topology.endpoint -> unit
+(** Install a discarding receiver on a background flow's endpoint. *)
+
+val measured_rate : Stats.Series.t -> float
+(** Rate in bits/s over [warmup, duration). *)

@@ -1,0 +1,92 @@
+let initiators =
+  [
+    ("QTP_AF(g=2M)", Qtp.Profile.qtp_af ~g_bps:2.0e6 ());
+    ("QTP_light", Qtp.Profile.qtp_light ());
+    ("QTP_tfrc", Qtp.Profile.qtp_tfrc ());
+    ("QTP_full", Qtp.Profile.qtp_full ());
+  ]
+
+let responders =
+  [
+    ("anything", Qtp.Profile.anything ());
+    ("mobile", Qtp.Profile.mobile_receiver ());
+  ]
+
+let horizon = 10.0
+
+let run_pair ~seed initiator responder =
+  let sim, topo =
+    Common.lossy_path ~seed ~rate_mbps:10.0 ~loss:(Common.bernoulli 0.01) ()
+  in
+  let conn =
+    Qtp.Connection.create_negotiated ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~initial_rtt:0.2 ~initiator ~responder ()
+  in
+  Engine.Sim.run ~until:horizon sim;
+  conn
+
+let contract_ok conn (agreed : Qtp.Capabilities.agreed) =
+  let delivered = Qtp.Connection.delivered conn in
+  if delivered = 0 then false
+  else
+    match agreed.Qtp.Capabilities.mode with
+    | Qtp.Capabilities.R_full -> Qtp.Connection.skipped conn = 0
+    | Qtp.Capabilities.R_none -> Qtp.Connection.retransmissions conn = 0
+    | Qtp.Capabilities.R_partial -> true
+
+let run ?(seed = 42) () =
+  let table =
+    Stats.Table.create
+      ~title:
+        "E10: negotiated composition matrix (10 s runs, 1% loss path; hs = \
+         handshake segments)"
+      ~columns:
+        [
+          ("initiator", Stats.Table.Left);
+          ("responder", Stats.Table.Left);
+          ("outcome", Stats.Table.Left);
+          ("plane", Stats.Table.Left);
+          ("reliability", Stats.Table.Left);
+          ("g (Mb/s)", Stats.Table.Right);
+          ("hs", Stats.Table.Right);
+          ("delivered", Stats.Table.Right);
+          ("contract", Stats.Table.Left);
+        ]
+  in
+  List.iter
+    (fun (iname, ioffer) ->
+      List.iter
+        (fun (rname, roffer) ->
+          let conn = run_pair ~seed ioffer roffer in
+          let fmt_plane p = Format.asprintf "%a" Qtp.Capabilities.pp_plane p in
+          let fmt_mode m = Format.asprintf "%a" Qtp.Capabilities.pp_mode m in
+          let row =
+            match Qtp.Connection.state conn with
+            | Qtp.Connection.Established agreed ->
+                [
+                  iname;
+                  rname;
+                  "established";
+                  fmt_plane agreed.Qtp.Capabilities.plane;
+                  fmt_mode agreed.Qtp.Capabilities.mode;
+                  Stats.Table.cell_f
+                    (agreed.Qtp.Capabilities.target_bps /. 1e6);
+                  Stats.Table.cell_i (Qtp.Connection.handshake_packets conn);
+                  Stats.Table.cell_i (Qtp.Connection.delivered conn);
+                  (if contract_ok conn agreed then "ok" else "VIOLATED");
+                ]
+            | Qtp.Connection.Failed reason ->
+                [ iname; rname; "failed: " ^ reason; "-"; "-"; "-";
+                  Stats.Table.cell_i (Qtp.Connection.handshake_packets conn);
+                  "0"; "n/a" ]
+            | Qtp.Connection.Negotiating | Qtp.Connection.Closing
+            | Qtp.Connection.Closed ->
+                [ iname; rname; "unexpected state"; "-"; "-"; "-";
+                  Stats.Table.cell_i (Qtp.Connection.handshake_packets conn);
+                  "0"; "n/a" ]
+          in
+          Stats.Table.add_row table row)
+        responders)
+    initiators;
+  table

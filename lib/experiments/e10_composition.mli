@@ -1,0 +1,10 @@
+(** E10 — versatility: the negotiated composition matrix (§1).
+
+    Every profile offer is composed against every responder through the
+    in-band SYN / SYN-ACK / ACK handshake; each established composition
+    must move data and honour its contract (full ⇒ nothing skipped,
+    none ⇒ no retransmissions).  Incompatible pairs must fail cleanly —
+    e.g. QTP_AF (standard plane only) against a light-only mobile
+    receiver. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

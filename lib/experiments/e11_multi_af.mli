@@ -1,0 +1,9 @@
+(** E11 — several reserved flows sharing one AF class (§4, extension).
+
+    The EuQoS deployment the paper targets multiplexes many reservations
+    into one AF class.  Three flows with different committed rates
+    (1 / 2 / 3 Mb/s) share the 10 Mb/s RIO bottleneck under unresponsive
+    excess; each must still collect its own g.  Run once with all-TCP
+    flows and once with all-QTP_AF flows. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

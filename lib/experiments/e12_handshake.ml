@@ -1,0 +1,88 @@
+let trials = 20
+
+let horizon = 60.0
+
+let run_trial ~seed ~loss =
+  let sim, topo =
+    Common.lossy_path ~seed ~rate_mbps:10.0 ~loss:(Common.bernoulli loss) ()
+  in
+  let conn =
+    Qtp.Connection.create_negotiated ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~initial_rtt:0.2
+      ~initiator:(Qtp.Profile.qtp_light ())
+      ~responder:(Qtp.Profile.mobile_receiver ())
+      ()
+  in
+  (* Find the establishment time by stepping in coarse slices. *)
+  let established_at = ref None in
+  let rec advance until =
+    Engine.Sim.run ~until sim;
+    (match (Qtp.Connection.state conn, !established_at) with
+    | Qtp.Connection.Established _, None ->
+        established_at := Some (Engine.Sim.now sim)
+    | _ -> ());
+    if !established_at = None && until < horizon then advance (until +. 0.5)
+  in
+  advance 0.5;
+  Engine.Sim.run ~until:horizon sim;
+  ( Qtp.Connection.state conn,
+    !established_at,
+    Qtp.Connection.handshake_packets conn,
+    Qtp.Connection.delivered conn )
+
+let run ?(seed = 42) () =
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E12: handshake robustness over lossy paths (%d trials per row, \
+            %gs horizon)"
+           trials horizon)
+      ~columns:
+        [
+          ("loss", Stats.Table.Right);
+          ("established", Stats.Table.Right);
+          ("failed", Stats.Table.Right);
+          ("stuck", Stats.Table.Right);
+          ("mean hs segs", Stats.Table.Right);
+          ("mean t_est (s)", Stats.Table.Right);
+          ("data moved", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun loss ->
+      let established = ref 0 and failed = ref 0 and stuck = ref 0 in
+      let hs = ref 0 and t_est = ref [] and moved = ref 0 in
+      for k = 0 to trials - 1 do
+        let state, at, segs, delivered =
+          run_trial ~seed:(seed + (1000 * k)) ~loss
+        in
+        hs := !hs + segs;
+        (match state with
+        | Qtp.Connection.Established _ ->
+            incr established;
+            (match at with Some x -> t_est := x :: !t_est | None -> ());
+            if delivered > 0 then incr moved
+        | Qtp.Connection.Failed _ -> incr failed
+        | Qtp.Connection.Negotiating | Qtp.Connection.Closing
+        | Qtp.Connection.Closed ->
+            incr stuck)
+      done;
+      let mean_t =
+        match !t_est with
+        | [] -> nan
+        | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+      in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_f ~decimals:2 loss;
+          Stats.Table.cell_i !established;
+          Stats.Table.cell_i !failed;
+          Stats.Table.cell_i !stuck;
+          Stats.Table.cell_f (float_of_int !hs /. float_of_int trials);
+          Stats.Table.cell_f ~decimals:3 mean_t;
+          Stats.Table.cell_i !moved;
+        ])
+    [ 0.0; 0.1; 0.3; 0.5 ];
+  table

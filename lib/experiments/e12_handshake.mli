@@ -1,0 +1,10 @@
+(** E12 — negotiation robustness (§1, implementation hardening).
+
+    Feature negotiation is only versatile if it survives the networks
+    the protocol targets: the SYN / SYN-ACK / ACK handshake runs over
+    increasingly lossy paths and must still establish (via SYN
+    retransmission with backoff) or fail cleanly, never hang.  Reports
+    establishment rate, handshake segments spent, and time to establish
+    across 20 trials per loss rate. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,69 @@
+let buffer_pkts = 400
+
+let pkt_delay_ms pkts = pkts *. 1500.0 *. 8.0 /. 10e6 *. 1000.0
+
+let run_one ~seed ~proto =
+  let sim, topo =
+    Common.plain_dumbbell ~seed ~n_flows:1 ~bottleneck_mbps:10.0
+      ~buffer_pkts ()
+  in
+  let monitor =
+    Netsim.Monitor.start ~sim
+      ~qdisc:(Netsim.Link.qdisc topo.Netsim.Topology.bottleneck)
+      ~interval:0.01 ~until:Common.duration ()
+  in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  (match proto with
+  | `Tcp -> ignore (Tcp.Flow.create ~sim ~endpoint:ep ())
+  | `Tfrc ->
+      let agreed =
+        Qtp.Profile.agreed_exn (Qtp.Profile.qtp_tfrc ())
+          (Qtp.Profile.anything ())
+      in
+      ignore
+        (Qtp.Connection.create ~sim ~endpoint:ep
+           (Qtp.Connection.config ~initial_rtt:0.2 agreed)));
+  Engine.Sim.run ~until:Common.duration sim;
+  let samples = Netsim.Monitor.samples_pkts monitor in
+  (* Skip the slow-start warmup (first 10 s). *)
+  let steady =
+    Array.sub samples
+      (Stdlib.min (Array.length samples - 1) 1000)
+      (Stdlib.max 1 (Array.length samples - 1000))
+  in
+  let s = Stats.Summary.of_array steady in
+  let p95 = Stats.Summary.percentile steady 0.95 in
+  (s, p95)
+
+let run ?(seed = 42) () =
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: standing queue in a deep buffer (10 Mb/s, %d-packet \
+            droptail, 10 ms samples, warmup skipped)"
+           buffer_pkts)
+      ~columns:
+        [
+          ("protocol", Stats.Table.Left);
+          ("mean occupancy (pkts)", Stats.Table.Right);
+          ("stddev", Stats.Table.Right);
+          ("p95 (pkts)", Stats.Table.Right);
+          ("mean queue delay (ms)", Stats.Table.Right);
+          ("p95 delay (ms)", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, proto) ->
+      let s, p95 = run_one ~seed ~proto in
+      Stats.Table.add_row table
+        [
+          name;
+          Stats.Table.cell_f s.Stats.Summary.mean;
+          Stats.Table.cell_f s.Stats.Summary.stddev;
+          Stats.Table.cell_f p95;
+          Stats.Table.cell_f (pkt_delay_ms s.Stats.Summary.mean);
+          Stats.Table.cell_f (pkt_delay_ms p95);
+        ])
+    [ ("TCP", `Tcp); ("TFRC", `Tfrc) ];
+  table

@@ -1,0 +1,12 @@
+(** E13 — standing queue / bufferbloat behaviour (§3, extension).
+
+    The flip side of rate smoothness: with a deep droptail buffer, a
+    saturating TCP flow fills whatever buffer exists (its sawtooth rides
+    the buffer ceiling), inflating everyone's delay, while the
+    equation-driven TFRC sender settles near the loss point it needs and
+    keeps the standing queue — hence the path delay a multimedia flow
+    experiences — several times smaller.  One flow on a 10 Mb/s
+    bottleneck with a 400-packet buffer; occupancy sampled every
+    10 ms. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,12 @@
+(** E14 — ECN: congestion signalling without loss (extension).
+
+    The versatile-transport story continues past the 2006 paper: with
+    RFC 3168 ECN negotiated, a RED bottleneck marks instead of dropping,
+    the receiver echoes the marks (standard plane: accounted in its loss
+    history; light plane: a cumulative CE counter in the SACK report),
+    and the sender reacts exactly as to a loss — but nothing needs
+    retransmitting.  Same scenario run with and without ECN on both
+    feedback planes: throughput holds, drops and retransmissions
+    vanish, and delivery-delay tails shrink. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

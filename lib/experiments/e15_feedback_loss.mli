@@ -1,0 +1,11 @@
+(** E15 — feedback-path loss robustness (§3, hardening).
+
+    The light plane's apparent weak point: SACK reports can be lost, and
+    the sender's loss reconstruction depends on them.  The design
+    defences are (a) the cumulative acknowledgment and CE counter lose
+    no information across dropped reports, and (b) block coverage is
+    re-sent until superseded.  Sweep the reverse-path loss rate with 2 %
+    forward loss and compare both planes' achieved rate and the
+    sender-side loss estimate against the clean-feedback baseline. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,11 @@
+(** E16 — multi-bottleneck (parking-lot) fairness (§2 extension).
+
+    The multi-hop scenarios the paper's wireless citations study have a
+    wired analogue: one long flow crosses three 10 Mb/s hops, each hop
+    also carrying one single-hop cross flow.  A flow-rate-fair
+    allocation gives everyone 5 Mb/s; congestion controllers that react
+    per-bottleneck (both TCP and TFRC) instead push the long flow below
+    its fair share because it pays at every hop.  The table shows how
+    the TFRC family compares with TCP when it is the long flow. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

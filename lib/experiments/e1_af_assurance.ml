@@ -1,0 +1,38 @@
+let targets = [ 0.5; 1.0; 2.0; 3.0; 4.0 ]
+
+let protos =
+  [ Af_scenario.Tcp_newreno; Af_scenario.Qtp_af; Af_scenario.Tfrc_full_nofloor ]
+
+let run ?(seed = 42) () =
+  let table =
+    Stats.Table.create
+      ~title:
+        "E1: achieved throughput vs negotiated AF target g (10 Mb/s RIO \
+         bottleneck, 8 Mb/s unresponsive excess)"
+      ~columns:
+        [
+          ("g (Mb/s)", Stats.Table.Right);
+          ("protocol", Stats.Table.Left);
+          ("achieved (Mb/s)", Stats.Table.Right);
+          ("achieved/g", Stats.Table.Right);
+          ("green drops", Stats.Table.Right);
+          ("retx", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun proto ->
+          let r = Af_scenario.run ~seed ~g_mbps:g ~proto () in
+          Stats.Table.add_row table
+            [
+              Stats.Table.cell_f ~decimals:1 g;
+              Af_scenario.proto_name proto;
+              Stats.Table.cell_f (r.achieved_wire_bps /. 1e6);
+              Stats.Table.cell_f (r.achieved_wire_bps /. Common.mbps g);
+              Stats.Table.cell_i r.bottleneck_green_drops;
+              Stats.Table.cell_i r.retransmissions;
+            ])
+        protos)
+    targets;
+  table

@@ -1,0 +1,8 @@
+(** E1 — AF bandwidth assurance vs. the negotiated target rate (§4).
+
+    Paper claim: "QTP_AF obtains the QoS negotiated by the application
+    with the network service whereas TCP fails to deliver this QoS."
+    Sweep the committed rate [g] at a fixed 10 Mb/s AF bottleneck under
+    8 Mb/s of unresponsive excess; report achieved/g per protocol. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

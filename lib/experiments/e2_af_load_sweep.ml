@@ -1,0 +1,50 @@
+let g_mbps = 3.0
+
+let excess_levels = [ 4.0; 6.0; 8.0; 10.0; 12.0; 14.0 ]
+
+(* Rows with non-congestion loss on the bottleneck itself: the lossy-AF
+   regime (e.g. a wireless segment inside the class).  Here green
+   packets die too and only the gTFRC floor keeps the assurance. *)
+let lossy_rows = [ (8.0, 0.01); (8.0, 0.03); (8.0, 0.05) ]
+
+let protos =
+  [ Af_scenario.Tcp_newreno; Af_scenario.Qtp_af; Af_scenario.Tfrc_full_nofloor ]
+
+let add_rows table ~seed ~excess ~link_loss =
+  List.iter
+    (fun proto ->
+      let r =
+        Af_scenario.run ~seed ~g_mbps ~proto ~excess_mbps:excess ~link_loss ()
+      in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_f ~decimals:0 excess;
+          Stats.Table.cell_f ~decimals:2 link_loss;
+          Af_scenario.proto_name proto;
+          Stats.Table.cell_f (r.Af_scenario.achieved_wire_bps /. 1e6);
+          Stats.Table.cell_f (r.Af_scenario.achieved_wire_bps /. Common.mbps g_mbps);
+          Stats.Table.cell_i r.Af_scenario.bottleneck_green_drops;
+        ])
+    protos
+
+let run ?(seed = 42) () =
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E2: assurance under various conditions (g = %.1f Mb/s, 10 Mb/s \
+            RIO bottleneck; bottom rows add link loss = lossy AF path)"
+           g_mbps)
+      ~columns:
+        [
+          ("excess (Mb/s)", Stats.Table.Right);
+          ("link loss", Stats.Table.Right);
+          ("protocol", Stats.Table.Left);
+          ("achieved (Mb/s)", Stats.Table.Right);
+          ("achieved/g", Stats.Table.Right);
+          ("green drops", Stats.Table.Right);
+        ]
+  in
+  List.iter (fun excess -> add_rows table ~seed ~excess ~link_loss:0.0) excess_levels;
+  List.iter (fun (excess, loss) -> add_rows table ~seed ~excess ~link_loss:loss) lossy_rows;
+  table

@@ -1,0 +1,8 @@
+(** E2 — AF assurance "under various network conditions" (§4).
+
+    Fixed target g = 3 Mb/s on the 10 Mb/s AF bottleneck; sweep the
+    unresponsive excess load.  Shows where plain TFRC+SACK loses the
+    assurance and the gTFRC floor keeps it — the design choice QTP_AF
+    exists for. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

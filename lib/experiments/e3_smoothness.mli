@@ -1,0 +1,15 @@
+(** E3 — rate smoothness (§3).
+
+    Paper premise: "TFRC is considered as the current congestion control
+    mechanism that offers the best trade-off between TCP fairness and
+    the smooth throughput required by multimedia flows."  Measure the
+    coefficient of variation of per-500ms throughput for TCP and TFRC on
+    the same lossy path, across loss rates. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t
+
+val run_tfrc : seed:int -> loss:float -> float * float
+(** (CoV, mean rate in bits/s) for one TFRC run — exposed for tests. *)
+
+val run_tcp : seed:int -> loss:float -> float * float
+(** Same for the TCP baseline. *)

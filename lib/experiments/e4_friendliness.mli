@@ -1,0 +1,11 @@
+(** E4 — TCP-friendliness (§2).
+
+    n TFRC flows share a droptail bottleneck with n TCP flows; report
+    each group's aggregate share, the TFRC/TCP throughput ratio
+    (1.0 = perfectly friendly) and Jain's fairness index over all 2n
+    flows, for several n. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t
+
+val run_one : seed:int -> n:int -> float array * float array
+(** Per-flow wire rates of the (TFRC, TCP) groups — exposed for tests. *)

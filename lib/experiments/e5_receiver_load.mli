@@ -1,0 +1,10 @@
+(** E5 — receiver processing & communication load (§3).
+
+    Paper claim: shifting loss estimation to the sender "allows the
+    receiver load to be dramatically decreased", relieving "light"
+    mobile clients.  Same lossy path, same duration: a standard RFC 3448
+    receiver vs the QTP_light receiver, instrumented with the
+    operation-count cost model.  Also reports where the work went (the
+    sender) and the feedback traffic each plane generates. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

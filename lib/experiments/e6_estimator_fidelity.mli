@@ -1,0 +1,11 @@
+(** E6 — sender-side loss estimation fidelity (§3).
+
+    QTP_light is only sound if the sender's reconstructed loss event
+    rate matches what an RFC 3448 receiver would have computed from the
+    same arrival process.  This experiment is deterministic and
+    network-free: one synthetic loss pattern is fed (a) directly into a
+    receiver-side {!Tfrc.Loss_history} and (b) through SACK-style
+    per-RTT coverage batches into a {!Qtp.Loss_reconstructor}; the two
+    resulting [p] estimates are compared, for random and bursty loss. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,9 @@
+(** E7 — protection against selfish receivers (§3).
+
+    A selfish standard-plane receiver (Georg & Gorinsky) under-reports
+    the loss event rate to make the sender exceed its fair share.  With
+    QTP_light the sender computes [p] itself from SACK coverage, so the
+    lie has no channel.  Rows show the sending rate obtained by honest
+    and lying receivers on both planes over the same 2%-loss path. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

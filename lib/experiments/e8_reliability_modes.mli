@@ -1,0 +1,10 @@
+(** E8 — the reliability spectrum SACK composition buys (§3).
+
+    A 2 Mb/s CBR media stream crosses a bursty (Gilbert–Elliott) lossy
+    path under each negotiable reliability mode.  Full reliability
+    delivers everything at the price of delivery delay; partial
+    reliability bounds the delay by abandoning late repairs; no
+    reliability loses exactly the channel loss.  Delivery-delay
+    percentiles make the trade-off visible. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

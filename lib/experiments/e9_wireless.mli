@@ -1,0 +1,9 @@
+(** E9 — rate-based congestion control over wireless-style loss (§2).
+
+    Motivating citation of the paper: TCP performs poorly over
+    wireless/multi-hop paths while rate-controlled congestion control
+    behaves well.  Sweep the stationary non-congestion loss rate of a
+    bursty Gilbert–Elliott link and compare throughput for TCP, plain
+    TFRC, and QTP_light with partial reliability. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -1,0 +1,23 @@
+(** Registry of all reproducible experiments. *)
+
+type entry = {
+  id : string;  (** e.g. "e1" *)
+  title : string;
+  claim : string;  (** the paper claim being validated *)
+  run : seed:int -> Stats.Table.t;
+}
+
+val all : entry list
+(** E1..E10 then the ablations, in order. *)
+
+val find : string -> entry option
+
+val run_all :
+  ?seed:int ->
+  ?ids:string list ->
+  ?format:[ `Table | `Csv ] ->
+  out:Format.formatter ->
+  unit ->
+  unit
+(** Run (a subset of) the suite, printing each table (or CSV blocks with
+    [~format:`Csv]). *)

@@ -1,0 +1,22 @@
+type body = ..
+
+type body += Raw of int
+
+type t = {
+  uid : int;
+  flow_id : int;
+  size : int;
+  mutable mark : Mark.t;
+  mutable ect : bool;
+  mutable ce : bool;
+  body : body;
+  born : float;
+  mutable hops : int;
+}
+
+let make ~uid ~flow_id ~size ?(mark = Mark.Best_effort) ~born body =
+  { uid; flow_id; size; mark; ect = false; ce = false; body; born; hops = 0 }
+
+let pp fmt t =
+  Format.fprintf fmt "frame#%d flow=%d %dB %a hops=%d" t.uid t.flow_id t.size
+    Mark.pp t.mark t.hops

@@ -1,0 +1,28 @@
+(** The unit of transfer inside the network simulator.
+
+    A frame is protocol-agnostic: queues, markers and links only look at
+    [size], [flow_id] and [mark].  The transported content is an open
+    (extensible) variant so each transport library attaches its own
+    segments without the simulator depending on them. *)
+
+type body = ..
+
+type body += Raw of int  (** opaque filler traffic of the given id *)
+
+type t = {
+  uid : int;
+  flow_id : int;
+  size : int;  (** on-wire bytes *)
+  mutable mark : Mark.t;
+  mutable ect : bool;  (** ECN-capable transport (RFC 3168 ECT) *)
+  mutable ce : bool;  (** congestion experienced: set by an ECN queue *)
+  body : body;
+  born : float;  (** virtual time the frame entered the network *)
+  mutable hops : int;  (** links traversed so far *)
+}
+
+val make :
+  uid:int -> flow_id:int -> size:int -> ?mark:Mark.t -> born:float ->
+  body -> t
+
+val pp : Format.formatter -> t -> unit

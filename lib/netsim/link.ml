@@ -1,0 +1,81 @@
+type stats = {
+  mutable tx_frames : int;
+  mutable tx_bytes : int;
+  mutable lost_frames : int;
+  mutable delivered : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  rate_bps : float;
+  delay : float;
+  qdisc : Qdisc.t;
+  loss : Loss_model.t;
+  name : string;
+  mutable sink : (Frame.t -> unit) option;
+  mutable busy : bool;
+  st : stats;
+}
+
+let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none)
+    ?(name = "link") () =
+  assert (rate_bps > 0.0 && delay >= 0.0);
+  {
+    sim;
+    rate_bps;
+    delay;
+    qdisc;
+    loss;
+    name;
+    sink = None;
+    busy = false;
+    st = { tx_frames = 0; tx_bytes = 0; lost_frames = 0; delivered = 0 };
+  }
+
+let connect t sink = t.sink <- Some sink
+
+let deliver t frame =
+  match t.sink with
+  | None -> failwith (t.name ^ ": link has no sink")
+  | Some sink ->
+      frame.Frame.hops <- frame.Frame.hops + 1;
+      t.st.delivered <- t.st.delivered + 1;
+      sink frame
+
+let rec transmit t frame =
+  t.busy <- true;
+  let tx_time = 8.0 *. float_of_int frame.Frame.size /. t.rate_bps in
+  ignore
+    (Engine.Sim.schedule_after t.sim tx_time (fun () -> complete t frame))
+
+and complete t frame =
+  t.st.tx_frames <- t.st.tx_frames + 1;
+  t.st.tx_bytes <- t.st.tx_bytes + frame.Frame.size;
+  if Loss_model.drops t.loss then t.st.lost_frames <- t.st.lost_frames + 1
+  else
+    ignore
+      (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t frame));
+  match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
+  | Some next -> transmit t next
+  | None -> t.busy <- false
+
+let send t frame =
+  if t.busy then ignore (Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame)
+  else begin
+    (* Still count the packet at the qdisc so drop statistics and RED
+       averages see the full arrival process. *)
+    if Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame then
+      match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
+      | Some f -> transmit t f
+      | None -> assert false
+  end
+
+let stats t = t.st
+let qdisc t = t.qdisc
+let name t = t.name
+let rate_bps t = t.rate_bps
+let delay t = t.delay
+
+let utilisation t ~over =
+  if over <= 0.0 then 0.0
+  else 8.0 *. float_of_int t.st.tx_bytes /. (t.rate_bps *. over)

@@ -1,0 +1,42 @@
+(** A unidirectional link: serialisation at a fixed bit rate, a buffer
+    ({!Qdisc}), a propagation delay, and an optional non-congestion
+    {!Loss_model} applied as frames leave the transmitter.
+
+    The link is work-conserving: a frame arriving at an idle transmitter
+    starts serialising immediately; otherwise it is offered to the
+    qdisc.  Propagation overlaps with the next transmission. *)
+
+type stats = {
+  mutable tx_frames : int;  (** frames fully serialised *)
+  mutable tx_bytes : int;
+  mutable lost_frames : int;  (** dropped by the loss model *)
+  mutable delivered : int;  (** frames handed to the sink *)
+}
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  rate_bps:float ->
+  delay:float ->
+  qdisc:Qdisc.t ->
+  ?loss:Loss_model.t ->
+  ?name:string ->
+  unit ->
+  t
+
+val connect : t -> (Frame.t -> unit) -> unit
+(** Set the receiver-side sink. Must be called before traffic flows. *)
+
+val send : t -> Frame.t -> unit
+(** Offer a frame at the transmitter. *)
+
+val stats : t -> stats
+val qdisc : t -> Qdisc.t
+val name : t -> string
+val rate_bps : t -> float
+val delay : t -> float
+
+val utilisation : t -> over:float -> float
+(** Fraction of [over] seconds the link spent serialising, computed from
+    bytes sent: [tx_bytes * 8 / (rate * over)]. *)

@@ -1,0 +1,65 @@
+type ge_state = Good | Bad
+
+type kind =
+  | None_
+  | Custom of { expected : float; oracle : unit -> bool }
+  | Bernoulli of { p : float; rng : Engine.Rng.t }
+  | Gilbert of {
+      p_gb : float;
+      p_bg : float;
+      loss_good : float;
+      loss_bad : float;
+      rng : Engine.Rng.t;
+      mutable state : ge_state;
+    }
+
+type t = kind
+
+let none = None_
+
+let bernoulli ~p ~rng =
+  assert (p >= 0.0 && p <= 1.0);
+  Bernoulli { p; rng }
+
+let gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad ~rng =
+  assert (p_good_to_bad >= 0.0 && p_good_to_bad <= 1.0);
+  assert (p_bad_to_good > 0.0 && p_bad_to_good <= 1.0);
+  Gilbert
+    {
+      p_gb = p_good_to_bad;
+      p_bg = p_bad_to_good;
+      loss_good;
+      loss_bad;
+      rng;
+      state = Good;
+    }
+
+let custom ~expected oracle = Custom { expected; oracle }
+
+let drops = function
+  | None_ -> false
+  | Custom { oracle; _ } -> oracle ()
+  | Bernoulli { p; rng } -> Engine.Rng.chance rng p
+  | Gilbert g ->
+      (* Advance the chain, then roll the state-dependent loss. *)
+      (match g.state with
+      | Good -> if Engine.Rng.chance g.rng g.p_gb then g.state <- Bad
+      | Bad -> if Engine.Rng.chance g.rng g.p_bg then g.state <- Good);
+      let p = match g.state with Good -> g.loss_good | Bad -> g.loss_bad in
+      Engine.Rng.chance g.rng p
+
+let expected_loss_rate = function
+  | None_ -> 0.0
+  | Custom { expected; _ } -> expected
+  | Bernoulli { p; _ } -> p
+  | Gilbert g ->
+      let pi_b = g.p_gb /. (g.p_gb +. g.p_bg) in
+      (pi_b *. g.loss_bad) +. ((1.0 -. pi_b) *. g.loss_good)
+
+let pp fmt = function
+  | None_ -> Format.pp_print_string fmt "lossless"
+  | Custom { expected; _ } -> Format.fprintf fmt "custom(~%.4f)" expected
+  | Bernoulli { p; _ } -> Format.fprintf fmt "bernoulli(%.4f)" p
+  | Gilbert g ->
+      Format.fprintf fmt "gilbert(gb=%.3f,bg=%.3f,lg=%.3f,lb=%.3f)" g.p_gb
+        g.p_bg g.loss_good g.loss_bad

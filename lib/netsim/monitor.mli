@@ -1,0 +1,23 @@
+(** Periodic sampling of queue state.
+
+    Polls a {!Qdisc} occupancy every [interval] of virtual time and
+    keeps the samples; experiments use it to compare queue dynamics
+    (mean, variance, percentiles) under different congestion
+    controllers. *)
+
+type t
+
+val start :
+  sim:Engine.Sim.t -> qdisc:Qdisc.t -> ?interval:float -> ?until:float ->
+  unit -> t
+(** [interval] defaults to 10 ms; sampling stops at [until] (default:
+    runs as long as the simulation does). *)
+
+val samples_pkts : t -> float array
+(** Occupancy (packets) per sample, in time order. *)
+
+val times : t -> float array
+
+val mean_pkts : t -> float
+
+val summary : t -> Stats.Summary.t

@@ -1,0 +1,80 @@
+type params = {
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  w_q : float;
+  gentle : bool;
+  idle_pkt_time : float;
+}
+
+let default_params =
+  {
+    min_th = 5.0;
+    max_th = 15.0;
+    max_p = 0.1;
+    w_q = 0.002;
+    gentle = true;
+    idle_pkt_time = 1500.0 *. 8.0 /. 10_000_000.0;
+  }
+
+type t = {
+  params : params;
+  rng : Engine.Rng.t;
+  mutable avg : float;
+  mutable count : int;  (* packets since last early drop *)
+  mutable idle_since : float option;
+  mutable early_drops : int;
+}
+
+let create params ~rng =
+  { params; rng; avg = 0.0; count = -1; idle_since = None; early_drops = 0 }
+
+let avg t = t.avg
+
+let note_idle_start t ~now = t.idle_since <- Some now
+
+let drops t = t.early_drops
+
+let update_avg t ~now ~qlen =
+  let p = t.params in
+  (match t.idle_since with
+  | Some since when qlen = 0 ->
+      (* Decay the average as if m packets had drained while idle. *)
+      let m = Float.max 0.0 ((now -. since) /. p.idle_pkt_time) in
+      t.avg <- t.avg *. ((1.0 -. p.w_q) ** m)
+  | Some _ | None -> ());
+  if qlen > 0 then t.idle_since <- None;
+  t.avg <- ((1.0 -. p.w_q) *. t.avg) +. (p.w_q *. float_of_int qlen)
+
+let decide t ~now ~qlen =
+  let p = t.params in
+  update_avg t ~now ~qlen;
+  let avg = t.avg in
+  let hard_limit = if p.gentle then 2.0 *. p.max_th else p.max_th in
+  if avg < p.min_th then begin
+    t.count <- -1;
+    `Accept
+  end
+  else if avg >= hard_limit then begin
+    t.count <- 0;
+    t.early_drops <- t.early_drops + 1;
+    `Drop
+  end
+  else begin
+    t.count <- t.count + 1;
+    let p_b =
+      if avg < p.max_th then
+        p.max_p *. (avg -. p.min_th) /. (p.max_th -. p.min_th)
+      else
+        (* gentle region: max_p .. 1 over [max_th, 2*max_th) *)
+        p.max_p +. ((1.0 -. p.max_p) *. (avg -. p.max_th) /. p.max_th)
+    in
+    let denom = 1.0 -. (float_of_int t.count *. p_b) in
+    let p_a = if denom <= 0.0 then 1.0 else Float.min 1.0 (p_b /. denom) in
+    if Engine.Rng.chance t.rng p_a then begin
+      t.count <- 0;
+      t.early_drops <- t.early_drops + 1;
+      `Drop
+    end
+    else `Accept
+  end

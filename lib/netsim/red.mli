@@ -1,0 +1,40 @@
+(** RED (Random Early Detection) drop decision, Floyd & Jacobson 1993.
+
+    This module is only the *estimator + decision*; buffering lives in
+    {!Qdisc}.  The average queue length is an EWMA updated at each
+    arrival, with the standard idle-period correction (the average decays
+    as if [m] small packets had been transmitted during idle time).
+
+    With [gentle] (Floyd 2000), the drop probability ramps from [max_p]
+    at [max_th] to 1 at [2*max_th] instead of jumping to 1. *)
+
+type params = {
+  min_th : float;  (** packets *)
+  max_th : float;  (** packets *)
+  max_p : float;
+  w_q : float;  (** EWMA weight, e.g. 0.002 *)
+  gentle : bool;
+  idle_pkt_time : float;  (** seconds to "transmit" one packet when
+      correcting the average across idle periods *)
+}
+
+val default_params : params
+(** min 5, max 15 pkts, max_p 0.1, w_q 0.002, gentle, 1500B @ 10 Mb/s. *)
+
+type t
+
+val create : params -> rng:Engine.Rng.t -> t
+
+val avg : t -> float
+(** Current average queue estimate (packets). *)
+
+val decide : t -> now:float -> qlen:int -> [ `Accept | `Drop ]
+(** Update the average with the instantaneous queue length [qlen]
+    (packets, sampled at arrival, before enqueue) and decide the fate of
+    the arriving packet. *)
+
+val note_idle_start : t -> now:float -> unit
+(** Tell the estimator the queue just went empty. *)
+
+val drops : t -> int
+(** Early (probabilistic) drops so far. *)

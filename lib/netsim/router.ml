@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  routes : (int, Frame.t -> unit) Hashtbl.t;
+  mutable default : (Frame.t -> unit) option;
+  mutable unroutable : int;
+}
+
+let create ?(name = "router") () =
+  { name; routes = Hashtbl.create 16; default = None; unroutable = 0 }
+
+let add_route t ~flow_id sink = Hashtbl.replace t.routes flow_id sink
+
+let set_default t sink = t.default <- Some sink
+
+let forward t frame =
+  match Hashtbl.find_opt t.routes frame.Frame.flow_id with
+  | Some sink -> sink frame
+  | None -> (
+      match t.default with
+      | Some sink -> sink frame
+      | None ->
+          t.unroutable <- t.unroutable + 1;
+          Logs.debug (fun m ->
+              m "%s: no route for flow %d" t.name frame.Frame.flow_id))
+
+let unroutable t = t.unroutable

@@ -1,0 +1,18 @@
+(** Flow-id based demultiplexer.
+
+    The simulator routes by flow identifier: a router maps each flow to a
+    next-hop sink (typically [Link.send] of the egress link, or a
+    terminal receive callback).  Unknown flows go to the default route if
+    set, otherwise the frame is counted as unroutable and discarded. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val add_route : t -> flow_id:int -> (Frame.t -> unit) -> unit
+
+val set_default : t -> (Frame.t -> unit) -> unit
+
+val forward : t -> Frame.t -> unit
+
+val unroutable : t -> int

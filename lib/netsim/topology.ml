@@ -1,0 +1,212 @@
+type spec = {
+  rate_bps : float;
+  delay : float;
+  qdisc : unit -> Qdisc.t;
+  loss : unit -> Loss_model.t;
+}
+
+let spec ?(qdisc = fun () -> Qdisc.droptail ~capacity_pkts:100)
+    ?(loss = fun () -> Loss_model.none) ~rate_bps ~delay () =
+  { rate_bps; delay; qdisc; loss }
+
+type endpoint = {
+  flow_id : int;
+  to_receiver : Frame.t -> unit;
+  to_sender : Frame.t -> unit;
+  on_receiver_rx : (Frame.t -> unit) -> unit;
+  on_sender_rx : (Frame.t -> unit) -> unit;
+  marker : Marker.t option;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  bottleneck : Link.t;
+  reverse : Link.t;
+  endpoints : endpoint array;
+}
+
+let link_of_spec ~sim ~name s =
+  Link.create ~sim ~rate_bps:s.rate_bps ~delay:s.delay ~qdisc:(s.qdisc ())
+    ~loss:(s.loss ()) ~name ()
+
+let default_reverse_of bottleneck =
+  {
+    rate_bps = bottleneck.rate_bps;
+    delay = bottleneck.delay;
+    qdisc = (fun () -> Qdisc.droptail ~capacity_pkts:2000);
+    loss = (fun () -> Loss_model.none);
+  }
+
+let default_access_of bottleneck =
+  {
+    rate_bps = 10.0 *. bottleneck.rate_bps;
+    delay = 0.001;
+    qdisc = (fun () -> Qdisc.droptail ~capacity_pkts:2000);
+    loss = (fun () -> Loss_model.none);
+  }
+
+let dumbbell ~sim ~n_flows ~bottleneck ?reverse ?access ?committed_rates () =
+  assert (n_flows > 0);
+  let reverse_spec =
+    match reverse with Some r -> r | None -> default_reverse_of bottleneck
+  in
+  let access_spec =
+    match access with Some a -> a | None -> default_access_of bottleneck
+  in
+  let bneck = link_of_spec ~sim ~name:"bottleneck" bottleneck in
+  let rev = link_of_spec ~sim ~name:"reverse" reverse_spec in
+  let fwd_router = Router.create ~name:"fwd-router" () in
+  let rev_router = Router.create ~name:"rev-router" () in
+  Link.connect bneck (Router.forward fwd_router);
+  Link.connect rev (Router.forward rev_router);
+  let make_endpoint i =
+    let access =
+      link_of_spec ~sim ~name:(Printf.sprintf "access-%d" i) access_spec
+    in
+    Link.connect access (Link.send bneck);
+    let marker =
+      match committed_rates with
+      | Some rates when rates.(i) > 0.0 ->
+          Some
+            (Marker.create ~sim ~committed_rate_bps:rates.(i)
+               ~burst:(4 * 1500))
+      | Some _ | None -> None
+    in
+    let to_receiver frame =
+      (match marker with Some m -> Marker.mark m frame | None -> ());
+      Link.send access frame
+    in
+    {
+      flow_id = i;
+      to_receiver;
+      to_sender = Link.send rev;
+      on_receiver_rx = (fun sink -> Router.add_route fwd_router ~flow_id:i sink);
+      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:i sink);
+      marker;
+    }
+  in
+  {
+    sim;
+    bottleneck = bneck;
+    reverse = rev;
+    endpoints = Array.init n_flows make_endpoint;
+  }
+
+let duplex_path ~sim ~forward ?reverse () =
+  let reverse_spec =
+    match reverse with Some r -> r | None -> default_reverse_of forward
+  in
+  let fwd = link_of_spec ~sim ~name:"forward" forward in
+  let rev = link_of_spec ~sim ~name:"reverse" reverse_spec in
+  let fwd_router = Router.create ~name:"fwd-router" () in
+  let rev_router = Router.create ~name:"rev-router" () in
+  Link.connect fwd (Router.forward fwd_router);
+  Link.connect rev (Router.forward rev_router);
+  let ep =
+    {
+      flow_id = 0;
+      to_receiver = Link.send fwd;
+      to_sender = Link.send rev;
+      on_receiver_rx =
+        (fun sink -> Router.add_route fwd_router ~flow_id:0 sink);
+      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:0 sink);
+      marker = None;
+    }
+  in
+  { sim; bottleneck = fwd; reverse = rev; endpoints = [| ep |] }
+
+let parking_lot ~sim ~hops ~paths ?reverse () =
+  if hops = [] then invalid_arg "Topology.parking_lot: no hops";
+  let n_hops = List.length hops in
+  Array.iter
+    (fun (a, b) ->
+      if a < 0 || b > n_hops || a >= b then
+        invalid_arg "Topology.parking_lot: bad hop range")
+    paths;
+  let first_hop = List.hd hops in
+  let reverse_spec =
+    match reverse with Some r -> r | None -> default_reverse_of first_hop
+  in
+  let links =
+    List.mapi
+      (fun i s -> link_of_spec ~sim ~name:(Printf.sprintf "hop-%d" i) s)
+    hops
+    |> Array.of_list
+  in
+  let rev = link_of_spec ~sim ~name:"reverse" reverse_spec in
+  (* One router after each hop decides, per flow, whether the frame
+     continues to the next hop or terminates here. *)
+  let routers = Array.init n_hops (fun i -> Router.create ~name:(Printf.sprintf "router-%d" i) ()) in
+  Array.iteri (fun i link -> Link.connect link (Router.forward routers.(i))) links;
+  let rev_router = Router.create ~name:"rev-router" () in
+  Link.connect rev (Router.forward rev_router);
+  let bottleneck =
+    Array.fold_left
+      (fun best l -> if Link.rate_bps l < Link.rate_bps best then l else best)
+      links.(0) links
+  in
+  let make_endpoint i (enter, exit_) =
+    (* Forward the flow along hops enter .. exit_-1. *)
+    for h = enter to exit_ - 2 do
+      Router.add_route routers.(h) ~flow_id:i (Link.send links.(h + 1))
+    done;
+    {
+      flow_id = i;
+      to_receiver = Link.send links.(enter);
+      to_sender = Link.send rev;
+      on_receiver_rx =
+        (fun sink -> Router.add_route routers.(exit_ - 1) ~flow_id:i sink);
+      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:i sink);
+      marker = None;
+    }
+  in
+  {
+    sim;
+    bottleneck;
+    reverse = rev;
+    endpoints = Array.mapi make_endpoint paths;
+  }
+
+let chain ~sim ~n_flows ~hops ?reverse () =
+  if hops = [] then invalid_arg "Topology.chain: no hops";
+  let first_hop = List.hd hops in
+  let reverse_spec =
+    match reverse with Some r -> r | None -> default_reverse_of first_hop
+  in
+  let links =
+    List.mapi
+      (fun i s -> link_of_spec ~sim ~name:(Printf.sprintf "hop-%d" i) s)
+      hops
+  in
+  let rev = link_of_spec ~sim ~name:"reverse" reverse_spec in
+  let fwd_router = Router.create ~name:"fwd-router" () in
+  let rev_router = Router.create ~name:"rev-router" () in
+  (* Wire hop i into hop i+1; the last hop feeds the demux. *)
+  let rec wire = function
+    | [] -> ()
+    | [ last ] -> Link.connect last (Router.forward fwd_router)
+    | a :: (b :: _ as rest) ->
+        Link.connect a (Link.send b);
+        wire rest
+  in
+  wire links;
+  Link.connect rev (Router.forward rev_router);
+  let entry = List.hd links in
+  let bottleneck =
+    List.fold_left
+      (fun best l -> if Link.rate_bps l < Link.rate_bps best then l else best)
+      entry links
+  in
+  let make_endpoint i =
+    {
+      flow_id = i;
+      to_receiver = Link.send entry;
+      to_sender = Link.send rev;
+      on_receiver_rx = (fun sink -> Router.add_route fwd_router ~flow_id:i sink);
+      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:i sink);
+      marker = None;
+    }
+  in
+  { sim; bottleneck; reverse = rev; endpoints = Array.init n_flows make_endpoint }
+
+let endpoint t i = t.endpoints.(i)

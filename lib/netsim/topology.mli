@@ -1,0 +1,89 @@
+(** Canned topologies used by the experiments.
+
+    Endpoints expose send functions toward the peer and accept a receive
+    callback; transports plug in without knowing the topology shape. *)
+
+type spec = {
+  rate_bps : float;
+  delay : float;
+  qdisc : unit -> Qdisc.t;  (** fresh qdisc per link instance *)
+  loss : unit -> Loss_model.t;  (** fresh loss model per link instance *)
+}
+
+val spec :
+  ?qdisc:(unit -> Qdisc.t) ->
+  ?loss:(unit -> Loss_model.t) ->
+  rate_bps:float ->
+  delay:float ->
+  unit ->
+  spec
+(** Default qdisc: droptail of 100 packets; default loss: none. *)
+
+type endpoint = {
+  flow_id : int;
+  to_receiver : Frame.t -> unit;  (** sender-side injection (forward) *)
+  to_sender : Frame.t -> unit;  (** receiver-side injection (reverse) *)
+  on_receiver_rx : (Frame.t -> unit) -> unit;  (** receiver delivery hook *)
+  on_sender_rx : (Frame.t -> unit) -> unit;  (** sender delivery hook *)
+  marker : Marker.t option;  (** edge marker on the forward path, if any *)
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  bottleneck : Link.t;  (** shared forward bottleneck *)
+  reverse : Link.t;  (** shared reverse path *)
+  endpoints : endpoint array;
+}
+
+val dumbbell :
+  sim:Engine.Sim.t ->
+  n_flows:int ->
+  bottleneck:spec ->
+  ?reverse:spec ->
+  ?access:spec ->
+  ?committed_rates:float array ->
+  unit ->
+  t
+(** Classic dumbbell: per-flow access links into one shared bottleneck,
+    one shared (ample) reverse link back.
+
+    - [reverse] defaults to the bottleneck rate with the same delay and a
+      large droptail buffer — feedback is not the bottleneck.
+    - [access] defaults to 10x the bottleneck rate, 1 ms, large buffer.
+    - [committed_rates.(i)], when given and positive, installs a DiffServ
+      edge marker with that committed rate on flow [i]'s forward path
+      (burst: 4 packets at 1500 B). *)
+
+val duplex_path :
+  sim:Engine.Sim.t -> forward:spec -> ?reverse:spec -> unit -> t
+(** Two endpoints joined by a single forward link and a reverse link —
+    the minimal topology ([endpoints] has one element, flow 0). *)
+
+val parking_lot :
+  sim:Engine.Sim.t ->
+  hops:spec list ->
+  paths:(int * int) array ->
+  ?reverse:spec ->
+  unit ->
+  t
+(** The classic parking-lot: [hops] links in a row; flow [i] enters
+    before hop [fst paths.(i)] and leaves after hop [snd paths.(i) - 1]
+    (half-open hop range, which must be non-empty and within bounds).
+    One long flow crossing all hops competing with single-hop cross
+    traffic is the standard multi-bottleneck fairness scenario.
+    [t.bottleneck] is the slowest hop. *)
+
+val chain :
+  sim:Engine.Sim.t ->
+  n_flows:int ->
+  hops:spec list ->
+  ?reverse:spec ->
+  unit ->
+  t
+(** Multi-hop path: every flow's forward traffic traverses the [hops]
+    links in order (e.g. a wired segment followed by a wireless one);
+    one shared reverse link carries feedback.  [t.bottleneck] is the
+    smallest-rate hop.  Raises [Invalid_argument] on an empty hop
+    list. *)
+
+val endpoint : t -> int -> endpoint

@@ -1,0 +1,52 @@
+type event = {
+  at : float;
+  point : string;
+  uid : int;
+  flow_id : int;
+  size : int;
+  mark : Mark.t;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  capacity : int;
+  buffer : event Queue.t;
+  mutable total : int;
+}
+
+let create ~sim ?(capacity = 10_000) () =
+  assert (capacity > 0);
+  { sim; capacity; buffer = Queue.create (); total = 0 }
+
+let record t ev =
+  t.total <- t.total + 1;
+  Queue.add ev t.buffer;
+  if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+
+let tap t point sink frame =
+  record t
+    {
+      at = Engine.Sim.now t.sim;
+      point;
+      uid = frame.Frame.uid;
+      flow_id = frame.Frame.flow_id;
+      size = frame.Frame.size;
+      mark = frame.Frame.mark;
+    };
+  sink frame
+
+let events t = List.of_seq (Queue.to_seq t.buffer)
+
+let count t = t.total
+
+let count_at t point =
+  Queue.fold (fun acc ev -> if ev.point = point then acc + 1 else acc) 0 t.buffer
+
+let dump t fmt =
+  Queue.iter
+    (fun ev ->
+      Format.fprintf fmt "%.6f %-16s frame#%d flow=%d %dB %a@." ev.at ev.point
+        ev.uid ev.flow_id ev.size Mark.pp ev.mark)
+    t.buffer
+
+let clear t = Queue.clear t.buffer

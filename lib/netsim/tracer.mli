@@ -1,0 +1,38 @@
+(** Packet-event tracing.
+
+    A tracer collects timestamped per-frame events from any point in the
+    simulated network (its [tap] wraps an arbitrary frame sink).  The
+    buffer is bounded: the newest [capacity] events are kept.  Intended
+    for debugging topologies and for test assertions on event order —
+    the hot path stays closure-cheap. *)
+
+type event = {
+  at : float;
+  point : string;  (** where the tap sits, e.g. "bottleneck-in" *)
+  uid : int;
+  flow_id : int;
+  size : int;
+  mark : Mark.t;
+}
+
+type t
+
+val create : sim:Engine.Sim.t -> ?capacity:int -> unit -> t
+(** [capacity] defaults to 10_000 events. *)
+
+val tap : t -> string -> (Frame.t -> unit) -> Frame.t -> unit
+(** [tap tracer point sink] is a sink that records then forwards. *)
+
+val events : t -> event list
+(** Oldest first, at most [capacity]. *)
+
+val count : t -> int
+(** Total events observed (including evicted ones). *)
+
+val count_at : t -> string -> int
+(** Events currently buffered for one tap point. *)
+
+val dump : t -> Format.formatter -> unit
+(** Human-readable text trace. *)
+
+val clear : t -> unit

@@ -1,0 +1,85 @@
+(** VTP segment headers.
+
+    A connection exchanges four families of segments:
+
+    - [Data]: one application payload chunk, sequence-numbered.
+    - [Feedback]: an RFC 3448 receiver report — the standard TFRC
+      feedback plane, carrying the receiver-computed loss event rate.
+    - [Sack_feedback]: the "light" feedback plane of QTP_light — a
+      cumulative acknowledgment plus SACK blocks (RFC 2018 shape) and the
+      cheap receiver measurements (receive rate, timestamp echo).  The
+      loss event rate is absent: the sender reconstructs it.
+    - [Handshake]: capability negotiation; the payload is opaque here and
+      interpreted by the composition layer. *)
+
+type sack_block = { block_start : Serial.t; block_end : Serial.t }
+(** Half-open range [\[block_start, block_end)] of received sequence
+    numbers, as in RFC 2018 (left edge, right edge). *)
+
+type data = {
+  seq : Serial.t;
+  tstamp : float;  (** sender clock when emitted *)
+  rtt_estimate : float;  (** sender's current RTT estimate, for the
+      receiver's loss-event grouping and feedback pacing *)
+  is_retransmit : bool;
+  fwd_point : Serial.t;
+      (** PR-SCTP-style forward point: the receiver may consider every
+          sequence number below this final (holes abandoned) and advance
+          its cumulative ack past them.  Under full reliability this is
+          simply the sender's lowest unacknowledged number; under
+          partial/no reliability it is how the sender tells the receiver
+          to stop waiting, keeping receiver state bounded. *)
+}
+
+type feedback = {
+  tstamp_echo : float;  (** timestamp of the packet that triggered this *)
+  t_delay : float;  (** receiver hold time between reception and report *)
+  x_recv : float;  (** receive rate, bytes/s *)
+  p : float;  (** receiver-computed loss event rate *)
+  recv_seq : Serial.t;  (** highest sequence number seen *)
+}
+
+type sack_feedback = {
+  cum_ack : Serial.t;  (** next expected sequence number *)
+  blocks : sack_block list;  (** most recently changed first; bounded *)
+  sack_tstamp_echo : float;
+  sack_t_delay : float;
+  sack_x_recv : float;  (** receive rate — O(1) for the receiver to keep *)
+  sack_ce_count : int;
+      (** cumulative count of ECN Congestion-Experienced marks seen by
+          the receiver — the light plane's congestion-signal echo
+          (cumulative so that lost reports lose no information) *)
+}
+
+type handshake_kind =
+  | Syn
+  | Syn_ack
+  | Ack_hs
+  | Close  (** sender has drained its reliability obligations *)
+  | Close_ack
+
+type handshake = { kind : handshake_kind; payload : string }
+
+type t =
+  | Data of data
+  | Feedback of feedback
+  | Sack_feedback of sack_feedback
+  | Handshake of handshake
+
+val data_header_bytes : int
+(** On-wire size of a data header (excluding payload). *)
+
+val feedback_bytes : int
+(** On-wire size of an RFC 3448 feedback segment. *)
+
+val sack_feedback_bytes : blocks:int -> int
+(** On-wire size of a SACK feedback segment carrying [blocks] blocks. *)
+
+val wire_size : t -> payload:int -> int
+(** Total on-wire size of a segment with [payload] bytes of user data
+    (only [Data] carries payload). *)
+
+val seq_of : t -> Serial.t option
+(** The data sequence number, when the segment is [Data]. *)
+
+val pp : Format.formatter -> t -> unit

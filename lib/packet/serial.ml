@@ -1,0 +1,37 @@
+type t = int32
+
+let zero = 0l
+
+let of_int i = Int32.of_int (i land 0xFFFFFFFF)
+
+let to_int t = Int32.to_int t land 0xFFFFFFFF
+
+let succ t = Int32.add t 1l
+
+let pred t = Int32.sub t 1l
+
+let add t n = Int32.add t (Int32.of_int n)
+
+(* Int32 subtraction already wraps, so the result is the signed circular
+   distance in [-2^31, 2^31). *)
+let diff a b = Int32.to_int (Int32.sub a b)
+
+let compare a b = Stdlib.compare (diff a b) 0
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let equal a b = Int32.equal a b
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let hash t = Hashtbl.hash t
+
+let pp fmt t = Format.fprintf fmt "%Lu" (Int64.logand (Int64.of_int32 t) 0xFFFFFFFFL)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let range lo hi =
+  let n = diff hi lo in
+  if Stdlib.( <= ) n 0 then []
+  else List.init n (fun i -> add lo i)

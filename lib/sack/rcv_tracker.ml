@@ -1,0 +1,115 @@
+module Serial = Packet.Serial
+
+type range = {
+  mutable lo : Serial.t;
+  mutable hi : Serial.t;  (* half-open *)
+  mutable touched : int;  (* recency stamp *)
+}
+
+type t = {
+  max_blocks : int;
+  cost : Stats.Cost.t option;
+  mutable cum : Serial.t;
+  mutable ranges : range list;  (* ascending, disjoint, above cum *)
+  mutable stamp : int;
+  mutable packets : int;
+  mutable duplicates : int;
+}
+
+let create ?(max_blocks = 4) ?cost () =
+  assert (max_blocks >= 1);
+  {
+    max_blocks;
+    cost;
+    cum = Serial.zero;
+    ranges = [];
+    stamp = 0;
+    packets = 0;
+    duplicates = 0;
+  }
+
+let charge t name =
+  match t.cost with Some c -> Stats.Cost.charge c name | None -> ()
+
+let cum_ack t = t.cum
+
+let received t s =
+  Serial.( < ) s t.cum
+  || List.exists (fun r -> Serial.( <= ) r.lo s && Serial.( < ) s r.hi) t.ranges
+
+(* Pull ranges that now touch the cumulative point into it. *)
+let rec advance_cum t =
+  match t.ranges with
+  | r :: rest when Serial.( <= ) r.lo t.cum ->
+      if Serial.( > ) r.hi t.cum then t.cum <- r.hi;
+      t.ranges <- rest;
+      advance_cum t
+  | _ :: _ | [] -> ()
+
+let on_data t ~seq =
+  charge t "recv.light.packet";
+  t.packets <- t.packets + 1;
+  t.stamp <- t.stamp + 1;
+  if received t seq then t.duplicates <- t.duplicates + 1
+  else if Serial.equal seq t.cum then begin
+    t.cum <- Serial.succ t.cum;
+    advance_cum t
+  end
+  else begin
+    (* Insert into the ascending range list, merging neighbours. *)
+    let s1 = Serial.succ seq in
+    let rec insert = function
+      | [] -> [ { lo = seq; hi = s1; touched = t.stamp } ]
+      | r :: rest ->
+          if Serial.( < ) s1 r.lo then
+            { lo = seq; hi = s1; touched = t.stamp } :: r :: rest
+          else if Serial.equal s1 r.lo then begin
+            r.lo <- seq;
+            r.touched <- t.stamp;
+            r :: rest
+          end
+          else if Serial.equal seq r.hi then begin
+            r.hi <- s1;
+            r.touched <- t.stamp;
+            (* May now touch the next range. *)
+            match rest with
+            | next :: tail when Serial.equal next.lo r.hi ->
+                r.hi <- next.hi;
+                r :: tail
+            | _ -> r :: rest
+          end
+          else r :: insert rest
+    in
+    t.ranges <- insert t.ranges
+  end
+
+let apply_fwd_point t fwd =
+  if Serial.( > ) fwd t.cum then begin
+    t.cum <- fwd;
+    (* Drop or trim ranges now below the cumulative point. *)
+    t.ranges <-
+      List.filter_map
+        (fun r ->
+          if Serial.( <= ) r.hi t.cum then None
+          else begin
+            if Serial.( < ) r.lo t.cum then r.lo <- t.cum;
+            Some r
+          end)
+        t.ranges;
+    advance_cum t
+  end
+
+let to_block r = { Packet.Header.block_start = r.lo; block_end = r.hi }
+
+let all_ranges t = List.map to_block t.ranges
+
+let sack_blocks t =
+  charge t "recv.light.feedback";
+  let by_recency =
+    List.sort (fun a b -> Stdlib.compare b.touched a.touched) t.ranges
+  in
+  List.filteri (fun i _ -> i < t.max_blocks) by_recency |> List.map to_block
+
+let packets t = t.packets
+
+let duplicates t = t.duplicates

@@ -1,0 +1,105 @@
+module Serial = Packet.Serial
+
+type policy =
+  | Unreliable
+  | Partial of { max_retx : int; deadline : float }
+  | Full
+
+let pp_policy fmt = function
+  | Unreliable -> Format.pp_print_string fmt "unreliable"
+  | Partial { max_retx; deadline } ->
+      Format.fprintf fmt "partial(retx<=%d,deadline=%.2fs)" max_retx deadline
+  | Full -> Format.pp_print_string fmt "full"
+
+type decision = Retransmit of Serial.t | Fresh_data
+
+type t = {
+  policy : policy;
+  scoreboard : Scoreboard.t;
+  cost : Stats.Cost.t option;
+  queue : Serial.t Queue.t;
+  queued : (int, unit) Hashtbl.t;
+  abandoned_tbl : (int, unit) Hashtbl.t;
+  mutable abandoned : int;
+}
+
+let create ?cost policy ~scoreboard () =
+  {
+    policy;
+    scoreboard;
+    cost;
+    queue = Queue.create ();
+    queued = Hashtbl.create 64;
+    abandoned_tbl = Hashtbl.create 64;
+    abandoned = 0;
+  }
+
+let charge t name =
+  match t.cost with Some c -> Stats.Cost.charge c name | None -> ()
+
+let key = Serial.to_int
+
+let abandon t seq =
+  Hashtbl.replace t.abandoned_tbl (key seq) ();
+  t.abandoned <- t.abandoned + 1;
+  charge t "send.reliability.abandon"
+
+let on_losses t ~now:_ losses =
+  List.iter
+    (fun seq ->
+      match t.policy with
+      | Unreliable -> abandon t seq
+      | Partial _ | Full ->
+          if not (Hashtbl.mem t.queued (key seq)) then begin
+            Hashtbl.replace t.queued (key seq) ();
+            Queue.add seq t.queue;
+            charge t "send.reliability.queue"
+          end)
+    losses
+
+let rec next_decision t ~now =
+  match Queue.take_opt t.queue with
+  | None -> Fresh_data
+  | Some seq -> (
+      Hashtbl.remove t.queued (key seq);
+      match Scoreboard.status t.scoreboard seq with
+      | `Untracked | `Sacked | `In_flight ->
+          (* Repaired, delivered, or retransmission already in flight:
+             nothing to do for this number any more. *)
+          next_decision t ~now
+      | `Lost -> (
+          match t.policy with
+          | Unreliable -> next_decision t ~now
+          | Full -> Retransmit seq
+          | Partial { max_retx; deadline } ->
+              let too_many = Scoreboard.retx_count t.scoreboard seq >= max_retx in
+              let too_old =
+                match Scoreboard.first_sent_at t.scoreboard seq with
+                | Some sent -> now -. sent > deadline
+                | None -> true
+              in
+              if too_many || too_old then begin
+                abandon t seq;
+                next_decision t ~now
+              end
+              else Retransmit seq))
+
+let fwd_point t ~highest_sent =
+  (* Walk up from snd_una through numbers the receiver need not wait
+     for: abandoned holes and SACK-covered (already received) ones. *)
+  let rec go s =
+    if Serial.( >= ) s highest_sent then s
+    else if Hashtbl.mem t.abandoned_tbl (key s) then go (Serial.succ s)
+    else
+      match Scoreboard.status t.scoreboard s with
+      | `Sacked -> go (Serial.succ s)
+      | `Untracked -> go (Serial.succ s)
+      | `In_flight | `Lost -> s
+  in
+  go (Scoreboard.una t.scoreboard)
+
+let policy t = t.policy
+
+let abandoned t = t.abandoned
+
+let retransmissions_queued t = Queue.length t.queue

@@ -1,0 +1,14 @@
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fairness.jain: empty";
+  let sum = Array.fold_left ( +. ) 0.0 xs in
+  let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if sumsq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+
+let throughput_ratio a b =
+  let mean xs =
+    if Array.length xs = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+  in
+  let mb = mean b in
+  if mb = 0.0 then infinity else mean a /. mb

@@ -1,0 +1,9 @@
+(** Inter-flow fairness metrics. *)
+
+val jain : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)], in [\[1/n, 1\]];
+    1 = perfectly fair.  Raises [Invalid_argument] on empty input. *)
+
+val throughput_ratio : float array -> float array -> float
+(** Mean aggregate of group A over mean aggregate of group B — the
+    classic "TCP-friendliness ratio" (1.0 = friendly). *)

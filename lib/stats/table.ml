@@ -1,0 +1,102 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let cell_f ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_i = string_of_int
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let fmt_row cells =
+    let aligned =
+      List.mapi
+        (fun i c ->
+          let _, align = List.nth t.columns i in
+          pad align (List.nth widths i) c)
+        cells
+    in
+    "| " ^ String.concat " | " aligned ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (fmt_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("# " ^ t.title ^ "\n");
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun (h, _) -> csv_cell h) t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Aligned ASCII tables for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Row length must match the column count. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 2; NaN prints "-"). *)
+
+val cell_i : int -> string
+
+val render : t -> string
+(** The whole table, title and rule lines included. *)
+
+val to_csv : t -> string
+(** RFC 4180-style CSV: header row then data rows.  Cells containing
+    commas, quotes or newlines are quoted; the title is emitted as a
+    leading comment line ([# title]). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,24 @@
+(** TCP receiver: cumulative ACKs (optionally with SACK blocks), with
+    optional RFC 1122 delayed ACKs (ack every second in-order segment or
+    after 200 ms, immediate on out-of-order), built on
+    {!Sack.Rcv_tracker}. *)
+
+type t
+
+val create :
+  ?use_sack:bool ->
+  ?delayed_acks:Engine.Sim.t ->
+  send_ack:(Tcp_wire.ack -> size:int -> unit) ->
+  unit ->
+  t
+(** [delayed_acks] enables delack, using the given simulation for the
+    200 ms timer. *)
+
+val on_segment : t -> Tcp_wire.seg -> unit
+
+val cum_ack : t -> Packet.Serial.t
+(** Next expected segment = segments delivered in order so far. *)
+
+val segments_received : t -> int
+val duplicates : t -> int
+val acks_sent : t -> int

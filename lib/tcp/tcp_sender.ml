@@ -1,0 +1,248 @@
+module Serial = Packet.Serial
+
+type params = {
+  packet_size : int;
+  initial_window : float;
+  initial_ssthresh : float;
+  min_rto : float;
+  max_rto : float;
+  use_sack : bool;
+  delayed_acks : bool;
+}
+
+let default_params =
+  {
+    packet_size = 1460;
+    initial_window = 2.0;
+    initial_ssthresh = 64.0;
+    min_rto = 0.2;
+    max_rto = 60.0;
+    use_sack = false;
+    delayed_acks = false;
+  }
+
+type t = {
+  sim : Engine.Sim.t;
+  p : params;
+  transmit : Tcp_wire.seg -> payload:int -> unit;
+  sent_times : (int, float) Hashtbl.t;  (* seq -> first send time *)
+  retx_flag : (int, unit) Hashtbl.t;  (* ever retransmitted *)
+  sacked : (int, unit) Hashtbl.t;  (* SACK-covered, when use_sack *)
+  mutable running : bool;
+  mutable snd_una : Serial.t;
+  mutable snd_nxt : Serial.t;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable dupacks : int;
+  mutable recover : Serial.t;  (* NewReno recovery point *)
+  mutable in_recovery : bool;
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff : int;
+  rto_timer : Engine.Timer.t option ref;
+  mutable sent : int;
+  mutable retx : int;
+  mutable timeouts : int;
+}
+
+let flight t = Stdlib.max 0 (Serial.diff t.snd_nxt t.snd_una)
+
+let rto_value t = Float.min t.p.max_rto (t.rto *. float_of_int (1 lsl t.backoff))
+
+let arm_rto t =
+  match !(t.rto_timer) with
+  | Some timer -> Engine.Timer.start timer ~after:(rto_value t)
+  | None -> ()
+
+let disarm_rto t =
+  match !(t.rto_timer) with
+  | Some timer -> Engine.Timer.stop timer
+  | None -> ()
+
+let send_segment t ~seq ~is_retx =
+  let now = Engine.Sim.now t.sim in
+  if is_retx then begin
+    t.retx <- t.retx + 1;
+    Hashtbl.replace t.retx_flag (Serial.to_int seq) ()
+  end
+  else begin
+    Hashtbl.replace t.sent_times (Serial.to_int seq) now;
+    t.sent <- t.sent + 1
+  end;
+  t.transmit { Tcp_wire.seq; tstamp = now; is_retx } ~payload:t.p.packet_size;
+  if not (Engine.Timer.is_armed (Option.get !(t.rto_timer))) then arm_rto t
+
+(* Send as much new data as the window allows (the application is
+   greedy). *)
+let fill_window t =
+  if t.running then begin
+    let allowance () =
+      int_of_float t.cwnd - flight t
+    in
+    while allowance () > 0 do
+      let seq = t.snd_nxt in
+      t.snd_nxt <- Serial.succ t.snd_nxt;
+      send_segment t ~seq ~is_retx:false
+    done
+  end
+
+let sample_rtt t ~tstamp_echo ~echo_is_retx ~acked_was_retx =
+  (* Karn's rule: never time a segment that was retransmitted. *)
+  if not (echo_is_retx || acked_was_retx) then begin
+    let sample = Engine.Sim.now t.sim -. tstamp_echo in
+    if sample > 0.0 then begin
+      (match t.srtt with
+      | None ->
+          t.srtt <- Some sample;
+          t.rttvar <- sample /. 2.0
+      | Some srtt ->
+          let err = sample -. srtt in
+          t.srtt <- Some (srtt +. (0.125 *. err));
+          t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs err));
+      let srtt = Option.get t.srtt in
+      t.rto <-
+        Float.max t.p.min_rto
+          (Float.min t.p.max_rto (srtt +. (4.0 *. t.rttvar)))
+    end
+  end
+
+let enter_fast_recovery t =
+  let fl = float_of_int (flight t) in
+  t.ssthresh <- Float.max 2.0 (fl /. 2.0);
+  t.cwnd <- t.ssthresh +. 3.0;
+  t.in_recovery <- true;
+  t.recover <- t.snd_nxt;
+  send_segment t ~seq:t.snd_una ~is_retx:true
+
+let on_timeout t =
+  t.timeouts <- t.timeouts + 1;
+  t.ssthresh <- Float.max 2.0 (float_of_int (flight t) /. 2.0);
+  t.cwnd <- 1.0;
+  t.dupacks <- 0;
+  t.in_recovery <- false;
+  t.backoff <- Stdlib.min 6 (t.backoff + 1);
+  if t.running && Serial.( < ) t.snd_una t.snd_nxt then begin
+    send_segment t ~seq:t.snd_una ~is_retx:true;
+    arm_rto t
+  end
+
+let create ~sim p ~transmit () =
+  let t =
+    {
+      sim;
+      p;
+      transmit;
+      sent_times = Hashtbl.create 256;
+      retx_flag = Hashtbl.create 64;
+      sacked = Hashtbl.create 64;
+      running = false;
+      snd_una = Serial.zero;
+      snd_nxt = Serial.zero;
+      cwnd = p.initial_window;
+      ssthresh = p.initial_ssthresh;
+      dupacks = 0;
+      recover = Serial.zero;
+      in_recovery = false;
+      srtt = None;
+      rttvar = 0.0;
+      rto = 1.0;
+      backoff = 0;
+      rto_timer = ref None;
+      sent = 0;
+      retx = 0;
+      timeouts = 0;
+    }
+  in
+  t.rto_timer := Some (Engine.Timer.create sim ~on_expire:(fun () -> on_timeout t));
+  t
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    fill_window t
+  end
+
+let stop t =
+  t.running <- false;
+  disarm_rto t
+
+(* First unsacked hole above una — the NewReno partial-ack retransmit
+   target, refined by SACK information when enabled. *)
+let next_hole t =
+  if not t.p.use_sack then t.snd_una
+  else begin
+    let rec scan s =
+      if Serial.( >= ) s t.snd_nxt then t.snd_una
+      else if Hashtbl.mem t.sacked (Serial.to_int s) then scan (Serial.succ s)
+      else s
+    in
+    scan t.snd_una
+  end
+
+let on_ack t (ack : Tcp_wire.ack) =
+  if t.p.use_sack then
+    List.iter
+      (fun (b : Sack.Blocks.t) ->
+        List.iter
+          (fun s -> Hashtbl.replace t.sacked (Serial.to_int s) ())
+          (Serial.range b.block_start b.block_end))
+      ack.blocks;
+  if Serial.( > ) ack.cum_ack t.snd_una then begin
+    (* New data acknowledged. *)
+    let acked_first = t.snd_una in
+    let acked_was_retx =
+      Hashtbl.mem t.retx_flag (Serial.to_int acked_first)
+    in
+    List.iter
+      (fun s ->
+        Hashtbl.remove t.sent_times (Serial.to_int s);
+        Hashtbl.remove t.retx_flag (Serial.to_int s);
+        Hashtbl.remove t.sacked (Serial.to_int s))
+      (Serial.range t.snd_una ack.cum_ack);
+    t.snd_una <- ack.cum_ack;
+    t.backoff <- 0;
+    sample_rtt t ~tstamp_echo:ack.tstamp_echo ~echo_is_retx:ack.echo_is_retx
+      ~acked_was_retx;
+    if t.in_recovery then begin
+      if Serial.( >= ) ack.cum_ack t.recover then begin
+        (* Full ack: leave recovery, deflate. *)
+        t.in_recovery <- false;
+        t.cwnd <- t.ssthresh;
+        t.dupacks <- 0
+      end
+      else begin
+        (* Partial ack: retransmit the next hole, stay in recovery. *)
+        send_segment t ~seq:(next_hole t) ~is_retx:true;
+        t.cwnd <- Float.max 1.0 (t.cwnd -. 1.0)
+      end
+    end
+    else begin
+      t.dupacks <- 0;
+      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+      else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+    end;
+    if Serial.( < ) t.snd_una t.snd_nxt then arm_rto t else disarm_rto t;
+    fill_window t
+  end
+  else if Serial.equal ack.cum_ack t.snd_una && Serial.( < ) t.snd_una t.snd_nxt
+  then begin
+    (* Duplicate ack. *)
+    if t.in_recovery then begin
+      t.cwnd <- t.cwnd +. 1.0;
+      fill_window t
+    end
+    else begin
+      t.dupacks <- t.dupacks + 1;
+      if t.dupacks = 3 then enter_fast_recovery t
+    end
+  end
+
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let srtt t = t.srtt
+let rto t = rto_value t
+let in_fast_recovery t = t.in_recovery
+let segments_sent t = t.sent
+let retransmits t = t.retx
+let timeouts t = t.timeouts

@@ -1,0 +1,18 @@
+type seg = {
+  seq : Packet.Serial.t;
+  tstamp : float;
+  is_retx : bool;
+}
+
+type ack = {
+  cum_ack : Packet.Serial.t;
+  blocks : Sack.Blocks.t list;
+  tstamp_echo : float;
+  echo_is_retx : bool;
+}
+
+type Netsim.Frame.body += Seg of seg | Ack of ack
+
+let seg_size ~payload = 40 + payload
+
+let ack_size ~blocks = 40 + (if blocks > 0 then 2 + (8 * blocks) else 0)

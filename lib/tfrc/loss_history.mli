@@ -1,0 +1,84 @@
+(** Loss-event history and loss-event-rate estimation, RFC 3448 §5.
+
+    This is the expensive half of TFRC: it watches the arrival stream
+    for sequence holes, promotes holes to *losses* once enough later
+    packets confirm them, groups losses within one RTT into a single
+    *loss event* (matching TCP's one-halving-per-window), maintains the
+    last [n = 8] loss-interval lengths, and computes the weighted
+    average loss interval whose inverse is the loss event rate [p].
+
+    The module is deliberately transport-agnostic: the classic TFRC
+    receiver feeds it actual arrivals, while the QTP_light *sender*
+    feeds it virtual arrivals reconstructed from SACK feedback.  That
+    reuse is exactly the paper's point — the mechanism is unchanged,
+    only its *location* moves.
+
+    When a [cost] accountant is supplied, the structure charges
+    ["lh.update"] per packet processed, ["lh.hole"] per hole tracked and
+    ["lh.rate_calc"] per interval term scanned when the rate is
+    (re)computed, plus a ["lh.entries"] memory watermark — giving
+    experiments an architecture-neutral view of who pays for loss
+    estimation. *)
+
+type t
+
+val create :
+  ?ndup:int ->
+  ?history:int ->
+  ?discount:bool ->
+  ?cost:Stats.Cost.t ->
+  unit ->
+  t
+(** [ndup] (default 3): later packets needed to declare a hole lost.
+    [history] (default 8): closed loss intervals retained.
+    [discount] (default true): RFC 3448 §5.5 history discounting when
+    the open interval grows beyond twice the closed mean. *)
+
+val on_packet :
+  t -> seq:Packet.Serial.t -> arrival:float -> rtt:float -> is_retx:bool -> unit
+(** Account one packet of the (possibly reconstructed) arrival stream.
+    [rtt] is the sender RTT estimate used for loss-event grouping;
+    retransmissions ([is_retx]) are excluded from congestion accounting
+    (the reliability plane, not the congestion plane, owns them). *)
+
+val on_congestion_mark :
+  t -> seq:Packet.Serial.t -> arrival:float -> rtt:float -> unit
+(** Account an ECN Congestion-Experienced signal carried by the packet
+    at [seq]: it starts (or joins) a loss event exactly as a lost packet
+    would — RFC 3168 requires the transport to react to a mark as it
+    would to a drop — but no packet is actually missing. *)
+
+val set_first_interval : t -> float -> unit
+(** Seed the synthetic interval preceding the first loss event
+    (RFC 3448 §6.3.1 — derived from the receive rate via the inverted
+    throughput equation).  Only effective while no closed interval
+    exists. *)
+
+val loss_event_rate : t -> float
+(** Current loss event rate [p]; 0.0 until the first loss event. *)
+
+val mean_interval : t -> float
+(** The weighted average loss interval (packets); [infinity] before any
+    loss event. *)
+
+val loss_events : t -> int
+(** Number of loss events recorded so far. *)
+
+val losses : t -> int
+(** Individual packets declared lost. *)
+
+val congestion_marks : t -> int
+(** ECN CE signals accounted via {!on_congestion_mark}. *)
+
+val packets_seen : t -> int
+(** Non-retransmitted packets accounted via [on_packet]. *)
+
+val max_seq : t -> Packet.Serial.t option
+(** Highest sequence number seen. *)
+
+val closed_intervals : t -> float list
+(** Most recent first; exposed for tests and the estimator-fidelity
+    experiment. *)
+
+val open_interval : t -> float
+(** Packets since the start of the current loss event (0 before any). *)

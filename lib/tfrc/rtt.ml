@@ -1,0 +1,23 @@
+type t = {
+  q : float;
+  mutable estimate : float;
+  mutable count : int;
+}
+
+let create ?(q = 0.9) ~initial () =
+  assert (initial > 0.0 && q >= 0.0 && q < 1.0);
+  { q; estimate = initial; count = 0 }
+
+let sample t r =
+  assert (r > 0.0);
+  if t.count = 0 then t.estimate <- r
+  else t.estimate <- (t.q *. t.estimate) +. ((1.0 -. t.q) *. r);
+  t.count <- t.count + 1
+
+let smoothed t = t.estimate
+
+let has_sample t = t.count > 0
+
+let t_rto t = 4.0 *. t.estimate
+
+let samples t = t.count

@@ -1,0 +1,25 @@
+(** Sender-side round-trip-time estimator (RFC 3448 §4.3).
+
+    [R = q*R + (1-q)*R_sample] with [q = 0.9].  The timeout value
+    [t_RTO] is the RFC 3448 simplification [4*R] (TFRC uses it only in
+    the throughput equation and the nofeedback timer, not for
+    retransmission). *)
+
+type t
+
+val create : ?q:float -> initial:float -> unit -> t
+(** [initial] seeds the estimate used before the first sample. *)
+
+val sample : t -> float -> unit
+(** Feed one measurement (seconds, must be positive). The first sample
+    replaces the seed entirely. *)
+
+val smoothed : t -> float
+(** Current estimate (the seed if no sample yet). *)
+
+val has_sample : t -> bool
+
+val t_rto : t -> float
+(** [4 * smoothed]. *)
+
+val samples : t -> int

@@ -1,0 +1,111 @@
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  ladder : float list;  (* ascending *)
+  transport_rate_bps : unit -> float;
+  headroom : float;
+  fps : float;
+  payload : int;
+  push : int -> unit;
+  stop_at : float option;
+  mutable rung : float;
+  mutable switches : int;
+  mutable frames : int;
+  mutable rung_since : float;
+  mutable rung_time : (float * float) list;  (* rung -> accumulated secs *)
+  mutable started_at : float;
+}
+
+let account_rung_time t ~now =
+  let elapsed = now -. t.rung_since in
+  if elapsed > 0.0 then begin
+    let cur = try List.assoc t.rung t.rung_time with Not_found -> 0.0 in
+    t.rung_time <-
+      (t.rung, cur +. elapsed) :: List.remove_assoc t.rung t.rung_time
+  end;
+  t.rung_since <- now
+
+let pick_rung t =
+  let budget = t.headroom *. t.transport_rate_bps () in
+  let best =
+    List.fold_left
+      (fun acc rung -> if rung <= budget then rung else acc)
+      (List.hd t.ladder) t.ladder
+  in
+  best
+
+let active t =
+  match t.stop_at with
+  | Some stop -> Engine.Sim.now t.sim < stop
+  | None -> true
+
+let start ~sim ~rng ~ladder_bps ~transport_rate_bps ?(headroom = 0.85)
+    ?(fps = 25.0) ?(payload = 1431) ~push ?(start_at = 0.0) ?stop_at () =
+  if ladder_bps = [] then invalid_arg "Adaptive_media.start: empty ladder";
+  let ladder = List.sort Float.compare ladder_bps in
+  let t =
+    {
+      sim;
+      rng;
+      ladder;
+      transport_rate_bps;
+      headroom;
+      fps;
+      payload;
+      push;
+      stop_at;
+      rung = List.hd ladder;
+      switches = 0;
+      frames = 0;
+      rung_since = start_at;
+      rung_time = [];
+      started_at = start_at;
+    }
+  in
+  (* Start at the rung the transport can already carry — the initial
+     ramp is not a viewer-visible quality switch. *)
+  t.rung <- pick_rung t;
+  (* Once a second: re-evaluate the rung. *)
+  let rec adapt () =
+    if active t then begin
+      let now = Engine.Sim.now sim in
+      let next = pick_rung t in
+      if next <> t.rung then begin
+        account_rung_time t ~now;
+        t.rung <- next;
+        t.switches <- t.switches + 1
+      end;
+      ignore (Engine.Sim.schedule_after sim 1.0 adapt)
+    end
+  in
+  (* Frame clock: bytes per frame follow the current rung (with ±10%
+     size noise), chopped into payload-sized packets. *)
+  let rec frame_tick () =
+    if active t then begin
+      let bytes_per_frame = t.rung /. 8.0 /. t.fps in
+      let noise = Engine.Dist.uniform_range rng ~lo:0.9 ~hi:1.1 in
+      let size = Stdlib.max 200 (int_of_float (bytes_per_frame *. noise)) in
+      let pkts = (size + t.payload - 1) / t.payload in
+      t.frames <- t.frames + 1;
+      push pkts;
+      ignore (Engine.Sim.schedule_after sim (1.0 /. t.fps) frame_tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim start_at adapt);
+  ignore (Engine.Sim.schedule_at sim start_at frame_tick);
+  t
+
+let current_rung_bps t = t.rung
+
+let switches t = t.switches
+
+let frames_emitted t = t.frames
+
+let rung_time_fractions t =
+  account_rung_time t ~now:(Engine.Sim.now t.sim);
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.rung_time in
+  if total <= 0.0 then []
+  else
+    List.sort
+      (fun (a, _) (b, _) -> Float.compare b a)
+      (List.map (fun (r, s) -> (r, s /. total)) t.rung_time)

@@ -1,0 +1,87 @@
+type t = {
+  sim : Engine.Sim.t;
+  sink : Netsim.Frame.t -> unit;
+  flow_id : int;
+  packet_size : int;
+  mark : Netsim.Mark.t;
+  stop_at : float option;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable uid : int;
+}
+
+let make ~sim ~sink ~flow_id ~packet_size ~mark ~stop_at =
+  { sim; sink; flow_id; packet_size; mark; stop_at; packets = 0; bytes = 0; uid = 0 }
+
+let active t =
+  match t.stop_at with
+  | Some stop -> Engine.Sim.now t.sim < stop
+  | None -> true
+
+let emit t =
+  t.uid <- t.uid + 1;
+  let frame =
+    Netsim.Frame.make ~uid:(t.flow_id * 10_000_000 + t.uid) ~flow_id:t.flow_id
+      ~size:t.packet_size ~mark:t.mark ~born:(Engine.Sim.now t.sim)
+      (Netsim.Frame.Raw t.uid)
+  in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + t.packet_size;
+  t.sink frame
+
+(* Loop [next_gap] forever (until stop_at), emitting one frame per gap. *)
+let run_loop t ~start_at ~next_gap =
+  let rec tick () =
+    if active t then begin
+      emit t;
+      ignore (Engine.Sim.schedule_after t.sim (next_gap ()) tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at t.sim start_at tick)
+
+let cbr ~sim ~sink ~flow_id ~rate_bps ~packet_size
+    ?(mark = Netsim.Mark.Best_effort) ?(start_at = 0.0) ?stop_at () =
+  assert (rate_bps > 0.0);
+  let t = make ~sim ~sink ~flow_id ~packet_size ~mark ~stop_at in
+  let gap = 8.0 *. float_of_int packet_size /. rate_bps in
+  run_loop t ~start_at ~next_gap:(fun () -> gap);
+  t
+
+let poisson ~sim ~sink ~flow_id ~rng ~rate_bps ~packet_size
+    ?(mark = Netsim.Mark.Best_effort) ?(start_at = 0.0) ?stop_at () =
+  assert (rate_bps > 0.0);
+  let t = make ~sim ~sink ~flow_id ~packet_size ~mark ~stop_at in
+  let mean_gap = 8.0 *. float_of_int packet_size /. rate_bps in
+  run_loop t ~start_at ~next_gap:(fun () ->
+      Engine.Dist.exponential rng ~mean:mean_gap);
+  t
+
+let exp_on_off ~sim ~sink ~flow_id ~rng ~peak_rate_bps ~mean_on ~mean_off
+    ~packet_size ?(mark = Netsim.Mark.Best_effort) ?(start_at = 0.0) ?stop_at
+    () =
+  assert (peak_rate_bps > 0.0 && mean_on > 0.0 && mean_off > 0.0);
+  let t = make ~sim ~sink ~flow_id ~packet_size ~mark ~stop_at in
+  let gap = 8.0 *. float_of_int packet_size /. peak_rate_bps in
+  (* Alternate ON bursts (packet count from the exponential duration)
+     with exponential OFF silences. *)
+  let rec on_period () =
+    if active t then begin
+      let duration = Engine.Dist.exponential rng ~mean:mean_on in
+      let count = Stdlib.max 1 (int_of_float (duration /. gap)) in
+      burst count
+    end
+  and burst n =
+    if active t then begin
+      emit t;
+      if n > 1 then ignore (Engine.Sim.schedule_after t.sim gap (fun () -> burst (n - 1)))
+      else
+        let off = Engine.Dist.exponential rng ~mean:mean_off in
+        ignore (Engine.Sim.schedule_after t.sim off on_period)
+    end
+  in
+  ignore (Engine.Sim.schedule_at t.sim start_at on_period);
+  t
+
+let packets_sent t = t.packets
+
+let bytes_sent t = t.bytes

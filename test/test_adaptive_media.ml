@@ -1,0 +1,82 @@
+(* Workload.Adaptive_media and Netsim.Loss_model.custom. *)
+
+let test_custom_loss_model () =
+  let flips = ref 0 in
+  let lm =
+    Netsim.Loss_model.custom ~expected:0.5 (fun () ->
+        incr flips;
+        !flips mod 2 = 0)
+  in
+  let drops = ref 0 in
+  for _ = 1 to 100 do
+    if Netsim.Loss_model.drops lm then incr drops
+  done;
+  Alcotest.(check int) "oracle consulted" 100 !flips;
+  Alcotest.(check int) "every other packet dropped" 50 !drops;
+  Alcotest.(check (float 1e-9)) "expected rate surfaced" 0.5
+    (Netsim.Loss_model.expected_loss_rate lm)
+
+let ladder = [ 0.5e6; 1.0e6; 2.0e6 ]
+
+let test_picks_rung_under_budget () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Sim.split_rng sim in
+  let rate = ref 10.0e6 in
+  let m =
+    Workload.Adaptive_media.start ~sim ~rng ~ladder_bps:ladder
+      ~transport_rate_bps:(fun () -> !rate)
+      ~push:(fun _ -> ())
+      ~stop_at:10.0 ()
+  in
+  Engine.Sim.run ~until:2.0 sim;
+  Alcotest.(check (float 1.0)) "top rung at high rate" 2.0e6
+    (Workload.Adaptive_media.current_rung_bps m);
+  rate := 1.3e6;
+  Engine.Sim.run ~until:4.0 sim;
+  (* 0.85 * 1.3M = 1.105M -> rung 1.0M *)
+  Alcotest.(check (float 1.0)) "middle rung" 1.0e6
+    (Workload.Adaptive_media.current_rung_bps m);
+  rate := 0.1e6;
+  Engine.Sim.run ~until:6.0 sim;
+  Alcotest.(check (float 1.0)) "floor rung even below budget" 0.5e6
+    (Workload.Adaptive_media.current_rung_bps m);
+  Alcotest.(check int) "two switches" 2 (Workload.Adaptive_media.switches m)
+
+let test_frames_and_time_shares () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Sim.split_rng sim in
+  let pushed = ref 0 in
+  let m =
+    Workload.Adaptive_media.start ~sim ~rng ~ladder_bps:ladder ~fps:10.0
+      ~transport_rate_bps:(fun () -> 10e6)
+      ~push:(fun n -> pushed := !pushed + n)
+      ~stop_at:10.0 ()
+  in
+  Engine.Sim.run ~until:11.0 sim;
+  Alcotest.(check bool) "≈100 frames" true
+    (abs (Workload.Adaptive_media.frames_emitted m - 100) <= 1);
+  Alcotest.(check bool) "packets pushed" true (!pushed > 0);
+  let shares = Workload.Adaptive_media.rung_time_fractions m in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 shares in
+  Alcotest.(check bool) "shares sum to 1" true (Float.abs (total -. 1.0) < 1e-6)
+
+let test_empty_ladder_rejected () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Sim.split_rng sim in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Workload.Adaptive_media.start ~sim ~rng ~ladder_bps:[]
+            ~transport_rate_bps:(fun () -> 1e6)
+            ~push:(fun _ -> ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "custom loss model" `Quick test_custom_loss_model;
+    Alcotest.test_case "rung under budget" `Quick test_picks_rung_under_budget;
+    Alcotest.test_case "frames and shares" `Quick test_frames_and_time_shares;
+    Alcotest.test_case "empty ladder" `Quick test_empty_ladder_rejected;
+  ]

@@ -1,0 +1,183 @@
+(* Qtp.Capabilities: negotiation semantics and codec. *)
+
+module C = Qtp.Capabilities
+
+let offer ?(planes = [ C.Standard ]) ?(rel = [ C.R_full ]) ?(g = 0.0)
+    ?(pmr = 3) ?(pdl = 0.5) ?(ecn = false) () =
+  {
+    C.planes;
+    reliability = rel;
+    qos_target_bps = g;
+    partial_max_retx = pmr;
+    partial_deadline = pdl;
+    ecn;
+  }
+
+let test_negotiate_prefers_initiator_order () =
+  let i = offer ~planes:[ C.Light; C.Standard ] ~rel:[ C.R_partial; C.R_full ] () in
+  let r = offer ~planes:[ C.Standard; C.Light ] ~rel:[ C.R_full; C.R_partial ] () in
+  match C.negotiate ~initiator:i ~responder:r with
+  | Ok a ->
+      Alcotest.(check bool) "initiator plane preference wins" true
+        (a.C.plane = C.Light);
+      Alcotest.(check bool) "initiator reliability preference wins" true
+        (a.C.mode = C.R_partial)
+  | Error e -> Alcotest.fail e
+
+let test_negotiate_no_common_plane () =
+  let i = offer ~planes:[ C.Standard ] () in
+  let r = offer ~planes:[ C.Light ] () in
+  match C.negotiate ~initiator:i ~responder:r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_negotiate_no_common_reliability () =
+  let i = offer ~rel:[ C.R_full ] () in
+  let r = offer ~rel:[ C.R_none ] () in
+  match C.negotiate ~initiator:i ~responder:r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_qos_target_capping () =
+  let check ig rg expect =
+    let i = offer ~g:ig () and r = offer ~g:rg () in
+    match C.negotiate ~initiator:i ~responder:r with
+    | Ok a -> Alcotest.(check (float 1e-9)) "capped" expect a.C.target_bps
+    | Error e -> Alcotest.fail e
+  in
+  check 2e6 0.0 2e6;
+  (* responder has no opinion *)
+  check 2e6 1e6 1e6;
+  (* responder caps *)
+  check 1e6 2e6 1e6 (* responder cannot raise *)
+
+let test_partial_params_strictest () =
+  let i = offer ~pmr:5 ~pdl:1.0 () and r = offer ~pmr:2 ~pdl:2.0 () in
+  match C.negotiate ~initiator:i ~responder:r with
+  | Ok a ->
+      Alcotest.(check int) "min retx" 2 a.C.max_retx;
+      Alcotest.(check (float 1e-9)) "min deadline" 1.0 a.C.deadline
+  | Error e -> Alcotest.fail e
+
+let test_offer_codec_roundtrip () =
+  let o =
+    offer
+      ~planes:[ C.Light; C.Standard ]
+      ~rel:[ C.R_none; C.R_partial; C.R_full ]
+      ~g:1.5e6 ~pmr:7 ~pdl:0.25 ()
+  in
+  match C.decode_offer (C.encode_offer o) with
+  | Ok o' -> Alcotest.(check bool) "round trip" true (C.equal_offer o o')
+  | Error e -> Alcotest.fail e
+
+let test_agreed_codec_roundtrip () =
+  let a =
+    {
+      C.plane = C.Light;
+      mode = C.R_partial;
+      target_bps = 3.0e6;
+      max_retx = 4;
+      deadline = 0.125;
+      use_ecn = true;
+    }
+  in
+  match C.decode_agreed (C.encode_agreed a) with
+  | Ok a' -> Alcotest.(check bool) "round trip" true (C.equal_agreed a a')
+  | Error e -> Alcotest.fail e
+
+let test_decode_garbage () =
+  (match C.decode_offer "not a capability string" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (match C.decode_offer "qtp1-offer;planes=warp" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad plane accepted");
+  match C.decode_agreed (C.encode_offer (offer ())) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "offer decoded as agreed"
+
+let test_to_policy () =
+  let base =
+    {
+      C.plane = C.Standard;
+      mode = C.R_none;
+      target_bps = 0.0;
+      max_retx = 2;
+      deadline = 0.3;
+      use_ecn = false;
+    }
+  in
+  Alcotest.(check bool) "none" true
+    (C.to_policy base = Sack.Reliability.Unreliable);
+  Alcotest.(check bool) "full" true
+    (C.to_policy { base with C.mode = C.R_full } = Sack.Reliability.Full);
+  match C.to_policy { base with C.mode = C.R_partial } with
+  | Sack.Reliability.Partial { max_retx; deadline } ->
+      Alcotest.(check int) "retx param" 2 max_retx;
+      Alcotest.(check (float 1e-9)) "deadline param" 0.3 deadline
+  | _ -> Alcotest.fail "expected partial"
+
+let gen_offer =
+  let open QCheck.Gen in
+  let plane = oneofl [ C.Standard; C.Light ] in
+  let mode = oneofl [ C.R_none; C.R_partial; C.R_full ] in
+  let dedup l = List.sort_uniq Stdlib.compare l in
+  map
+    (fun (((planes, rels), ecn), (g, pmr, pdl)) ->
+      {
+        C.planes = dedup (List.filteri (fun i _ -> i < 2) planes);
+        reliability = dedup (List.filteri (fun i _ -> i < 3) rels);
+        qos_target_bps = Float.abs g;
+        partial_max_retx = pmr;
+        partial_deadline = Float.abs pdl;
+        ecn;
+      })
+    (pair
+       (pair
+          (pair (list_size (int_range 1 2) plane)
+             (list_size (int_range 1 3) mode))
+          bool)
+       (triple (float_bound_exclusive 1e7) (int_bound 10)
+          (float_bound_exclusive 10.0)))
+
+let prop_offer_roundtrip =
+  QCheck.Test.make ~name:"offer codec round-trips" ~count:300
+    (QCheck.make gen_offer)
+    (fun o ->
+      match C.decode_offer (C.encode_offer o) with
+      | Ok o' -> C.equal_offer o o'
+      | Error _ -> false)
+
+let prop_negotiation_sound =
+  QCheck.Test.make ~name:"negotiated result is within both offers" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_offer gen_offer))
+    (fun (i, r) ->
+      match C.negotiate ~initiator:i ~responder:r with
+      | Error _ ->
+          (* Must be a genuine incompatibility. *)
+          not
+            (List.exists (fun p -> List.mem p r.C.planes) i.C.planes
+            && List.exists (fun m -> List.mem m r.C.reliability) i.C.reliability)
+      | Ok a ->
+          List.mem a.C.plane i.C.planes
+          && List.mem a.C.plane r.C.planes
+          && List.mem a.C.mode i.C.reliability
+          && List.mem a.C.mode r.C.reliability
+          && a.C.target_bps <= i.C.qos_target_bps)
+
+let suite =
+  [
+    Alcotest.test_case "initiator preference" `Quick
+      test_negotiate_prefers_initiator_order;
+    Alcotest.test_case "no common plane" `Quick test_negotiate_no_common_plane;
+    Alcotest.test_case "no common reliability" `Quick
+      test_negotiate_no_common_reliability;
+    Alcotest.test_case "qos capping" `Quick test_qos_target_capping;
+    Alcotest.test_case "partial strictest" `Quick test_partial_params_strictest;
+    Alcotest.test_case "offer codec" `Quick test_offer_codec_roundtrip;
+    Alcotest.test_case "agreed codec" `Quick test_agreed_codec_roundtrip;
+    Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+    Alcotest.test_case "to_policy" `Quick test_to_policy;
+    QCheck_alcotest.to_alcotest prop_offer_roundtrip;
+    QCheck_alcotest.to_alcotest prop_negotiation_sound;
+  ]

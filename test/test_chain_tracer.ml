@@ -1,0 +1,190 @@
+(* Netsim.Topology.chain and Netsim.Tracer. *)
+
+let frame ?(flow = 0) uid =
+  Netsim.Frame.make ~uid ~flow_id:flow ~size:1000 ~born:0.0
+    (Netsim.Frame.Raw uid)
+
+let spec ?(rate = 1e6) ?(delay = 0.01) ?loss () =
+  match loss with
+  | None -> Netsim.Topology.spec ~rate_bps:rate ~delay ()
+  | Some l -> Netsim.Topology.spec ~rate_bps:rate ~delay ~loss:l ()
+
+let test_chain_traverses_all_hops () =
+  let sim = Engine.Sim.create () in
+  let topo =
+    Netsim.Topology.chain ~sim ~n_flows:1
+      ~hops:[ spec (); spec (); spec () ]
+      ()
+  in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  let hops_seen = ref (-1) in
+  ep.Netsim.Topology.on_receiver_rx (fun f -> hops_seen := f.Netsim.Frame.hops);
+  ep.Netsim.Topology.to_receiver (frame 1);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "three hops" 3 !hops_seen
+
+let test_chain_delay_accumulates () =
+  let sim = Engine.Sim.create () in
+  let topo =
+    Netsim.Topology.chain ~sim ~n_flows:1
+      ~hops:[ spec ~delay:0.01 (); spec ~delay:0.02 () ]
+      ()
+  in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  let at = ref 0.0 in
+  ep.Netsim.Topology.on_receiver_rx (fun _ -> at := Engine.Sim.now sim);
+  ep.Netsim.Topology.to_receiver (frame 1);
+  Engine.Sim.run sim;
+  (* 2 serialisations of 8 ms (1000 B at 1 Mb/s) + 30 ms propagation. *)
+  Alcotest.(check (float 1e-6)) "arrival time" 0.046 !at
+
+let test_chain_bottleneck_is_slowest () =
+  let sim = Engine.Sim.create () in
+  let topo =
+    Netsim.Topology.chain ~sim ~n_flows:1
+      ~hops:[ spec ~rate:1e7 (); spec ~rate:2e6 (); spec ~rate:5e6 () ]
+      ()
+  in
+  Alcotest.(check (float 1.0)) "slowest hop" 2e6
+    (Netsim.Link.rate_bps topo.Netsim.Topology.bottleneck)
+
+let test_chain_rejects_empty () =
+  let sim = Engine.Sim.create () in
+  Alcotest.(check bool) "empty hops rejected" true
+    (try
+       ignore (Netsim.Topology.chain ~sim ~n_flows:1 ~hops:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_loss_compounds () =
+  (* Two hops of 10% loss each: survival ~ 0.81. *)
+  let sim = Engine.Sim.create ~seed:131 () in
+  let rng = Engine.Sim.split_rng sim in
+  let lossy () =
+    spec ~rate:1e8
+      ~loss:(fun () ->
+        Netsim.Loss_model.bernoulli ~p:0.1 ~rng:(Engine.Rng.split rng))
+      ()
+  in
+  let topo = Netsim.Topology.chain ~sim ~n_flows:1 ~hops:[ lossy (); lossy () ] () in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  let got = ref 0 in
+  ep.Netsim.Topology.on_receiver_rx (fun _ -> incr got);
+  let n = 20000 in
+  let rec send i =
+    if i < n then begin
+      ep.Netsim.Topology.to_receiver (frame i);
+      ignore (Engine.Sim.schedule_after sim 1e-4 (fun () -> send (i + 1)))
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim 0.0 (fun () -> send 0));
+  Engine.Sim.run sim;
+  let survival = float_of_int !got /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "survival %f ~ 0.81" survival)
+    true
+    (Float.abs (survival -. 0.81) < 0.02)
+
+let test_tracer_records_and_bounds () =
+  let sim = Engine.Sim.create () in
+  let tracer = Netsim.Tracer.create ~sim ~capacity:5 () in
+  let sunk = ref 0 in
+  let sink = Netsim.Tracer.tap tracer "probe" (fun _ -> incr sunk) in
+  for i = 1 to 8 do
+    sink (frame i)
+  done;
+  Alcotest.(check int) "all forwarded" 8 !sunk;
+  Alcotest.(check int) "total observed" 8 (Netsim.Tracer.count tracer);
+  let evs = Netsim.Tracer.events tracer in
+  Alcotest.(check int) "bounded buffer" 5 (List.length evs);
+  (match evs with
+  | first :: _ ->
+      Alcotest.(check int) "oldest kept is #4" 4 first.Netsim.Tracer.uid
+  | [] -> Alcotest.fail "no events");
+  Alcotest.(check int) "count_at" 5 (Netsim.Tracer.count_at tracer "probe");
+  Netsim.Tracer.clear tracer;
+  Alcotest.(check int) "cleared" 0 (List.length (Netsim.Tracer.events tracer))
+
+let test_tracer_multi_point () =
+  let sim = Engine.Sim.create () in
+  let tracer = Netsim.Tracer.create ~sim () in
+  let a = Netsim.Tracer.tap tracer "a" (fun _ -> ()) in
+  let b = Netsim.Tracer.tap tracer "b" (fun _ -> ()) in
+  a (frame 1);
+  b (frame 2);
+  a (frame 3);
+  Alcotest.(check int) "a" 2 (Netsim.Tracer.count_at tracer "a");
+  Alcotest.(check int) "b" 1 (Netsim.Tracer.count_at tracer "b");
+  let s = Format.asprintf "%t" (fun fmt -> Netsim.Tracer.dump tracer fmt) in
+  Alcotest.(check bool) "dump nonempty" true (String.length s > 10)
+
+let test_parking_lot_paths () =
+  let sim = Engine.Sim.create () in
+  (* Three hops; flow 0 crosses all, flow 1 only hop 1, flow 2 hops 1-2. *)
+  let topo =
+    Netsim.Topology.parking_lot ~sim
+      ~hops:[ spec (); spec (); spec () ]
+      ~paths:[| (0, 3); (1, 2); (1, 3) |]
+      ()
+  in
+  let hops_seen = Array.make 3 (-1) in
+  Array.iteri
+    (fun i (ep : Netsim.Topology.endpoint) ->
+      ep.Netsim.Topology.on_receiver_rx (fun f ->
+          hops_seen.(i) <- f.Netsim.Frame.hops))
+    topo.Netsim.Topology.endpoints;
+  Array.iteri
+    (fun i (ep : Netsim.Topology.endpoint) ->
+      ep.Netsim.Topology.to_receiver (frame ~flow:i (100 + i)))
+    topo.Netsim.Topology.endpoints;
+  Engine.Sim.run sim;
+  Alcotest.(check (array int)) "hop counts per path" [| 3; 1; 2 |] hops_seen
+
+let test_parking_lot_shared_middle_hop () =
+  let sim = Engine.Sim.create () in
+  let topo =
+    Netsim.Topology.parking_lot ~sim
+      ~hops:[ spec ~rate:2e6 (); spec ~rate:1e6 (); spec ~rate:2e6 () ]
+      ~paths:[| (0, 3); (1, 2) |]
+      ()
+  in
+  Array.iter
+    (fun (ep : Netsim.Topology.endpoint) ->
+      ep.Netsim.Topology.on_receiver_rx (fun _ -> ()))
+    topo.Netsim.Topology.endpoints;
+  Alcotest.(check (float 1.0)) "middle hop is the bottleneck" 1e6
+    (Netsim.Link.rate_bps topo.Netsim.Topology.bottleneck);
+  (topo.Netsim.Topology.endpoints.(0)).Netsim.Topology.to_receiver
+    (frame ~flow:0 1);
+  (topo.Netsim.Topology.endpoints.(1)).Netsim.Topology.to_receiver
+    (frame ~flow:1 2);
+  Engine.Sim.run sim;
+  let st = Netsim.Link.stats topo.Netsim.Topology.bottleneck in
+  Alcotest.(check int) "both crossed the shared hop" 2 st.Netsim.Link.delivered
+
+let test_parking_lot_validates () =
+  let sim = Engine.Sim.create () in
+  Alcotest.(check bool) "bad range rejected" true
+    (try
+       ignore
+         (Netsim.Topology.parking_lot ~sim ~hops:[ spec () ]
+            ~paths:[| (0, 2) |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "parking lot paths" `Quick test_parking_lot_paths;
+    Alcotest.test_case "parking lot shared hop" `Quick
+      test_parking_lot_shared_middle_hop;
+    Alcotest.test_case "parking lot validates" `Quick test_parking_lot_validates;
+    Alcotest.test_case "chain traverses hops" `Quick
+      test_chain_traverses_all_hops;
+    Alcotest.test_case "chain delay accumulates" `Quick
+      test_chain_delay_accumulates;
+    Alcotest.test_case "chain bottleneck" `Quick test_chain_bottleneck_is_slowest;
+    Alcotest.test_case "chain rejects empty" `Quick test_chain_rejects_empty;
+    Alcotest.test_case "chain loss compounds" `Quick test_chain_loss_compounds;
+    Alcotest.test_case "tracer bounds" `Quick test_tracer_records_and_bounds;
+    Alcotest.test_case "tracer multi point" `Quick test_tracer_multi_point;
+  ]

@@ -1,0 +1,122 @@
+(* Connection close lifecycle: drain, CLOSE/CLOSE-ACK, idempotence,
+   unilateral close through a dead path. *)
+
+let setup ?(loss = 0.0) ?(seed = 191) ~mode () =
+  let sim, topo =
+    Experiments.Common.lossy_path ~seed ~rate_mbps:10.0
+      ~loss:(Experiments.Common.bernoulli loss)
+      ()
+  in
+  let agreed =
+    Qtp.Profile.agreed_exn
+      (Qtp.Profile.qtp_light ~reliability:[ mode ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  let conn =
+    Qtp.Connection.create ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+  in
+  (sim, conn)
+
+let test_close_reaches_closed () =
+  let sim, conn = setup ~mode:Qtp.Capabilities.R_full () in
+  ignore (Engine.Sim.schedule_at sim 5.0 (fun () -> Qtp.Connection.close conn));
+  Engine.Sim.run ~until:15.0 sim;
+  Alcotest.(check bool) "closed" true (Qtp.Connection.state conn = Qtp.Connection.Closed)
+
+let test_close_stops_new_data () =
+  let sim, conn = setup ~mode:Qtp.Capabilities.R_full () in
+  ignore (Engine.Sim.schedule_at sim 5.0 (fun () -> Qtp.Connection.close conn));
+  Engine.Sim.run ~until:7.0 sim;
+  let sent_at_7 = Qtp.Connection.data_sent conn in
+  Engine.Sim.run ~until:15.0 sim;
+  Alcotest.(check int) "no new data after close settles" sent_at_7
+    (Qtp.Connection.data_sent conn)
+
+let test_close_drains_reliability_under_loss () =
+  (* Everything sent before close must still be delivered: close waits
+     for the scoreboard to drain even at 5% loss. *)
+  let sim, conn = setup ~loss:0.05 ~mode:Qtp.Capabilities.R_full () in
+  ignore (Engine.Sim.schedule_at sim 5.0 (fun () -> Qtp.Connection.close conn));
+  Engine.Sim.run ~until:30.0 sim;
+  Alcotest.(check bool) "closed" true
+    (Qtp.Connection.state conn = Qtp.Connection.Closed);
+  Alcotest.(check int) "nothing skipped" 0 (Qtp.Connection.skipped conn);
+  (* All in-flight data was repaired and delivered (the only shortfall
+     may be segments lost *after* the last retransmission wave, which
+     drain handles, so: delivered = sent distinct seqs). *)
+  Alcotest.(check int) "delivered everything sent"
+    (Qtp.Connection.data_sent conn)
+    (Qtp.Connection.delivered conn)
+
+let test_close_idempotent () =
+  let sim, conn = setup ~mode:Qtp.Capabilities.R_none () in
+  ignore
+    (Engine.Sim.schedule_at sim 5.0 (fun () ->
+         Qtp.Connection.close conn;
+         Qtp.Connection.close conn));
+  Engine.Sim.run ~until:10.0 sim;
+  Qtp.Connection.close conn;
+  Alcotest.(check bool) "still closed" true
+    (Qtp.Connection.state conn = Qtp.Connection.Closed)
+
+let test_unilateral_close_on_dead_path () =
+  (* The reverse path dies with the close in flight: after the retry
+     budget the sender closes anyway. *)
+  let sim, topo =
+    Experiments.Common.lossy_path ~seed:193 ~rate_mbps:10.0
+      ~loss:(Experiments.Common.bernoulli 0.0)
+      ()
+  in
+  let agreed =
+    Qtp.Profile.agreed_exn
+      (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_none ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  let dead = ref false in
+  let real = ep.Netsim.Topology.to_sender in
+  let ep = { ep with Netsim.Topology.to_sender = (fun f -> if not !dead then real f) } in
+  let conn =
+    Qtp.Connection.create ~sim ~endpoint:ep
+      (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+  in
+  ignore
+    (Engine.Sim.schedule_at sim 5.0 (fun () ->
+         dead := true;
+         Qtp.Connection.close conn));
+  Engine.Sim.run ~until:60.0 sim;
+  Alcotest.(check bool) "unilaterally closed" true
+    (Qtp.Connection.state conn = Qtp.Connection.Closed)
+
+let test_close_before_established () =
+  let sim, topo =
+    Experiments.Common.lossy_path ~seed:195 ~rate_mbps:10.0
+      ~loss:(Experiments.Common.bernoulli 1.0)
+      ()
+  in
+  let conn =
+    Qtp.Connection.create_negotiated ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~initiator:(Qtp.Profile.qtp_light ())
+      ~responder:(Qtp.Profile.mobile_receiver ())
+      ()
+  in
+  ignore (Engine.Sim.schedule_at sim 0.5 (fun () -> Qtp.Connection.close conn));
+  Engine.Sim.run ~until:5.0 sim;
+  Alcotest.(check bool) "aborted" true
+    (Qtp.Connection.state conn = Qtp.Connection.Closed)
+
+let suite =
+  [
+    Alcotest.test_case "reaches Closed" `Quick test_close_reaches_closed;
+    Alcotest.test_case "stops new data" `Quick test_close_stops_new_data;
+    Alcotest.test_case "drains reliability" `Quick
+      test_close_drains_reliability_under_loss;
+    Alcotest.test_case "idempotent" `Quick test_close_idempotent;
+    Alcotest.test_case "unilateral on dead path" `Quick
+      test_unilateral_close_on_dead_path;
+    Alcotest.test_case "close before established" `Quick
+      test_close_before_established;
+  ]

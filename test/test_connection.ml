@@ -1,0 +1,205 @@
+(* Qtp.Connection: end-to-end behaviour of the composed protocol. *)
+
+let duplex ?(rate_mbps = 10.0) ?(loss = 0.0) ?(seed = 101) () =
+  Experiments.Common.lossy_path ~seed ~rate_mbps
+    ~loss:(Experiments.Common.bernoulli loss)
+    ()
+
+let agreed_of offer responder = Qtp.Profile.agreed_exn offer responder
+
+let run_conn ?(until = 20.0) ?source ?(cfg_of = fun a -> Qtp.Connection.config ~initial_rtt:0.2 a) ~loss offer responder =
+  let sim, topo = duplex ~loss () in
+  let conn =
+    Qtp.Connection.create ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ?source
+      (cfg_of (agreed_of offer responder))
+  in
+  Engine.Sim.run ~until sim;
+  conn
+
+let test_clean_path_fills_link () =
+  let conn =
+    run_conn ~loss:0.0 (Qtp.Profile.qtp_tfrc ()) (Qtp.Profile.anything ())
+  in
+  let rate =
+    Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:5.0 ~until:20.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f near link" rate)
+    true (rate > 8.0e6)
+
+let test_loss_throttles () =
+  let conn =
+    run_conn ~loss:0.02 (Qtp.Profile.qtp_tfrc ()) (Qtp.Profile.anything ())
+  in
+  let rate =
+    Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:5.0 ~until:20.0
+  in
+  Alcotest.(check bool) "well below link rate" true (rate < 5.0e6);
+  Alcotest.(check bool) "but alive" true (rate > 2.0e5);
+  Alcotest.(check bool) "p estimated" true
+    (Qtp.Connection.sender_loss_estimate conn > 0.005)
+
+let test_full_reliability_delivers_all () =
+  let conn =
+    run_conn ~loss:0.05 (Qtp.Profile.qtp_full ()) (Qtp.Profile.anything ())
+  in
+  Alcotest.(check int) "nothing skipped" 0 (Qtp.Connection.skipped conn);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Qtp.Connection.retransmissions conn > 0);
+  Alcotest.(check bool) "delivered bulk" true
+    (Qtp.Connection.delivered conn > 500)
+
+let test_light_full_reliability_delivers_all () =
+  let conn =
+    run_conn ~loss:0.05
+      (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_full ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  Alcotest.(check int) "nothing skipped" 0 (Qtp.Connection.skipped conn);
+  Alcotest.(check bool) "delivered bulk" true
+    (Qtp.Connection.delivered conn > 500)
+
+let test_unreliable_skips_losses () =
+  let conn =
+    run_conn ~loss:0.05
+      (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_none ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  Alcotest.(check int) "no retransmissions" 0
+    (Qtp.Connection.retransmissions conn);
+  Alcotest.(check bool) "losses were skipped" true
+    (Qtp.Connection.skipped conn > 0);
+  (* Delivery continues past the holes. *)
+  Alcotest.(check bool) "delivered bulk" true
+    (Qtp.Connection.delivered conn > 500)
+
+let test_light_plane_estimates_loss () =
+  let conn =
+    run_conn ~loss:0.02
+      (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_none ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  let p = Qtp.Connection.sender_loss_estimate conn in
+  Alcotest.(check bool)
+    (Printf.sprintf "sender-side p %f plausible" p)
+    true
+    (p > 0.002 && p < 0.08);
+  Alcotest.(check bool) "no receiver-side estimate on light plane" true
+    (Qtp.Connection.receiver_loss_estimate conn = None)
+
+let test_delivery_delays_recorded () =
+  let conn =
+    run_conn ~loss:0.02 (Qtp.Profile.qtp_full ()) (Qtp.Profile.anything ())
+  in
+  let d = Qtp.Connection.delivery_delays conn in
+  Alcotest.(check bool) "delays recorded" true (Array.length d > 100);
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun x -> x > 0.0) d);
+  (* One-way delay is 40 ms; nothing can be faster. *)
+  Alcotest.(check bool) "lower bound respected" true
+    (Array.for_all (fun x -> x >= 0.039) d)
+
+let test_gtfrc_target_respected_under_loss () =
+  let g = 2.0e6 in
+  let conn =
+    run_conn ~loss:0.05 (Qtp.Profile.qtp_af ~g_bps:g ()) (Qtp.Profile.anything ())
+  in
+  (* At 5% random loss TFRC alone would sit far below 2 Mb/s (compare
+     test_loss_throttles at 2%); the floor must hold the sending rate. *)
+  Alcotest.(check bool) "rate floored at g" true
+    (Qtp.Connection.current_rate_bps conn >= g *. 0.99)
+
+let test_cbr_source_limits_rate () =
+  let sim, topo = duplex ~loss:0.0 () in
+  let media = 1.0e6 in
+  let source = Qtp.Source.cbr ~sim ~rate_bps:media ~packet_size:1500 () in
+  let conn =
+    Qtp.Connection.create ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~source
+      (Qtp.Connection.config ~initial_rtt:0.2
+         (agreed_of (Qtp.Profile.qtp_tfrc ()) (Qtp.Profile.anything ())))
+  in
+  Engine.Sim.run ~until:20.0 sim;
+  let rate =
+    Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:5.0 ~until:20.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f ~ media rate" rate)
+    true
+    (Float.abs (rate -. media) /. media < 0.1)
+
+let test_negotiated_handshake_establishes () =
+  let sim, topo = duplex ~loss:0.0 () in
+  let conn =
+    Qtp.Connection.create_negotiated ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~initial_rtt:0.2
+      ~initiator:(Qtp.Profile.qtp_light ())
+      ~responder:(Qtp.Profile.mobile_receiver ())
+      ()
+  in
+  Engine.Sim.run ~until:5.0 sim;
+  (match Qtp.Connection.state conn with
+  | Qtp.Connection.Established a ->
+      Alcotest.(check bool) "light plane" true
+        (a.Qtp.Capabilities.plane = Qtp.Capabilities.Light)
+  | _ -> Alcotest.fail "expected established");
+  Alcotest.(check int) "3-segment handshake" 3
+    (Qtp.Connection.handshake_packets conn);
+  Alcotest.(check bool) "data flowed" true (Qtp.Connection.delivered conn > 0)
+
+let test_negotiation_failure_is_clean () =
+  let sim, topo = duplex ~loss:0.0 () in
+  let conn =
+    Qtp.Connection.create_negotiated ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~initiator:(Qtp.Profile.qtp_af ~g_bps:1e6 ())
+      ~responder:(Qtp.Profile.qtp_light ())
+      ()
+  in
+  Engine.Sim.run ~until:5.0 sim;
+  (match Qtp.Connection.state conn with
+  | Qtp.Connection.Failed _ -> ()
+  | _ -> Alcotest.fail "expected failure");
+  Alcotest.(check int) "nothing delivered" 0 (Qtp.Connection.delivered conn);
+  Alcotest.(check int) "no data sent" 0 (Qtp.Connection.data_sent conn)
+
+let test_feedback_flows_both_planes () =
+  let std =
+    run_conn ~loss:0.01 (Qtp.Profile.qtp_tfrc ()) (Qtp.Profile.anything ())
+  in
+  let light =
+    run_conn ~loss:0.01
+      (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_none ] ())
+      (Qtp.Profile.mobile_receiver ())
+  in
+  Alcotest.(check bool) "std feedback" true (Qtp.Connection.feedback_packets std > 10);
+  Alcotest.(check bool) "light feedback" true
+    (Qtp.Connection.feedback_packets light > 10);
+  Alcotest.(check bool) "bytes counted" true
+    (Qtp.Connection.feedback_bytes light > 0)
+
+let suite =
+  [
+    Alcotest.test_case "clean path fills link" `Quick test_clean_path_fills_link;
+    Alcotest.test_case "loss throttles" `Quick test_loss_throttles;
+    Alcotest.test_case "full reliability (std plane)" `Quick
+      test_full_reliability_delivers_all;
+    Alcotest.test_case "full reliability (light plane)" `Quick
+      test_light_full_reliability_delivers_all;
+    Alcotest.test_case "unreliable skips" `Quick test_unreliable_skips_losses;
+    Alcotest.test_case "light plane loss estimate" `Quick
+      test_light_plane_estimates_loss;
+    Alcotest.test_case "delivery delays" `Quick test_delivery_delays_recorded;
+    Alcotest.test_case "gTFRC floor" `Quick
+      test_gtfrc_target_respected_under_loss;
+    Alcotest.test_case "cbr source limit" `Quick test_cbr_source_limits_rate;
+    Alcotest.test_case "handshake establishes" `Quick
+      test_negotiated_handshake_establishes;
+    Alcotest.test_case "negotiation failure clean" `Quick
+      test_negotiation_failure_is_clean;
+    Alcotest.test_case "feedback on both planes" `Quick
+      test_feedback_flows_both_planes;
+  ]

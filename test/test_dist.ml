@@ -1,0 +1,83 @@
+(* Engine.Dist: moments and support of each sampler. *)
+
+let rng () = Engine.Rng.create ~seed:31
+
+let sample n f =
+  let r = rng () in
+  Array.init n (fun _ -> f r)
+
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let test_exponential_mean () =
+  let xs = sample 50_000 (fun r -> Engine.Dist.exponential r ~mean:2.0) in
+  let m = mean xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %f ~ 2.0" m)
+    true
+    (Float.abs (m -. 2.0) < 0.05);
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun x -> x >= 0.0) xs)
+
+let test_pareto_support () =
+  let xs = sample 10_000 (fun r -> Engine.Dist.pareto r ~shape:2.5 ~scale:1.0) in
+  Alcotest.(check bool) "x >= scale" true (Array.for_all (fun x -> x >= 1.0) xs);
+  (* mean = shape*scale/(shape-1) = 2.5/1.5 ~ 1.667 *)
+  let m = mean xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %f ~ 1.667" m)
+    true
+    (Float.abs (m -. 1.6667) < 0.08)
+
+let test_normal_moments () =
+  let xs = sample 50_000 (fun r -> Engine.Dist.normal r ~mean:3.0 ~stddev:2.0) in
+  let m = mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (Array.length xs)
+  in
+  Alcotest.(check bool) "mean ~3" true (Float.abs (m -. 3.0) < 0.05);
+  Alcotest.(check bool) "stddev ~2" true (Float.abs (sqrt var -. 2.0) < 0.05)
+
+let test_geometric () =
+  let xs = sample 50_000 (fun r -> float_of_int (Engine.Dist.geometric r ~p:0.25)) in
+  Alcotest.(check bool)
+    "non-negative" true
+    (Array.for_all (fun x -> x >= 0.0) xs);
+  (* mean = (1-p)/p = 3 *)
+  let m = mean xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %f ~ 3.0" m)
+    true
+    (Float.abs (m -. 3.0) < 0.1)
+
+let test_uniform_range () =
+  let xs =
+    sample 20_000 (fun r -> Engine.Dist.uniform_range r ~lo:(-2.0) ~hi:5.0)
+  in
+  Alcotest.(check bool)
+    "in range" true
+    (Array.for_all (fun x -> x >= -2.0 && x < 5.0) xs);
+  let m = mean xs in
+  Alcotest.(check bool) "mean ~1.5" true (Float.abs (m -. 1.5) < 0.1)
+
+let test_poisson_mean () =
+  let xs = sample 20_000 (fun r -> float_of_int (Engine.Dist.poisson r ~mean:4.0)) in
+  let m = mean xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %f ~ 4.0" m)
+    true
+    (Float.abs (m -. 4.0) < 0.1)
+
+let test_poisson_zero () =
+  let r = rng () in
+  Alcotest.(check int) "mean 0 gives 0" 0 (Engine.Dist.poisson r ~mean:0.0)
+
+let suite =
+  [
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pareto support and mean" `Quick test_pareto_support;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "geometric mean" `Quick test_geometric;
+    Alcotest.test_case "uniform_range" `Quick test_uniform_range;
+    Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+  ]

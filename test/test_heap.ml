@@ -1,0 +1,86 @@
+(* Engine.Heap: ordering, stability of size accounting, qcheck sort. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let h = Engine.Heap.create ~compare:Int.compare in
+  check_int "length" 0 (Engine.Heap.length h);
+  check_bool "is_empty" true (Engine.Heap.is_empty h);
+  Alcotest.(check (option int)) "min" None (Engine.Heap.min h);
+  Alcotest.(check (option int)) "pop" None (Engine.Heap.pop_min h)
+
+let test_ordering () =
+  let h = Engine.Heap.create ~compare:Int.compare in
+  List.iter (Engine.Heap.add h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  check_int "length" 7 (Engine.Heap.length h);
+  let drained = ref [] in
+  let rec drain () =
+    match Engine.Heap.pop_min h with
+    | Some x ->
+        drained := x :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "sorted ascending" [ 0; 1; 1; 3; 4; 5; 9 ]
+    (List.rev !drained)
+
+let test_min_not_removed () =
+  let h = Engine.Heap.create ~compare:Int.compare in
+  Engine.Heap.add h 2;
+  Engine.Heap.add h 1;
+  Alcotest.(check (option int)) "min" (Some 1) (Engine.Heap.min h);
+  check_int "length unchanged" 2 (Engine.Heap.length h)
+
+let test_clear () =
+  let h = Engine.Heap.create ~compare:Int.compare in
+  List.iter (Engine.Heap.add h) [ 3; 2; 1 ];
+  Engine.Heap.clear h;
+  check_int "cleared" 0 (Engine.Heap.length h);
+  Engine.Heap.add h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Engine.Heap.pop_min h)
+
+let test_to_sorted_list () =
+  let h = Engine.Heap.create ~compare:Int.compare in
+  List.iter (Engine.Heap.add h) [ 4; 2; 8; 6 ];
+  Alcotest.(check (list int)) "sorted" [ 2; 4; 6; 8 ] (Engine.Heap.to_sorted_list h);
+  check_int "non-destructive" 4 (Engine.Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Engine.Heap.create ~compare:Int.compare in
+      List.iter (Engine.Heap.add h) xs;
+      let rec drain acc =
+        match Engine.Heap.pop_min h with
+        | Some x -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_custom_order =
+  QCheck.Test.make ~name:"heap honours custom compare (max-heap)" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Engine.Heap.create ~compare:(fun a b -> Int.compare b a) in
+      List.iter (Engine.Heap.add h) xs;
+      let rec drain acc =
+        match Engine.Heap.pop_min h with
+        | Some x -> drain (x :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort (fun a b -> Int.compare b a) xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "drains in order" `Quick test_ordering;
+    Alcotest.test_case "min peeks" `Quick test_min_not_removed;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_custom_order;
+  ]

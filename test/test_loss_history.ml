@@ -1,0 +1,251 @@
+(* Tfrc.Loss_history: hole detection, loss-event grouping, weighted
+   average, discounting, retransmit exclusion. *)
+
+module LH = Tfrc.Loss_history
+module S = Packet.Serial
+
+let rtt = 0.1
+
+(* Feed sequence numbers (1 ms apart) with [skip] numbers missing. *)
+let feed ?(lh = LH.create ()) ?(gap = 0.001) present =
+  List.iter
+    (fun i ->
+      LH.on_packet lh ~seq:(S.of_int i)
+        ~arrival:(float_of_int i *. gap)
+        ~rtt ~is_retx:false)
+    present;
+  lh
+
+let range a b = List.init (b - a) (fun i -> a + i)
+
+let test_no_loss () =
+  let lh = feed (range 0 100) in
+  Alcotest.(check int) "no events" 0 (LH.loss_events lh);
+  Alcotest.(check (float 0.0)) "p = 0" 0.0 (LH.loss_event_rate lh);
+  Alcotest.(check int) "packets" 100 (LH.packets_seen lh)
+
+let test_single_hole_detected () =
+  (* 50 missing; ndup=3 means it is lost once 51..53 arrive. *)
+  let lh = feed (range 0 50 @ range 51 54) in
+  Alcotest.(check int) "one loss" 1 (LH.losses lh);
+  Alcotest.(check int) "one event" 1 (LH.loss_events lh)
+
+let test_hole_needs_ndup () =
+  let lh = feed (range 0 50 @ [ 51; 52 ]) in
+  Alcotest.(check int) "not yet confirmed" 0 (LH.losses lh)
+
+let test_late_arrival_cancels_hole () =
+  let lh = LH.create () in
+  let send i = LH.on_packet lh ~seq:(S.of_int i) ~arrival:(float_of_int i *. 0.001) ~rtt ~is_retx:false in
+  List.iter send [ 0; 1; 3; 4 ];
+  (* 2 is a pending hole with after=2; its late arrival repairs it. *)
+  send 2;
+  List.iter send [ 5; 6; 7; 8 ];
+  Alcotest.(check int) "no losses" 0 (LH.losses lh)
+
+let test_burst_groups_into_one_event () =
+  (* Five consecutive losses within one RTT: one loss event. *)
+  let lh = feed (range 0 50 @ range 55 70) in
+  Alcotest.(check int) "five losses" 5 (LH.losses lh);
+  Alcotest.(check int) "one event" 1 (LH.loss_events lh)
+
+let test_spread_losses_are_separate_events () =
+  (* Losses far apart in time (> RTT at 1 ms spacing -> 150 apart). *)
+  let present =
+    List.filter (fun i -> i <> 100 && i <> 400 && i <> 700) (range 0 1000)
+  in
+  let lh = feed present in
+  Alcotest.(check int) "three losses" 3 (LH.losses lh);
+  Alcotest.(check int) "three events" 3 (LH.loss_events lh)
+
+let test_retransmit_excluded () =
+  let lh = LH.create () in
+  LH.on_packet lh ~seq:(S.of_int 0) ~arrival:0.0 ~rtt ~is_retx:false;
+  LH.on_packet lh ~seq:(S.of_int 1) ~arrival:0.001 ~rtt ~is_retx:true;
+  Alcotest.(check int) "retx not counted" 1 (LH.packets_seen lh)
+
+let test_mean_interval_weighted () =
+  (* Construct exactly two closed intervals of 100 and 200 packets.
+     Open interval small; weights for 2 terms are both 1. *)
+  let present =
+    List.filter (fun i -> i <> 100 && i <> 300 && i <> 400) (range 0 1000)
+  in
+  let lh = feed ~gap:0.05 present in
+  (* gap 0.05 > rtt: every loss is its own event. *)
+  Alcotest.(check int) "three events" 3 (LH.loss_events lh);
+  let intervals = LH.closed_intervals lh in
+  Alcotest.(check (list (float 0.5))) "closed intervals newest-first"
+    [ 100.0; 200.0 ] intervals
+
+let test_p_tracks_loss_rate_ballpark () =
+  (* Periodic loss every 100 packets, spaced out in time: p ~ 1/100. *)
+  let present = List.filter (fun i -> i mod 100 <> 99) (range 0 3000) in
+  let lh = feed ~gap:0.05 present in
+  let p = LH.loss_event_rate lh in
+  Alcotest.(check bool)
+    (Printf.sprintf "p %f ~ 0.01" p)
+    true
+    (p > 0.005 && p < 0.02)
+
+let test_first_interval_seeding () =
+  let lh = LH.create () in
+  let send i =
+    LH.on_packet lh ~seq:(S.of_int i) ~arrival:(float_of_int i *. 0.001) ~rtt
+      ~is_retx:false
+  in
+  List.iter send (range 0 10);
+  LH.set_first_interval lh 500.0;
+  Alcotest.(check (list (float 1e-9))) "seed stored" [ 500.0 ]
+    (LH.closed_intervals lh);
+  (* Seeding is only effective while no closed interval exists. *)
+  LH.set_first_interval lh 900.0;
+  Alcotest.(check (list (float 1e-9))) "seed not replaced" [ 500.0 ]
+    (LH.closed_intervals lh)
+
+let test_discounting_faster_recovery () =
+  let mk discount =
+    let lh = LH.create ~discount () in
+    (* losses early... *)
+    let present = List.filter (fun i -> i mod 50 <> 49) (range 0 500) in
+    List.iter
+      (fun i ->
+        LH.on_packet lh ~seq:(S.of_int i) ~arrival:(float_of_int i *. 0.05)
+          ~rtt ~is_retx:false)
+      present;
+    (* ...then a long clean stretch. *)
+    List.iter
+      (fun i ->
+        LH.on_packet lh ~seq:(S.of_int i)
+          ~arrival:(25.0 +. (float_of_int i *. 0.05))
+          ~rtt ~is_retx:false)
+      (range 500 3000);
+    LH.loss_event_rate lh
+  in
+  let p_disc = mk true and p_plain = mk false in
+  Alcotest.(check bool)
+    (Printf.sprintf "discounted %f <= undisc %f" p_disc p_plain)
+    true (p_disc <= p_plain)
+
+let test_history_bounded () =
+  (* Many events: closed interval list stays at the history depth. *)
+  let present = List.filter (fun i -> i mod 20 <> 19) (range 0 5000) in
+  let lh = feed ~gap:0.05 present in
+  Alcotest.(check bool) "history bounded at 8" true
+    (List.length (LH.closed_intervals lh) <= 8)
+
+let test_max_seq () =
+  let lh = feed [ 0; 1; 2; 7 ] in
+  match LH.max_seq lh with
+  | Some s -> Alcotest.(check int) "max seq" 7 (S.to_int s)
+  | None -> Alcotest.fail "expected max_seq"
+
+let test_cost_charged () =
+  let cost = Stats.Cost.create () in
+  let lh = LH.create ~cost () in
+  List.iter
+    (fun i ->
+      LH.on_packet lh ~seq:(S.of_int i) ~arrival:(float_of_int i *. 0.001)
+        ~rtt ~is_retx:false)
+    (range 0 100);
+  ignore (LH.loss_event_rate lh);
+  Alcotest.(check int) "update charged per packet" 100
+    (Stats.Cost.ops cost "lh.update")
+
+(* Reference model: loss events computed independently with a simple
+   brute-force pass, compared against the incremental implementation. *)
+let prop_events_match_reference =
+  QCheck.Test.make ~name:"loss events match a brute-force reference" ~count:150
+    QCheck.(pair (int_range 1 10_000) (int_range 1 15))
+    (fun (seed, loss_pct) ->
+      let rng = Engine.Rng.create ~seed in
+      let n = 2000 in
+      let gap = 0.004 in
+      (* ~12 packets per RTT *)
+      let alive =
+        Array.init n (fun _ ->
+            not (Engine.Rng.chance rng (float_of_int loss_pct /. 100.0)))
+      in
+      (* Incremental implementation. *)
+      let lh = LH.create () in
+      Array.iteri
+        (fun i ok ->
+          if ok then
+            LH.on_packet lh ~seq:(S.of_int i)
+              ~arrival:(float_of_int i *. gap)
+              ~rtt ~is_retx:false)
+        alive;
+      (* Reference: a lost packet i is "detected" at the arrival time of
+         the 3rd received packet after it; detections within [rtt] of the
+         current event's start merge.  Only losses whose detection exists
+         (3 later arrivals) count — same ndup semantics. *)
+      let detection i =
+        let rec scan j remaining =
+          if j >= n then None
+          else if alive.(j) then
+            if remaining = 1 then Some (float_of_int j *. gap)
+            else scan (j + 1) (remaining - 1)
+          else scan (j + 1) remaining
+        in
+        scan (i + 1) 3
+      in
+      (* A receiver cannot detect losses before the first packet it ever
+         received (they are before its window opens), so the reference
+         starts at the first alive position. *)
+      let first_alive =
+        let rec scan i = if i >= n || alive.(i) then i else scan (i + 1) in
+        scan 0
+      in
+      let events = ref 0 in
+      let current_start = ref neg_infinity in
+      for i = first_alive to n - 1 do
+        if not alive.(i) then
+          match detection i with
+          | Some det ->
+              if det -. !current_start > rtt then begin
+                incr events;
+                current_start := det
+              end
+          | None -> ()
+      done;
+      LH.loss_events lh = !events)
+
+let prop_p_in_unit_interval =
+  QCheck.Test.make ~name:"p always in [0,1]" ~count:100
+    QCheck.(list (int_bound 2000))
+    (fun xs ->
+      let lh = LH.create () in
+      let sorted = List.sort_uniq Int.compare xs in
+      List.iter
+        (fun i ->
+          LH.on_packet lh ~seq:(S.of_int i)
+            ~arrival:(float_of_int i *. 0.001)
+            ~rtt ~is_retx:false)
+        sorted;
+      let p = LH.loss_event_rate lh in
+      p >= 0.0 && p <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "no loss" `Quick test_no_loss;
+    Alcotest.test_case "single hole" `Quick test_single_hole_detected;
+    Alcotest.test_case "hole needs ndup" `Quick test_hole_needs_ndup;
+    Alcotest.test_case "late arrival repairs" `Quick
+      test_late_arrival_cancels_hole;
+    Alcotest.test_case "burst groups into one event" `Quick
+      test_burst_groups_into_one_event;
+    Alcotest.test_case "spread losses separate" `Quick
+      test_spread_losses_are_separate_events;
+    Alcotest.test_case "retransmit excluded" `Quick test_retransmit_excluded;
+    Alcotest.test_case "intervals closed correctly" `Quick
+      test_mean_interval_weighted;
+    Alcotest.test_case "p ballpark" `Quick test_p_tracks_loss_rate_ballpark;
+    Alcotest.test_case "first interval seeding" `Quick
+      test_first_interval_seeding;
+    Alcotest.test_case "discounting recovery" `Quick
+      test_discounting_faster_recovery;
+    Alcotest.test_case "history bounded" `Quick test_history_bounded;
+    Alcotest.test_case "max_seq" `Quick test_max_seq;
+    Alcotest.test_case "cost charged" `Quick test_cost_charged;
+    QCheck_alcotest.to_alcotest prop_events_match_reference;
+    QCheck_alcotest.to_alcotest prop_p_in_unit_interval;
+  ]

@@ -1,0 +1,94 @@
+(* Netsim.Loss_model: stationary rates and burstiness. *)
+
+let count_drops lm n =
+  let d = ref 0 in
+  for _ = 1 to n do
+    if Netsim.Loss_model.drops lm then incr d
+  done;
+  float_of_int !d /. float_of_int n
+
+let test_none () =
+  Alcotest.(check (float 0.0)) "never drops" 0.0
+    (count_drops Netsim.Loss_model.none 1000);
+  Alcotest.(check (float 0.0)) "expected 0" 0.0
+    (Netsim.Loss_model.expected_loss_rate Netsim.Loss_model.none)
+
+let test_bernoulli_rate () =
+  let rng = Engine.Rng.create ~seed:51 in
+  let lm = Netsim.Loss_model.bernoulli ~p:0.05 ~rng in
+  let rate = count_drops lm 100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %f ~ 0.05" rate)
+    true
+    (Float.abs (rate -. 0.05) < 0.005);
+  Alcotest.(check (float 1e-9)) "expected" 0.05
+    (Netsim.Loss_model.expected_loss_rate lm)
+
+let test_gilbert_stationary_rate () =
+  let rng = Engine.Rng.create ~seed:53 in
+  let lm =
+    Netsim.Loss_model.gilbert_elliott ~p_good_to_bad:0.01 ~p_bad_to_good:0.2
+      ~loss_good:0.0 ~loss_bad:0.5 ~rng
+  in
+  let expected = Netsim.Loss_model.expected_loss_rate lm in
+  (* pi_bad = 0.01/0.21; expected = pi_bad * 0.5 *)
+  Alcotest.(check (float 1e-9)) "analytic stationary rate"
+    (0.01 /. 0.21 *. 0.5) expected;
+  let rate = count_drops lm 200_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %f ~ expected %f" rate expected)
+    true
+    (Float.abs (rate -. expected) < 0.005)
+
+let burst_lengths lm n =
+  (* Mean length of consecutive-drop runs. *)
+  let runs = ref [] and cur = ref 0 in
+  for _ = 1 to n do
+    if Netsim.Loss_model.drops lm then incr cur
+    else if !cur > 0 then begin
+      runs := !cur :: !runs;
+      cur := 0
+    end
+  done;
+  match !runs with
+  | [] -> 0.0
+  | rs ->
+      float_of_int (List.fold_left ( + ) 0 rs) /. float_of_int (List.length rs)
+
+let test_gilbert_burstier_than_bernoulli () =
+  let rng1 = Engine.Rng.create ~seed:55 in
+  let rng2 = Engine.Rng.create ~seed:56 in
+  let bursty = Experiments.Common.gilbert ~loss:0.05 ~burstiness:0.9 rng1 in
+  let random = Netsim.Loss_model.bernoulli ~p:0.05 ~rng:rng2 in
+  let bl = burst_lengths bursty 200_000 in
+  let rl = burst_lengths random 200_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gilbert bursts (%f) longer than bernoulli (%f)" bl rl)
+    true (bl > rl *. 1.5)
+
+let test_common_gilbert_calibration () =
+  (* Experiments.Common.gilbert must hit the requested stationary rate. *)
+  List.iter
+    (fun target ->
+      let rng = Engine.Rng.create ~seed:57 in
+      let lm = Experiments.Common.gilbert ~loss:target ~burstiness:0.5 rng in
+      let expected = Netsim.Loss_model.expected_loss_rate lm in
+      Alcotest.(check (float 1e-6)) "calibrated" target expected;
+      let measured = count_drops lm 300_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "measured %f ~ %f" measured target)
+        true
+        (Float.abs (measured -. target) < 0.2 *. target))
+    [ 0.01; 0.05; 0.1 ]
+
+let suite =
+  [
+    Alcotest.test_case "none" `Quick test_none;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "gilbert stationary rate" `Quick
+      test_gilbert_stationary_rate;
+    Alcotest.test_case "gilbert burstiness" `Quick
+      test_gilbert_burstier_than_bernoulli;
+    Alcotest.test_case "common.gilbert calibration" `Quick
+      test_common_gilbert_calibration;
+  ]

@@ -1,0 +1,142 @@
+(* Sack.Rcv_tracker: cumulative ack, range merging, SACK block
+   generation, forward points. *)
+
+module T = Sack.Rcv_tracker
+module S = Packet.Serial
+
+let feed t xs = List.iter (fun i -> T.on_data t ~seq:(S.of_int i)) xs
+
+let blocks_ints t =
+  List.map
+    (fun (b : Sack.Blocks.t) ->
+      (S.to_int b.Packet.Header.block_start, S.to_int b.Packet.Header.block_end))
+    (T.all_ranges t)
+
+let test_in_order () =
+  let t = T.create () in
+  feed t [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "cum advances" 4 (S.to_int (T.cum_ack t));
+  Alcotest.(check (list (pair int int))) "no ranges" [] (blocks_ints t)
+
+let test_gap_creates_range () =
+  let t = T.create () in
+  feed t [ 0; 1; 5; 6 ];
+  Alcotest.(check int) "cum stuck at hole" 2 (S.to_int (T.cum_ack t));
+  Alcotest.(check (list (pair int int))) "range" [ (5, 7) ] (blocks_ints t)
+
+let test_fill_merges_back () =
+  let t = T.create () in
+  feed t [ 0; 1; 5; 6; 3; 4 ];
+  Alcotest.(check (list (pair int int))) "one merged range" [ (3, 7) ]
+    (blocks_ints t);
+  feed t [ 2 ];
+  Alcotest.(check int) "cum jumps over merged range" 7
+    (S.to_int (T.cum_ack t));
+  Alcotest.(check (list (pair int int))) "ranges consumed" [] (blocks_ints t)
+
+let test_multiple_ranges_sorted () =
+  let t = T.create () in
+  feed t [ 0; 10; 5; 20 ];
+  Alcotest.(check (list (pair int int)))
+    "ascending disjoint ranges"
+    [ (5, 6); (10, 11); (20, 21) ]
+    (blocks_ints t)
+
+let test_duplicates_counted () =
+  let t = T.create () in
+  feed t [ 0; 1; 1; 0; 5; 5 ];
+  Alcotest.(check int) "dups" 3 (T.duplicates t);
+  Alcotest.(check int) "packets counted raw" 6 (T.packets t)
+
+let test_sack_blocks_recency_first () =
+  let t = T.create ~max_blocks:2 () in
+  feed t [ 0; 5; 10; 15; 20 ];
+  (* Four ranges exist; the report must carry the two most recent. *)
+  let blocks = T.sack_blocks t in
+  Alcotest.(check int) "bounded" 2 (List.length blocks);
+  match blocks with
+  | first :: second :: _ ->
+      Alcotest.(check int) "most recent first" 20
+        (S.to_int first.Packet.Header.block_start);
+      Alcotest.(check int) "then previous" 15
+        (S.to_int second.Packet.Header.block_start)
+  | _ -> Alcotest.fail "expected 2 blocks"
+
+let test_received_query () =
+  let t = T.create () in
+  feed t [ 0; 1; 5 ];
+  Alcotest.(check bool) "cum-covered" true (T.received t (S.of_int 1));
+  Alcotest.(check bool) "ranged" true (T.received t (S.of_int 5));
+  Alcotest.(check bool) "hole" false (T.received t (S.of_int 3))
+
+let test_fwd_point_abandons () =
+  let t = T.create () in
+  feed t [ 0; 1; 5; 6 ];
+  T.apply_fwd_point t (S.of_int 4);
+  Alcotest.(check int) "cum at fwd" 4 (S.to_int (T.cum_ack t));
+  feed t [ 4 ];
+  Alcotest.(check int) "then merges through the range" 7
+    (S.to_int (T.cum_ack t))
+
+let test_fwd_point_into_range () =
+  let t = T.create () in
+  feed t [ 0; 5; 6; 7 ];
+  (* fwd into the middle of [5,8): everything below 6 abandoned, range
+     trimmed and immediately consumed. *)
+  T.apply_fwd_point t (S.of_int 6);
+  Alcotest.(check int) "cum continues through trimmed range" 8
+    (S.to_int (T.cum_ack t))
+
+let test_fwd_point_backwards_ignored () =
+  let t = T.create () in
+  feed t [ 0; 1; 2 ];
+  T.apply_fwd_point t (S.of_int 1);
+  Alcotest.(check int) "no regression" 3 (S.to_int (T.cum_ack t))
+
+let test_cost_o1 () =
+  let cost = Stats.Cost.create () in
+  let t = T.create ~cost () in
+  feed t (List.init 1000 Fun.id);
+  Alcotest.(check int) "one charge per packet" 1000
+    (Stats.Cost.ops cost "recv.light.packet")
+
+let prop_tracker_vs_reference =
+  (* Against a naive reference set implementation. *)
+  QCheck.Test.make ~name:"tracker matches reference semantics" ~count:200
+    QCheck.(list (int_bound 100))
+    (fun arrivals ->
+      let t = T.create () in
+      let received = Hashtbl.create 64 in
+      List.iter
+        (fun i ->
+          T.on_data t ~seq:(S.of_int i);
+          Hashtbl.replace received i ())
+        arrivals;
+      (* cum = first missing from 0. *)
+      let rec first_missing i =
+        if Hashtbl.mem received i then first_missing (i + 1) else i
+      in
+      let expected_cum = first_missing 0 in
+      S.to_int (T.cum_ack t) = expected_cum
+      && List.for_all
+           (fun i ->
+             T.received t (S.of_int i) = Hashtbl.mem received i)
+           (List.init 110 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "in order" `Quick test_in_order;
+    Alcotest.test_case "gap creates range" `Quick test_gap_creates_range;
+    Alcotest.test_case "fill merges" `Quick test_fill_merges_back;
+    Alcotest.test_case "multiple ranges" `Quick test_multiple_ranges_sorted;
+    Alcotest.test_case "duplicates" `Quick test_duplicates_counted;
+    Alcotest.test_case "sack recency order" `Quick
+      test_sack_blocks_recency_first;
+    Alcotest.test_case "received query" `Quick test_received_query;
+    Alcotest.test_case "fwd point abandons" `Quick test_fwd_point_abandons;
+    Alcotest.test_case "fwd point into range" `Quick test_fwd_point_into_range;
+    Alcotest.test_case "fwd point backwards" `Quick
+      test_fwd_point_backwards_ignored;
+    Alcotest.test_case "O(1) cost per packet" `Quick test_cost_o1;
+    QCheck_alcotest.to_alcotest prop_tracker_vs_reference;
+  ]

@@ -1,0 +1,108 @@
+(* Sack.Reassembly: in-order delivery, buffering, forward points. *)
+
+module R = Sack.Reassembly
+module S = Packet.Serial
+
+let make () =
+  let delivered = ref [] in
+  let gaps = ref [] in
+  let r =
+    R.create
+      ~deliver:(fun ~seq ~size -> delivered := (S.to_int seq, size) :: !delivered)
+      ~on_gap:(fun ~skipped -> gaps := skipped :: !gaps)
+      ()
+  in
+  (r, delivered, gaps)
+
+let feed r xs = List.iter (fun i -> R.on_data r ~seq:(S.of_int i) ~size:100) xs
+
+let test_in_order_immediate () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 1; 2 ];
+  Alcotest.(check (list (pair int int)))
+    "delivered in order"
+    [ (0, 100); (1, 100); (2, 100) ]
+    (List.rev !delivered);
+  Alcotest.(check int) "counter" 3 (R.delivered r);
+  Alcotest.(check int) "nothing buffered" 0 (R.buffered r)
+
+let test_out_of_order_buffers () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 2; 3 ];
+  Alcotest.(check (list (pair int int))) "only prefix" [ (0, 100) ]
+    (List.rev !delivered);
+  Alcotest.(check int) "buffered" 2 (R.buffered r);
+  feed r [ 1 ];
+  Alcotest.(check (list int)) "hole filled, drained"
+    [ 0; 1; 2; 3 ]
+    (List.rev_map fst !delivered);
+  Alcotest.(check int) "buffer empty" 0 (R.buffered r)
+
+let test_duplicates_dropped () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 0; 1; 1; 1 ];
+  Alcotest.(check int) "two deliveries" 2 (List.length !delivered)
+
+let test_stale_dropped () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 1; 2 ];
+  feed r [ 1 ];
+  Alcotest.(check int) "stale ignored" 3 (List.length !delivered)
+
+let test_fwd_point_skips_and_reports_gap () =
+  let r, delivered, gaps = make () in
+  feed r [ 0; 3; 4 ];
+  R.apply_fwd_point r (S.of_int 3);
+  Alcotest.(check (list int)) "buffered released after skip"
+    [ 0; 3; 4 ]
+    (List.rev_map fst !delivered);
+  Alcotest.(check (list int)) "gap of 2 reported" [ 2 ] !gaps;
+  Alcotest.(check int) "skip counter" 2 (R.skipped r);
+  Alcotest.(check int) "next expected" 5 (S.to_int (R.next_expected r))
+
+let test_fwd_point_delivers_buffered_inside_range () =
+  let r, delivered, gaps = make () in
+  feed r [ 0; 2 ];
+  (* fwd to 3: hole at 1 abandoned, buffered 2 must be delivered. *)
+  R.apply_fwd_point r (S.of_int 3);
+  Alcotest.(check (list int)) "0 then 2" [ 0; 2 ] (List.rev_map fst !delivered);
+  Alcotest.(check (list int)) "one gap" [ 1 ] !gaps
+
+let test_fwd_point_noop_backwards () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 1 ];
+  R.apply_fwd_point r (S.of_int 1);
+  Alcotest.(check int) "unchanged" 2 (List.length !delivered);
+  Alcotest.(check int) "next" 2 (S.to_int (R.next_expected r))
+
+let prop_full_delivery_when_everything_arrives =
+  QCheck.Test.make
+    ~name:"any arrival order delivers the full prefix in order" ~count:200
+    QCheck.(list (int_bound 30))
+    (fun perm_src ->
+      let n = 20 in
+      (* Build a permutation of 0..n-1 from the random list. *)
+      let order =
+        List.sort_uniq Int.compare (List.filter (fun x -> x < n) perm_src)
+        @ List.filter
+            (fun i ->
+              not (List.mem i (List.filter (fun x -> x < n) perm_src)))
+            (List.init n Fun.id)
+      in
+      let r, delivered, _ = make () in
+      List.iter (fun i -> R.on_data r ~seq:(S.of_int i) ~size:1) order;
+      List.rev_map fst !delivered = List.init n Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "in order" `Quick test_in_order_immediate;
+    Alcotest.test_case "out of order buffers" `Quick test_out_of_order_buffers;
+    Alcotest.test_case "duplicates" `Quick test_duplicates_dropped;
+    Alcotest.test_case "stale" `Quick test_stale_dropped;
+    Alcotest.test_case "fwd skips + gap" `Quick
+      test_fwd_point_skips_and_reports_gap;
+    Alcotest.test_case "fwd delivers buffered" `Quick
+      test_fwd_point_delivers_buffered_inside_range;
+    Alcotest.test_case "fwd backwards noop" `Quick test_fwd_point_noop_backwards;
+    QCheck_alcotest.to_alcotest prop_full_delivery_when_everything_arrives;
+  ]

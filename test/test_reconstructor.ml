@@ -1,0 +1,107 @@
+(* Qtp.Loss_reconstructor: sender-side rebuild of the loss history. *)
+
+module LR = Qtp.Loss_reconstructor
+module S = Packet.Serial
+
+let cover ?(retx = false) ?(gap = 0.001) i =
+  {
+    Sack.Scoreboard.cov_seq = S.of_int i;
+    cov_sent_at = float_of_int i *. gap;
+    cov_was_retx = retx;
+  }
+
+let rtt = 0.05
+
+let feed lr covers =
+  LR.on_covers lr ~covers ~rtt ~x_recv:1.0e6 ~packet_size:1500
+
+let test_no_loss () =
+  let lr = LR.create () in
+  feed lr (List.init 100 cover);
+  Alcotest.(check int) "no events" 0 (LR.loss_events lr);
+  Alcotest.(check (float 0.0)) "p=0" 0.0 (LR.loss_event_rate lr)
+
+let test_hole_detected () =
+  let lr = LR.create () in
+  (* 50 never covered. *)
+  let covers = List.init 100 (fun i -> if i < 50 then i else i + 1) in
+  feed lr (List.map cover covers);
+  Alcotest.(check int) "one event" 1 (LR.loss_events lr);
+  Alcotest.(check bool) "p > 0" true (LR.loss_event_rate lr > 0.0)
+
+let test_first_interval_seeded () =
+  let lr = LR.create () in
+  let covers = List.init 100 (fun i -> if i < 50 then i else i + 1) in
+  feed lr (List.map cover covers);
+  (* The seed interval (from x_recv) plus rate > 0 means p is moderate,
+     not 1/open-interval. *)
+  let p = LR.loss_event_rate lr in
+  Alcotest.(check bool)
+    (Printf.sprintf "p %f reasonable" p)
+    true
+    (p > 1e-5 && p < 0.5)
+
+let test_retransmitted_covers_excluded () =
+  let lr = LR.create () in
+  feed lr (List.init 50 cover);
+  feed lr [ cover ~retx:true 50 ];
+  feed lr (List.init 50 (fun i -> cover (51 + i)));
+  (* 50 was a repaired retransmission: it must not appear as a fresh
+     arrival, but neither is it a hole (we just never count it). *)
+  Alcotest.(check int) "history only counts originals" 100
+    (Tfrc.Loss_history.packets_seen (LR.history lr))
+
+let test_batched_covers_equal_unbatched () =
+  let covers = List.init 500 (fun i -> if i mod 50 = 49 then None else Some i) in
+  let all = List.filter_map (fun x -> Option.map cover x) covers in
+  let one_shot = LR.create () in
+  feed one_shot all;
+  let batched = LR.create () in
+  let rec chunks n = function
+    | [] -> []
+    | l ->
+        let take = List.filteri (fun i _ -> i < n) l in
+        let rest = List.filteri (fun i _ -> i >= n) l in
+        take :: chunks n rest
+  in
+  List.iter (feed batched) (chunks 37 all);
+  Alcotest.(check (float 1e-9)) "batching invariant"
+    (LR.loss_event_rate one_shot)
+    (LR.loss_event_rate batched)
+
+let test_matches_receiver_side () =
+  (* The E6 property as a unit test: identical loss pattern, equal p. *)
+  let n = 5000 in
+  let rng = Engine.Rng.create ~seed:91 in
+  let pattern = Array.init n (fun _ -> not (Engine.Rng.chance rng 0.02)) in
+  let lh = Tfrc.Loss_history.create () in
+  Array.iteri
+    (fun i alive ->
+      if alive then
+        Tfrc.Loss_history.on_packet lh ~seq:(S.of_int i)
+          ~arrival:((float_of_int i *. 0.001) +. rtt)
+          ~rtt ~is_retx:false)
+    pattern;
+  let lr = LR.create () in
+  let covers = ref [] in
+  Array.iteri (fun i alive -> if alive then covers := cover i :: !covers) pattern;
+  feed lr (List.rev !covers);
+  let p_r = Tfrc.Loss_history.loss_event_rate lh in
+  let p_s = LR.loss_event_rate lr in
+  Alcotest.(check bool)
+    (Printf.sprintf "sender %f ~ receiver %f" p_s p_r)
+    true
+    (p_r > 0.0 && Float.abs (p_s -. p_r) /. p_r < 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "no loss" `Quick test_no_loss;
+    Alcotest.test_case "hole detected" `Quick test_hole_detected;
+    Alcotest.test_case "first interval seeded" `Quick
+      test_first_interval_seeded;
+    Alcotest.test_case "retx covers excluded" `Quick
+      test_retransmitted_covers_excluded;
+    Alcotest.test_case "batching invariant" `Quick
+      test_batched_covers_equal_unbatched;
+    Alcotest.test_case "matches receiver side" `Quick test_matches_receiver_side;
+  ]

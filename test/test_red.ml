@@ -1,0 +1,108 @@
+(* Netsim.Red: average tracking and drop-probability regimes. *)
+
+let rng () = Engine.Rng.create ~seed:41
+
+let params ?(gentle = true) () =
+  {
+    Netsim.Red.min_th = 5.0;
+    max_th = 15.0;
+    max_p = 0.1;
+    w_q = 0.2;  (* fast EWMA so tests converge quickly *)
+    gentle;
+    idle_pkt_time = 0.001;
+  }
+
+let test_below_min_never_drops () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  for i = 0 to 200 do
+    match Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:2 with
+    | `Drop -> Alcotest.fail "dropped below min_th"
+    | `Accept -> ()
+  done
+
+let test_above_hard_limit_always_drops () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  (* Drive the average far above 2*max_th. *)
+  let drops = ref 0 in
+  for i = 0 to 300 do
+    match Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:60 with
+    | `Drop -> incr drops
+    | `Accept -> ()
+  done;
+  Alcotest.(check bool) "eventually all dropped" true (!drops > 200);
+  (* After saturation every arrival must drop. *)
+  (match Netsim.Red.decide red ~now:1.0 ~qlen:60 with
+  | `Drop -> ()
+  | `Accept -> Alcotest.fail "accepted above hard limit")
+
+let test_intermediate_drops_probabilistically () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  let drops = ref 0 and total = 2000 in
+  for i = 0 to total - 1 do
+    match Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:10 with
+    | `Drop -> incr drops
+    | `Accept -> ()
+  done;
+  let rate = float_of_int !drops /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate %f in (0.01, 0.35)" rate)
+    true
+    (rate > 0.01 && rate < 0.35)
+
+let test_avg_tracks_queue () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  for i = 0 to 100 do
+    ignore (Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:10)
+  done;
+  Alcotest.(check bool)
+    "avg converges near 10" true
+    (Float.abs (Netsim.Red.avg red -. 10.0) < 1.0)
+
+let test_idle_decay () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  for i = 0 to 100 do
+    ignore (Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:10)
+  done;
+  let before = Netsim.Red.avg red in
+  Netsim.Red.note_idle_start red ~now:0.101;
+  (* A long idle period with an empty queue must decay the average. *)
+  ignore (Netsim.Red.decide red ~now:1.0 ~qlen:0);
+  Alcotest.(check bool)
+    "avg decayed during idle" true
+    (Netsim.Red.avg red < before /. 2.0)
+
+let test_non_gentle_cliff () =
+  let red = Netsim.Red.create (params ~gentle:false ()) ~rng:(rng ()) in
+  (* avg just above max_th must hard-drop without the gentle ramp. *)
+  for i = 0 to 100 do
+    ignore (Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:17)
+  done;
+  match Netsim.Red.decide red ~now:0.2 ~qlen:17 with
+  | `Drop -> ()
+  | `Accept ->
+      (* The average may still be slightly below max_th; force it. *)
+      for i = 0 to 200 do
+        ignore (Netsim.Red.decide red ~now:(0.2 +. (float_of_int i *. 0.001)) ~qlen:30)
+      done;
+      (match Netsim.Red.decide red ~now:0.5 ~qlen:30 with
+      | `Drop -> ()
+      | `Accept -> Alcotest.fail "non-gentle RED accepted above max_th")
+
+let test_drop_counter () =
+  let red = Netsim.Red.create (params ()) ~rng:(rng ()) in
+  for i = 0 to 300 do
+    ignore (Netsim.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:60)
+  done;
+  Alcotest.(check bool) "drops counted" true (Netsim.Red.drops red > 0)
+
+let suite =
+  [
+    Alcotest.test_case "no drops below min_th" `Quick test_below_min_never_drops;
+    Alcotest.test_case "hard limit drops" `Quick test_above_hard_limit_always_drops;
+    Alcotest.test_case "probabilistic region" `Quick
+      test_intermediate_drops_probabilistically;
+    Alcotest.test_case "avg tracks queue" `Quick test_avg_tracks_queue;
+    Alcotest.test_case "idle decay" `Quick test_idle_decay;
+    Alcotest.test_case "non-gentle cliff" `Quick test_non_gentle_cliff;
+    Alcotest.test_case "drop counter" `Quick test_drop_counter;
+  ]

@@ -1,0 +1,119 @@
+(* Engine.Rng: determinism, ranges, independence of splits. *)
+
+let test_deterministic () =
+  let a = Engine.Rng.create ~seed:123 in
+  let b = Engine.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Engine.Rng.bits64 a) (Engine.Rng.bits64 b)
+  done
+
+let test_seed_matters () =
+  let a = Engine.Rng.create ~seed:1 in
+  let b = Engine.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Engine.Rng.bits64 a) (Engine.Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Engine.Rng.create ~seed:7 in
+  let b = Engine.Rng.copy a in
+  let xa = Engine.Rng.bits64 a in
+  let xb = Engine.Rng.bits64 b in
+  Alcotest.(check int64) "copy starts at same state" xa xb;
+  ignore (Engine.Rng.bits64 a);
+  (* b is one draw behind now; drawing from b must not affect a. *)
+  let xa2 = Engine.Rng.bits64 a in
+  let _ = Engine.Rng.bits64 b in
+  let xa3 = Engine.Rng.bits64 a in
+  Alcotest.(check bool) "independent evolution" true (xa2 <> xa3)
+
+let test_uniform_range () =
+  let rng = Engine.Rng.create ~seed:99 in
+  for _ = 1 to 10_000 do
+    let u = Engine.Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "uniform out of range: %f" u
+  done
+
+let test_uniform_mean () =
+  let rng = Engine.Rng.create ~seed:5 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Engine.Rng.uniform rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %f close to 0.5" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds () =
+  let rng = Engine.Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let x = Engine.Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_covers_all () =
+  let rng = Engine.Rng.create ~seed:13 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Engine.Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_chance_extremes () =
+  let rng = Engine.Rng.create ~seed:17 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Engine.Rng.chance rng 0.0);
+    Alcotest.(check bool) "p=1 always" true (Engine.Rng.chance rng 1.0)
+  done
+
+let test_chance_rate () =
+  let rng = Engine.Rng.create ~seed:19 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Engine.Rng.chance rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %f close to 0.3" rate)
+    true
+    (Float.abs (rate -. 0.3) < 0.01)
+
+let test_split_diverges () =
+  let parent = Engine.Rng.create ~seed:23 in
+  let child = Engine.Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Engine.Rng.bits64 parent) (Engine.Rng.bits64 child) then
+      incr same
+  done;
+  Alcotest.(check bool) "parent and child independent" true (!same < 5)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int n always in [0,n)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Engine.Rng.create ~seed in
+      let x = Engine.Rng.int rng n in
+      x >= 0 && x < n)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
+    Alcotest.test_case "seed changes stream" `Quick test_seed_matters;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "uniform in [0,1)" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean 0.5" `Quick test_uniform_mean;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers residues" `Quick test_int_covers_all;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "chance rate" `Quick test_chance_rate;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    QCheck_alcotest.to_alcotest prop_int_in_range;
+  ]

@@ -1,0 +1,52 @@
+(* Experiments.Runner: registry invariants (ids unique and resolvable,
+   metadata complete) — guards the CLI and bench entry points. *)
+
+let test_ids_unique () =
+  let ids = List.map (fun e -> e.Experiments.Runner.id) Experiments.Runner.all in
+  Alcotest.(check int) "no duplicate ids"
+    (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let test_find_resolves_all () =
+  List.iter
+    (fun (e : Experiments.Runner.entry) ->
+      match Experiments.Runner.find e.Experiments.Runner.id with
+      | Some e' ->
+          Alcotest.(check string) "same entry" e.Experiments.Runner.title
+            e'.Experiments.Runner.title
+      | None -> Alcotest.failf "id %s not found" e.Experiments.Runner.id)
+    Experiments.Runner.all
+
+let test_find_unknown () =
+  Alcotest.(check bool) "unknown id" true (Experiments.Runner.find "zz" = None)
+
+let test_metadata_complete () =
+  List.iter
+    (fun (e : Experiments.Runner.entry) ->
+      Alcotest.(check bool)
+        (e.Experiments.Runner.id ^ " has title")
+        true
+        (String.length e.Experiments.Runner.title > 0);
+      Alcotest.(check bool)
+        (e.Experiments.Runner.id ^ " has claim")
+        true
+        (String.length e.Experiments.Runner.claim > 0))
+    Experiments.Runner.all
+
+let test_expected_experiments_present () =
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true
+        (Experiments.Runner.find id <> None))
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
+      "e12"; "e13"; "e14"; "e15"; "e16"; "a1"; "a2"; "a3"; "a4" ]
+
+let suite =
+  [
+    Alcotest.test_case "ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "find resolves" `Quick test_find_resolves_all;
+    Alcotest.test_case "find unknown" `Quick test_find_unknown;
+    Alcotest.test_case "metadata complete" `Quick test_metadata_complete;
+    Alcotest.test_case "expected experiments" `Quick
+      test_expected_experiments_present;
+  ]

@@ -1,0 +1,199 @@
+(* Sack.Scoreboard: send tracking, feedback digestion, loss inference,
+   expiry, abandonment. *)
+
+module SB = Sack.Scoreboard
+module S = Packet.Serial
+
+let blk a b = Sack.Blocks.make (S.of_int a) (S.of_int b)
+
+let send_n sb ?(start = 0) ?(t0 = 0.0) n =
+  for i = start to start + n - 1 do
+    SB.on_send sb ~seq:(S.of_int i)
+      ~now:(t0 +. (float_of_int i *. 0.001))
+      ~size:1000 ~is_retx:false
+  done
+
+let test_sequencing () =
+  let sb = SB.create () in
+  Alcotest.(check int) "starts at 0" 0 (S.to_int (SB.next_seq sb));
+  send_n sb 5;
+  Alcotest.(check int) "next" 5 (S.to_int (SB.next_seq sb));
+  Alcotest.(check int) "una" 0 (S.to_int (SB.una sb));
+  Alcotest.(check int) "outstanding" 5 (SB.outstanding sb)
+
+let test_out_of_order_send_rejected () =
+  let sb = SB.create () in
+  Alcotest.(check bool) "skip rejected" true
+    (try
+       SB.on_send sb ~seq:(S.of_int 3) ~now:0.0 ~size:1000 ~is_retx:false;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cum_ack_advances () =
+  let sb = SB.create () in
+  send_n sb 5;
+  let res = SB.on_feedback sb ~cum_ack:(S.of_int 3) ~blocks:[] in
+  Alcotest.(check bool) "cum advanced" true res.SB.cum_advanced;
+  Alcotest.(check int) "3 newly acked" 3 (List.length res.SB.newly_acked);
+  Alcotest.(check int) "una" 3 (S.to_int (SB.una sb));
+  Alcotest.(check int) "outstanding" 2 (SB.outstanding sb);
+  (* Acked covers come in ascending order with send times. *)
+  (match res.SB.newly_acked with
+  | { SB.cov_seq; cov_sent_at; cov_was_retx } :: _ ->
+      Alcotest.(check int) "first cover" 0 (S.to_int cov_seq);
+      Alcotest.(check (float 1e-9)) "send time" 0.0 cov_sent_at;
+      Alcotest.(check bool) "not retx" false cov_was_retx
+  | [] -> Alcotest.fail "expected covers")
+
+let test_sack_marks () =
+  let sb = SB.create () in
+  send_n sb 10;
+  let res = SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 5 8 ] in
+  Alcotest.(check int) "newly sacked" 3 (List.length res.SB.newly_sacked);
+  Alcotest.(check bool) "status sacked" true (SB.status sb (S.of_int 6) = `Sacked);
+  (* Re-reporting the same block adds nothing. *)
+  let res2 = SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 5 8 ] in
+  Alcotest.(check int) "idempotent" 0 (List.length res2.SB.newly_sacked)
+
+let test_loss_inference_dupthresh () =
+  let sb = SB.create ~dupthresh:3 () in
+  send_n sb 10;
+  (* 0 missing; sacked 1-2 -> only 2 above: not yet lost. *)
+  let r1 = SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 1 3 ] in
+  Alcotest.(check (list int)) "not yet" []
+    (List.map S.to_int r1.SB.newly_lost);
+  let r2 = SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 1 4 ] in
+  Alcotest.(check (list int)) "now lost" [ 0 ]
+    (List.map S.to_int r2.SB.newly_lost);
+  Alcotest.(check bool) "status lost" true (SB.status sb (S.of_int 0) = `Lost);
+  Alcotest.(check (list int)) "pending" [ 0 ]
+    (List.map S.to_int (SB.lost_pending sb))
+
+let test_multiple_holes_inferred () =
+  let sb = SB.create () in
+  send_n sb 12;
+  (* Holes at 0,1 and 5; sacked 2..5? sacked blocks [2,5) and [6,12). *)
+  let r =
+    SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 2 5; blk 6 12 ]
+  in
+  Alcotest.(check (list int)) "holes below enough sacks" [ 0; 1; 5 ]
+    (List.map S.to_int r.SB.newly_lost)
+
+let test_retransmit_resets () =
+  let sb = SB.create () in
+  send_n sb 6;
+  ignore (SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 1 6 ]);
+  Alcotest.(check bool) "lost" true (SB.status sb (S.of_int 0) = `Lost);
+  SB.on_send sb ~seq:(S.of_int 0) ~now:1.0 ~size:1000 ~is_retx:true;
+  Alcotest.(check bool) "in flight again" true
+    (SB.status sb (S.of_int 0) = `In_flight);
+  Alcotest.(check int) "retx counted" 1 (SB.retx_count sb (S.of_int 0));
+  Alcotest.(check int) "stats" 1 (SB.stats_retx sb);
+  (* Cum ack after repair: cover reports the original send time and the
+     retransmit flag. *)
+  let r = SB.on_feedback sb ~cum_ack:(S.of_int 6) ~blocks:[] in
+  match r.SB.newly_acked with
+  | [ c ] ->
+      Alcotest.(check bool) "was retx" true c.SB.cov_was_retx;
+      Alcotest.(check int) "seq 0" 0 (S.to_int c.SB.cov_seq)
+  | l -> Alcotest.failf "expected 1 cover (sacked ones not repeated), got %d" (List.length l)
+
+let test_retransmit_unknown_rejected () =
+  let sb = SB.create () in
+  Alcotest.(check bool) "unknown retx rejected" true
+    (try
+       SB.on_send sb ~seq:(S.of_int 0) ~now:0.0 ~size:1000 ~is_retx:true;
+       false
+     with Invalid_argument _ -> true)
+
+let test_mark_expired () =
+  let sb = SB.create () in
+  send_n sb 3;
+  let expired = SB.mark_expired sb ~now:10.0 ~timeout:1.0 in
+  Alcotest.(check (list int)) "all expired" [ 0; 1; 2 ]
+    (List.map S.to_int expired);
+  Alcotest.(check (list int)) "idempotent" []
+    (List.map S.to_int (SB.mark_expired sb ~now:10.0 ~timeout:1.0))
+
+let test_expiry_skips_sacked_and_fresh () =
+  let sb = SB.create () in
+  send_n sb 4;
+  ignore (SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 2 3 ]);
+  (* seq 3 sent at t=3ms; with now=0.1 and timeout=0.098 only 0,1 are old
+     enough; 2 is sacked. *)
+  let expired = SB.mark_expired sb ~now:0.1 ~timeout:0.0975 in
+  Alcotest.(check (list int)) "old unsacked only" [ 0; 1 ]
+    (List.map S.to_int expired)
+
+let test_abandon_below () =
+  let sb = SB.create () in
+  send_n sb 10;
+  SB.abandon_below sb (S.of_int 4);
+  Alcotest.(check int) "una moved" 4 (S.to_int (SB.una sb));
+  Alcotest.(check int) "entries dropped" 6 (SB.outstanding sb);
+  Alcotest.(check bool) "untracked" true (SB.status sb (S.of_int 2) = `Untracked)
+
+let test_in_flight_bytes () =
+  let sb = SB.create () in
+  send_n sb 4;
+  Alcotest.(check int) "4 kB" 4000 (SB.in_flight_bytes sb);
+  ignore (SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk 1 2 ]);
+  Alcotest.(check int) "sacked not in flight" 3000 (SB.in_flight_bytes sb)
+
+let prop_sacked_and_lost_disjoint =
+  QCheck.Test.make ~name:"no seq both sacked and lost" ~count:200
+    QCheck.(list (pair (int_bound 30) (int_bound 5)))
+    (fun raw_blocks ->
+      let sb = SB.create () in
+      send_n sb 32;
+      List.iter
+        (fun (a, len) ->
+          if len > 0 && a + len <= 32 then
+            ignore (SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks:[ blk a (a + len) ]))
+        raw_blocks;
+      List.for_all
+        (fun i ->
+          match SB.status sb (S.of_int i) with
+          | `Sacked | `Lost | `In_flight | `Untracked -> true)
+        (List.init 32 Fun.id)
+      && List.for_all
+           (fun s -> SB.status sb s = `Lost)
+           (SB.lost_pending sb))
+
+let prop_una_monotone =
+  QCheck.Test.make ~name:"una never regresses" ~count:200
+    QCheck.(list (int_bound 40))
+    (fun acks ->
+      let sb = SB.create () in
+      send_n sb 40;
+      let ok = ref true in
+      let prev = ref 0 in
+      List.iter
+        (fun a ->
+          ignore (SB.on_feedback sb ~cum_ack:(S.of_int a) ~blocks:[]);
+          let u = S.to_int (SB.una sb) in
+          if u < !prev then ok := false;
+          prev := u)
+        acks;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "sequencing" `Quick test_sequencing;
+    Alcotest.test_case "out of order rejected" `Quick
+      test_out_of_order_send_rejected;
+    Alcotest.test_case "cum ack" `Quick test_cum_ack_advances;
+    Alcotest.test_case "sack marks" `Quick test_sack_marks;
+    Alcotest.test_case "loss inference" `Quick test_loss_inference_dupthresh;
+    Alcotest.test_case "multiple holes" `Quick test_multiple_holes_inferred;
+    Alcotest.test_case "retransmit resets" `Quick test_retransmit_resets;
+    Alcotest.test_case "unknown retx rejected" `Quick
+      test_retransmit_unknown_rejected;
+    Alcotest.test_case "mark_expired" `Quick test_mark_expired;
+    Alcotest.test_case "expiry selective" `Quick
+      test_expiry_skips_sacked_and_fresh;
+    Alcotest.test_case "abandon_below" `Quick test_abandon_below;
+    Alcotest.test_case "in-flight bytes" `Quick test_in_flight_bytes;
+    QCheck_alcotest.to_alcotest prop_sacked_and_lost_disjoint;
+    QCheck_alcotest.to_alcotest prop_una_monotone;
+  ]

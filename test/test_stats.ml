@@ -1,0 +1,193 @@
+(* Stats: summary, series, fairness, cost, table. *)
+
+let test_summary_moments () =
+  let s = Stats.Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "n" 8 s.Stats.Summary.n;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.Summary.mean;
+  Alcotest.(check (float 1e-6)) "sample sd" 2.13809 s.Stats.Summary.stddev;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Stats.Summary.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.Summary.max
+
+let test_summary_empty () =
+  let s = Stats.Summary.of_list [] in
+  Alcotest.(check int) "n" 0 s.Stats.Summary.n;
+  Alcotest.(check bool) "nan mean" true (Float.is_nan s.Stats.Summary.mean)
+
+let test_summary_single () =
+  let s = Stats.Summary.of_list [ 3.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.Summary.mean;
+  Alcotest.(check (float 1e-9)) "sd 0" 0.0 s.Stats.Summary.stddev
+
+let test_cov () =
+  let s = Stats.Summary.of_list [ 1.0; 3.0 ] in
+  Alcotest.(check bool) "cov" true
+    (Float.abs (Stats.Summary.cov s -. (sqrt 2.0 /. 2.0)) < 1e-9)
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.Summary.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.Summary.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.Summary.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0
+    (Stats.Summary.percentile xs 0.25)
+
+let test_series_rate () =
+  let s = Stats.Series.create () in
+  Stats.Series.record s ~time:1.0 ~bytes:1000;
+  Stats.Series.record s ~time:2.0 ~bytes:1000;
+  Stats.Series.record s ~time:3.0 ~bytes:1000;
+  (* [1,3): 2000 bytes over 2 s = 8000 b/s *)
+  Alcotest.(check (float 1e-9)) "rate" 8000.0
+    (Stats.Series.rate_bps s ~from_:1.0 ~until:3.0);
+  Alcotest.(check int) "total" 3000 (Stats.Series.total_bytes s);
+  Alcotest.(check int) "count" 3 (Stats.Series.count s)
+
+let test_series_windows () =
+  let s = Stats.Series.create () in
+  List.iter
+    (fun (t, b) -> Stats.Series.record s ~time:t ~bytes:b)
+    [ (0.1, 100); (0.9, 100); (1.5, 400) ];
+  let w = Stats.Series.windowed_rates_bps s ~from_:0.0 ~until:2.0 ~window:1.0 in
+  Alcotest.(check int) "two windows" 2 (Array.length w);
+  Alcotest.(check (float 1e-9)) "w0" 1600.0 w.(0);
+  Alcotest.(check (float 1e-9)) "w1" 3200.0 w.(1)
+
+let test_series_interarrival () =
+  let s = Stats.Series.create () in
+  List.iter
+    (fun t -> Stats.Series.record s ~time:t ~bytes:1)
+    [ 1.0; 1.5; 2.5 ];
+  Alcotest.(check (array (float 1e-9))) "gaps" [| 0.5; 1.0 |]
+    (Stats.Series.interarrival_times s)
+
+let test_jain () =
+  Alcotest.(check (float 1e-9)) "equal shares" 1.0
+    (Stats.Fairness.jain [| 3.0; 3.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "one hog" (1.0 /. 3.0)
+    (Stats.Fairness.jain [| 9.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "between" true
+    (let j = Stats.Fairness.jain [| 4.0; 2.0 |] in
+     j > 0.5 && j < 1.0)
+
+let test_throughput_ratio () =
+  Alcotest.(check (float 1e-9)) "ratio" 2.0
+    (Stats.Fairness.throughput_ratio [| 4.0; 4.0 |] [| 2.0; 2.0 |])
+
+let test_cost () =
+  let c = Stats.Cost.create () in
+  Stats.Cost.charge c "a";
+  Stats.Cost.charge c ~ops:5 "a";
+  Stats.Cost.charge c "b";
+  Alcotest.(check int) "a" 6 (Stats.Cost.ops c "a");
+  Alcotest.(check int) "b" 1 (Stats.Cost.ops c "b");
+  Alcotest.(check int) "absent" 0 (Stats.Cost.ops c "zzz");
+  Alcotest.(check int) "total" 7 (Stats.Cost.total_ops c);
+  Stats.Cost.watermark c "mem" 10;
+  Stats.Cost.watermark c "mem" 7;
+  Stats.Cost.watermark c "mem" 12;
+  Alcotest.(check int) "high water" 12 (Stats.Cost.high_water c "mem");
+  Alcotest.(check (list (pair string int))) "counters sorted"
+    [ ("a", 6); ("b", 1) ]
+    (Stats.Cost.counters c)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_table_render () =
+  let t =
+    Stats.Table.create ~title:"T"
+      ~columns:[ ("name", Stats.Table.Left); ("v", Stats.Table.Right) ]
+  in
+  Stats.Table.add_row t [ "x"; "1.00" ];
+  Stats.Table.add_row t [ "longer"; "23.00" ];
+  let out = Stats.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0 && out.[0] = 'T');
+  Alcotest.(check bool) "contains row" true (contains out "longer");
+  Alcotest.(check bool) "right-aligned number padded" true
+    (contains out " 1.00 |")
+
+let test_table_arity_checked () =
+  let t =
+    Stats.Table.create ~title:"T" ~columns:[ ("a", Stats.Table.Left) ]
+  in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       Stats.Table.add_row t [ "1"; "2" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_cells () =
+  Alcotest.(check string) "float" "1.23" (Stats.Table.cell_f 1.234);
+  Alcotest.(check string) "decimals" "1.2340" (Stats.Table.cell_f ~decimals:4 1.234);
+  Alcotest.(check string) "nan" "-" (Stats.Table.cell_f nan);
+  Alcotest.(check string) "int" "42" (Stats.Table.cell_i 42)
+
+let test_csv () =
+  let t =
+    Stats.Table.create ~title:"My, Title"
+      ~columns:[ ("a", Stats.Table.Left); ("b,c", Stats.Table.Right) ]
+  in
+  Stats.Table.add_row t [ "plain"; "1.00" ];
+  Stats.Table.add_row t [ "has,comma"; "say \"hi\"" ];
+  let csv = Stats.Table.to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "title comment" "# My, Title" (List.nth lines 0);
+  Alcotest.(check string) "header quoted" "a,\"b,c\"" (List.nth lines 1);
+  Alcotest.(check string) "plain row" "plain,1.00" (List.nth lines 2);
+  Alcotest.(check string) "quoted row" "\"has,comma\",\"say \"\"hi\"\"\""
+    (List.nth lines 3)
+
+let test_histogram_binning () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.9; 2.0; 9.9; 4.0; -3.0; 42.0 ];
+  Alcotest.(check int) "count" 7 (Stats.Histogram.count h);
+  (* bins: [0,2) [2,4) [4,6) [6,8) [8,10); out-of-range clamps. *)
+  Alcotest.(check (array int)) "bin counts" [| 3; 1; 1; 0; 2 |]
+    (Stats.Histogram.bin_counts h)
+
+let test_histogram_of_samples () =
+  let samples = Array.init 100 (fun i -> float_of_int i) in
+  let h = Stats.Histogram.of_samples ~bins:10 samples in
+  Alcotest.(check int) "all binned" 100 (Stats.Histogram.count h);
+  Alcotest.(check (array int)) "uniform" (Array.make 10 10)
+    (Stats.Histogram.bin_counts h);
+  let r = Stats.Histogram.render h in
+  Alcotest.(check int) "ten lines" 10
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' r)))
+
+let test_histogram_degenerate () =
+  let h = Stats.Histogram.of_samples [| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check int) "count" 3 (Stats.Histogram.count h);
+  Alcotest.(check bool) "empty input rejected" true
+    (try
+       ignore (Stats.Histogram.of_samples [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "summary moments" `Quick test_summary_moments;
+    Alcotest.test_case "csv export" `Quick test_csv;
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram of_samples" `Quick test_histogram_of_samples;
+    Alcotest.test_case "histogram degenerate" `Quick test_histogram_degenerate;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary single" `Quick test_summary_single;
+    Alcotest.test_case "cov" `Quick test_cov;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "series rate" `Quick test_series_rate;
+    Alcotest.test_case "series windows" `Quick test_series_windows;
+    Alcotest.test_case "series interarrival" `Quick test_series_interarrival;
+    Alcotest.test_case "jain" `Quick test_jain;
+    Alcotest.test_case "throughput ratio" `Quick test_throughput_ratio;
+    Alcotest.test_case "cost" `Quick test_cost;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity_checked;
+    Alcotest.test_case "cells" `Quick test_cells;
+  ]

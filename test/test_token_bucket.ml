@@ -1,0 +1,80 @@
+(* Netsim.Token_bucket: conformance accounting. *)
+
+module TB = Netsim.Token_bucket
+
+let test_starts_full () =
+  let tb = TB.create ~rate_bps:8000.0 ~burst:1000 ~now:0.0 in
+  Alcotest.(check bool) "full burst conforms" true
+    (TB.conform tb ~now:0.0 ~bytes:1000);
+  Alcotest.(check bool) "then empty" false (TB.conform tb ~now:0.0 ~bytes:1)
+
+let test_refill_rate () =
+  let tb = TB.create ~rate_bps:8000.0 ~burst:1000 ~now:0.0 in
+  ignore (TB.conform tb ~now:0.0 ~bytes:1000);
+  (* 8000 b/s = 1000 B/s; after 0.5 s there are 500 bytes. *)
+  Alcotest.(check bool) "not yet" false (TB.conform tb ~now:0.4 ~bytes:500);
+  Alcotest.(check bool) "after enough time" true (TB.conform tb ~now:0.6 ~bytes:500)
+
+let test_burst_cap () =
+  let tb = TB.create ~rate_bps:8000.0 ~burst:1000 ~now:0.0 in
+  ignore (TB.conform tb ~now:0.0 ~bytes:1000);
+  (* A very long wait cannot accumulate more than the burst. *)
+  Alcotest.(check bool) "bounded by burst" false
+    (TB.conform tb ~now:100.0 ~bytes:1001);
+  Alcotest.(check bool) "burst available" true
+    (TB.conform tb ~now:100.0 ~bytes:1000)
+
+let test_nonconforming_consumes_nothing () =
+  let tb = TB.create ~rate_bps:8000.0 ~burst:1000 ~now:0.0 in
+  ignore (TB.conform tb ~now:0.0 ~bytes:800);
+  Alcotest.(check bool) "nonconforming rejected" false
+    (TB.conform tb ~now:0.0 ~bytes:500);
+  (* The 200 remaining tokens must still be there. *)
+  Alcotest.(check bool) "small packet passes" true
+    (TB.conform tb ~now:0.0 ~bytes:200)
+
+let test_level () =
+  let tb = TB.create ~rate_bps:8000.0 ~burst:1000 ~now:0.0 in
+  Alcotest.(check (float 1e-6)) "initial level" 1000.0 (TB.level tb ~now:0.0);
+  ignore (TB.conform tb ~now:0.0 ~bytes:600);
+  Alcotest.(check (float 1e-6)) "after consume" 400.0 (TB.level tb ~now:0.0)
+
+let test_long_run_rate () =
+  (* Offered 2x the committed rate: about half must conform. *)
+  let tb = TB.create ~rate_bps:8.0e5 ~burst:3000 ~now:0.0 in
+  let conformed = ref 0 and total = 2000 in
+  for i = 0 to total - 1 do
+    let now = float_of_int i *. 0.005 in
+    (* one 1000 B packet every 5 ms = 1.6 Mb/s offered *)
+    if TB.conform tb ~now ~bytes:1000 then incr conformed
+  done;
+  let frac = float_of_int !conformed /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "conforming fraction %f ~ 0.5" frac)
+    true
+    (Float.abs (frac -. 0.5) < 0.05)
+
+let prop_never_negative =
+  QCheck.Test.make ~name:"token level never negative" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 10.0) (int_bound 5000)))
+    (fun events ->
+      let tb = TB.create ~rate_bps:1e6 ~burst:10_000 ~now:0.0 in
+      let now = ref 0.0 in
+      List.for_all
+        (fun (dt, bytes) ->
+          now := !now +. Float.abs dt;
+          ignore (TB.conform tb ~now:!now ~bytes);
+          TB.level tb ~now:!now >= 0.0)
+        events)
+
+let suite =
+  [
+    Alcotest.test_case "starts full" `Quick test_starts_full;
+    Alcotest.test_case "refill rate" `Quick test_refill_rate;
+    Alcotest.test_case "burst cap" `Quick test_burst_cap;
+    Alcotest.test_case "nonconforming consumes nothing" `Quick
+      test_nonconforming_consumes_nothing;
+    Alcotest.test_case "level" `Quick test_level;
+    Alcotest.test_case "long-run conformance" `Quick test_long_run_rate;
+    QCheck_alcotest.to_alcotest prop_never_negative;
+  ]

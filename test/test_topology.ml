@@ -1,0 +1,127 @@
+(* Netsim.Topology and Router/Marker: routing, marking, plumbing. *)
+
+let frame ?(flow = 0) ?(size = 1000) uid =
+  Netsim.Frame.make ~uid ~flow_id:flow ~size ~born:0.0 (Netsim.Frame.Raw uid)
+
+let test_router_routes_by_flow () =
+  let r = Netsim.Router.create () in
+  let a = ref 0 and b = ref 0 in
+  Netsim.Router.add_route r ~flow_id:1 (fun _ -> incr a);
+  Netsim.Router.add_route r ~flow_id:2 (fun _ -> incr b);
+  Netsim.Router.forward r (frame ~flow:1 1);
+  Netsim.Router.forward r (frame ~flow:2 2);
+  Netsim.Router.forward r (frame ~flow:1 3);
+  Alcotest.(check int) "flow 1" 2 !a;
+  Alcotest.(check int) "flow 2" 1 !b
+
+let test_router_default_and_unroutable () =
+  let r = Netsim.Router.create () in
+  Netsim.Router.forward r (frame ~flow:9 1);
+  Alcotest.(check int) "unroutable counted" 1 (Netsim.Router.unroutable r);
+  let d = ref 0 in
+  Netsim.Router.set_default r (fun _ -> incr d);
+  Netsim.Router.forward r (frame ~flow:9 2);
+  Alcotest.(check int) "default used" 1 !d;
+  Alcotest.(check int) "no new unroutable" 1 (Netsim.Router.unroutable r)
+
+let test_marker_colours () =
+  let sim = Engine.Sim.create () in
+  (* 0.8 Mb/s committed, 2000 B burst: the first two 1000 B packets are
+     green, an immediate third is red. *)
+  let m = Netsim.Marker.create ~sim ~committed_rate_bps:8.0e5 ~burst:2000 in
+  let f1 = frame 1 and f2 = frame 2 and f3 = frame 3 in
+  Netsim.Marker.mark m f1;
+  Netsim.Marker.mark m f2;
+  Netsim.Marker.mark m f3;
+  Alcotest.(check bool) "f1 green" true
+    (Netsim.Mark.equal f1.Netsim.Frame.mark Netsim.Mark.Green);
+  Alcotest.(check bool) "f2 green" true
+    (Netsim.Mark.equal f2.Netsim.Frame.mark Netsim.Mark.Green);
+  Alcotest.(check bool) "f3 red" true
+    (Netsim.Mark.equal f3.Netsim.Frame.mark Netsim.Mark.Red);
+  Alcotest.(check int) "green count" 2 (Netsim.Marker.green_count m);
+  Alcotest.(check int) "red count" 1 (Netsim.Marker.red_count m)
+
+let test_duplex_path_round_trip () =
+  let sim = Engine.Sim.create () in
+  let forward = Netsim.Topology.spec ~rate_bps:1e6 ~delay:0.01 () in
+  let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+  let ep = Netsim.Topology.endpoint topo 0 in
+  let got_fwd = ref false and got_rev = ref false in
+  ep.Netsim.Topology.on_receiver_rx (fun _ ->
+      got_fwd := true;
+      ep.Netsim.Topology.to_sender (frame 2));
+  ep.Netsim.Topology.on_sender_rx (fun _ -> got_rev := true);
+  ep.Netsim.Topology.to_receiver (frame 1);
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "forward delivered" true !got_fwd;
+  Alcotest.(check bool) "reverse delivered" true !got_rev
+
+let test_dumbbell_isolates_flows () =
+  let sim = Engine.Sim.create () in
+  let bottleneck = Netsim.Topology.spec ~rate_bps:1e7 ~delay:0.01 () in
+  let topo = Netsim.Topology.dumbbell ~sim ~n_flows:3 ~bottleneck () in
+  let hits = Array.make 3 0 in
+  Array.iteri
+    (fun i ep ->
+      ep.Netsim.Topology.on_receiver_rx (fun _ -> hits.(i) <- hits.(i) + 1))
+    topo.Netsim.Topology.endpoints;
+  (topo.Netsim.Topology.endpoints.(0)).Netsim.Topology.to_receiver
+    (frame ~flow:0 1);
+  (topo.Netsim.Topology.endpoints.(2)).Netsim.Topology.to_receiver
+    (frame ~flow:2 2);
+  (topo.Netsim.Topology.endpoints.(2)).Netsim.Topology.to_receiver
+    (frame ~flow:2 3);
+  Engine.Sim.run sim;
+  Alcotest.(check (array int)) "per-flow delivery" [| 1; 0; 2 |] hits
+
+let test_dumbbell_shares_bottleneck () =
+  let sim = Engine.Sim.create () in
+  let bottleneck = Netsim.Topology.spec ~rate_bps:1e6 ~delay:0.01 () in
+  let topo = Netsim.Topology.dumbbell ~sim ~n_flows:2 ~bottleneck () in
+  Array.iter
+    (fun (ep : Netsim.Topology.endpoint) ->
+      ep.Netsim.Topology.on_receiver_rx (fun _ -> ()))
+    topo.Netsim.Topology.endpoints;
+  (topo.Netsim.Topology.endpoints.(0)).Netsim.Topology.to_receiver
+    (frame ~flow:0 1);
+  (topo.Netsim.Topology.endpoints.(1)).Netsim.Topology.to_receiver
+    (frame ~flow:1 2);
+  Engine.Sim.run sim;
+  let st = Netsim.Link.stats topo.Netsim.Topology.bottleneck in
+  Alcotest.(check int) "both crossed the bottleneck" 2
+    st.Netsim.Link.delivered
+
+let test_dumbbell_markers () =
+  let sim = Engine.Sim.create () in
+  let bottleneck = Netsim.Topology.spec ~rate_bps:1e7 ~delay:0.01 () in
+  let topo =
+    Netsim.Topology.dumbbell ~sim ~n_flows:2 ~bottleneck
+      ~committed_rates:[| 1e6; 0.0 |] ()
+  in
+  let ep0 = Netsim.Topology.endpoint topo 0 in
+  let ep1 = Netsim.Topology.endpoint topo 1 in
+  Alcotest.(check bool) "flow 0 has marker" true
+    (ep0.Netsim.Topology.marker <> None);
+  Alcotest.(check bool) "flow 1 has none" true
+    (ep1.Netsim.Topology.marker = None);
+  let seen_mark = ref Netsim.Mark.Best_effort in
+  ep0.Netsim.Topology.on_receiver_rx (fun f ->
+      seen_mark := f.Netsim.Frame.mark);
+  ep0.Netsim.Topology.to_receiver (frame ~flow:0 1);
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "in-profile marked green" true
+    (Netsim.Mark.equal !seen_mark Netsim.Mark.Green)
+
+let suite =
+  [
+    Alcotest.test_case "router by flow" `Quick test_router_routes_by_flow;
+    Alcotest.test_case "router default" `Quick test_router_default_and_unroutable;
+    Alcotest.test_case "marker colours" `Quick test_marker_colours;
+    Alcotest.test_case "duplex round trip" `Quick test_duplex_path_round_trip;
+    Alcotest.test_case "dumbbell isolates flows" `Quick
+      test_dumbbell_isolates_flows;
+    Alcotest.test_case "dumbbell shares bottleneck" `Quick
+      test_dumbbell_shares_bottleneck;
+    Alcotest.test_case "dumbbell markers" `Quick test_dumbbell_markers;
+  ]

@@ -1,0 +1,137 @@
+(* Workload: background injectors and the media model. *)
+
+let collect_sink () =
+  let frames = ref [] in
+  let sink f = frames := f :: !frames in
+  (sink, frames)
+
+let test_cbr_rate () =
+  let sim = Engine.Sim.create () in
+  let sink, frames = collect_sink () in
+  let bg =
+    Workload.Background.cbr ~sim ~sink ~flow_id:7 ~rate_bps:8.0e5
+      ~packet_size:1000 ~stop_at:10.0 ()
+  in
+  Engine.Sim.run ~until:11.0 sim;
+  (* 0.8 Mb/s = 100 pkt/s of 1000 B over 10 s = ~1000 packets. *)
+  let n = List.length !frames in
+  Alcotest.(check bool) (Printf.sprintf "%d ~ 1000" n) true (abs (n - 1000) <= 2);
+  Alcotest.(check int) "stats agree" n (Workload.Background.packets_sent bg);
+  Alcotest.(check int) "bytes" (n * 1000) (Workload.Background.bytes_sent bg);
+  Alcotest.(check bool) "flow id stamped" true
+    (List.for_all (fun f -> f.Netsim.Frame.flow_id = 7) !frames)
+
+let test_cbr_stops () =
+  let sim = Engine.Sim.create () in
+  let sink, frames = collect_sink () in
+  ignore
+    (Workload.Background.cbr ~sim ~sink ~flow_id:0 ~rate_bps:8.0e5
+       ~packet_size:1000 ~stop_at:1.0 ());
+  Engine.Sim.run ~until:5.0 sim;
+  let n = List.length !frames in
+  Alcotest.(check bool) "stopped" true (n <= 101)
+
+let test_poisson_rate () =
+  let sim = Engine.Sim.create ~seed:111 () in
+  let rng = Engine.Sim.split_rng sim in
+  let sink, frames = collect_sink () in
+  ignore
+    (Workload.Background.poisson ~sim ~sink ~flow_id:0 ~rng ~rate_bps:8.0e5
+       ~packet_size:1000 ~stop_at:20.0 ());
+  Engine.Sim.run ~until:21.0 sim;
+  let n = List.length !frames in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d ~ 2000 +- 10%%" n)
+    true
+    (n > 1800 && n < 2200)
+
+let test_on_off_duty_cycle () =
+  let sim = Engine.Sim.create ~seed:113 () in
+  let rng = Engine.Sim.split_rng sim in
+  let sink, frames = collect_sink () in
+  ignore
+    (Workload.Background.exp_on_off ~sim ~sink ~flow_id:0 ~rng
+       ~peak_rate_bps:8.0e5 ~mean_on:0.5 ~mean_off:0.5 ~packet_size:1000
+       ~stop_at:40.0 ());
+  Engine.Sim.run ~until:41.0 sim;
+  let n = List.length !frames in
+  (* ~50% duty: expect ~2000; accept a broad band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d within duty-cycle band" n)
+    true
+    (n > 1000 && n < 3200)
+
+let test_marking () =
+  let sim = Engine.Sim.create () in
+  let sink, frames = collect_sink () in
+  ignore
+    (Workload.Background.cbr ~sim ~sink ~flow_id:0 ~rate_bps:8.0e5
+       ~packet_size:1000 ~mark:Netsim.Mark.Red ~stop_at:0.1 ());
+  Engine.Sim.run ~until:0.2 sim;
+  Alcotest.(check bool) "marked red" true
+    (List.for_all
+       (fun f -> Netsim.Mark.equal f.Netsim.Frame.mark Netsim.Mark.Red)
+       !frames)
+
+let test_media_rate_and_packets () =
+  let sim = Engine.Sim.create ~seed:115 () in
+  let rng = Engine.Sim.split_rng sim in
+  let p = Workload.Media.default_params in
+  let pushed = ref 0 in
+  let m =
+    Workload.Media.start ~sim ~rng p
+      ~push:(fun n -> pushed := !pushed + n)
+      ~stop_at:20.0 ()
+  in
+  Engine.Sim.run ~until:21.0 sim;
+  Alcotest.(check bool) "frames ~ 25/s x 20s" true
+    (abs (Workload.Media.frames_emitted m - 500) <= 2);
+  let mean_rate = Workload.Media.mean_rate_bps p in
+  let measured =
+    8.0 *. float_of_int (Workload.Media.bytes_emitted m) /. 20.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f ~ model %.0f" measured mean_rate)
+    true
+    (Float.abs (measured -. mean_rate) /. mean_rate < 0.1);
+  Alcotest.(check bool) "packets pushed" true (!pushed > 0)
+
+let test_media_gop_structure () =
+  (* With zero jitter the I/P size ratio is exact. *)
+  let sim = Engine.Sim.create ~seed:117 () in
+  let rng = Engine.Sim.split_rng sim in
+  let p =
+    { Workload.Media.default_params with jitter = 0.0; mean_i_bytes = 9000.0; mean_p_bytes = 3000.0 }
+  in
+  let sizes = ref [] in
+  (* Infer per-frame bytes from deltas of the cumulative counter. *)
+  let m = Workload.Media.start ~sim ~rng p ~push:(fun _ -> ()) ~stop_at:1.0 () in
+  let last = ref 0 in
+  let rec sample () =
+    let b = Workload.Media.bytes_emitted m in
+    if b > !last then begin
+      sizes := (b - !last) :: !sizes;
+      last := b
+    end;
+    if Engine.Sim.now sim < 1.0 then
+      ignore (Engine.Sim.schedule_after sim 0.02 sample)
+  in
+  ignore (Engine.Sim.schedule_at sim 0.001 sample);
+  Engine.Sim.run ~until:1.2 sim;
+  let sizes = List.rev !sizes in
+  (match sizes with
+  | i_frame :: _ ->
+      Alcotest.(check int) "first frame is an I-frame" 9000 i_frame
+  | [] -> Alcotest.fail "no frames");
+  Alcotest.(check bool) "P frames present" true (List.mem 3000 sizes)
+
+let suite =
+  [
+    Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+    Alcotest.test_case "cbr stops" `Quick test_cbr_stops;
+    Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
+    Alcotest.test_case "on/off duty" `Quick test_on_off_duty_cycle;
+    Alcotest.test_case "marking" `Quick test_marking;
+    Alcotest.test_case "media rate" `Quick test_media_rate_and_packets;
+    Alcotest.test_case "media GoP" `Quick test_media_gop_structure;
+  ]
