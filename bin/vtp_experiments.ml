@@ -17,10 +17,18 @@ let seed =
 let csv =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
 
+let checked =
+  Arg.(
+    value & flag
+    & info [ "checked" ]
+        ~doc:
+          "Run every scenario under the protocol-invariant checker; abort \
+           with a diagnostic on the first violation.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
-let run list_only seed csv ids =
+let run list_only seed csv checked ids =
   if list_only then begin
     List.iter
       (fun (e : Experiments.Runner.entry) ->
@@ -39,9 +47,14 @@ let run list_only seed csv ids =
     | [] ->
         let ids = match ids with [] -> None | l -> Some l in
         let format = if csv then `Csv else `Table in
-        Experiments.Runner.run_all ~seed ?ids ~format
-          ~out:Format.std_formatter ();
-        `Ok ()
+        (try
+           Experiments.Runner.run_all ~seed ?ids ~format ~checked
+             ~out:Format.std_formatter ();
+           `Ok ()
+         with Analysis.Invariants.Violation v ->
+           `Error
+             ( false,
+               Format.asprintf "%a" Analysis.Invariants.pp_violation v ))
   end
 
 let cmd =
@@ -51,6 +64,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "vtp_experiments" ~doc)
-    Term.(ret (const run $ list_flag $ seed $ csv $ ids))
+    Term.(ret (const run $ list_flag $ seed $ csv $ checked $ ids))
 
 let () = exit (Cmd.eval cmd)

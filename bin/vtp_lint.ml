@@ -1,0 +1,80 @@
+(* CLI: lint the protocol sources.
+
+   Examples:
+     vtp_lint lib bin          # scan (the default roots)
+     vtp_lint --list-rules     # the active rule table
+     vtp_lint --warnings lib   # include warning-severity findings
+
+   Output is machine readable (file:line: [rule-id] severity: message);
+   the exit code is non-zero iff any error-severity finding exists, so
+   the dune @lint alias can gate @runtest. *)
+
+open Cmdliner
+
+let list_rules =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"List the rule table and exit.")
+
+let warnings_only_exit =
+  Arg.(
+    value & flag
+    & info [ "warnings" ]
+        ~doc:"Also fail (exit 1) on warning-severity findings.")
+
+let roots =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin" ]
+    & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
+
+let run list_only strict roots =
+  if list_only then begin
+    List.iter
+      (fun (r : Analysis.Lint.rule) ->
+        Format.printf "%-16s %-8s %s@."
+          r.Analysis.Lint.id
+          (match r.Analysis.Lint.severity with
+          | Analysis.Lint.Error -> "error"
+          | Analysis.Lint.Warning -> "warning")
+          r.Analysis.Lint.doc;
+        (match r.Analysis.Lint.dirs with
+        | [] -> ()
+        | dirs -> Format.printf "%-16s   scope: %s@." "" (String.concat " " dirs));
+        match r.Analysis.Lint.allow with
+        | [] -> ()
+        | allow ->
+            Format.printf "%-16s   allow: %s@." "" (String.concat " " allow))
+      Analysis.Lint.rules;
+    0
+  end
+  else begin
+    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+    match missing with
+    | d :: _ ->
+        Format.eprintf "vtp_lint: no such directory: %s@." d;
+        2
+    | [] ->
+        let findings = Analysis.Lint.lint_tree ~roots in
+        List.iter
+          (fun f -> Format.printf "%a@." Analysis.Lint.pp_finding f)
+          findings;
+        let errors = Analysis.Lint.errors findings in
+        let gate = if strict then findings else errors in
+        if gate = [] then begin
+          Format.printf "vtp_lint: clean (%d finding(s), 0 gating)@."
+            (List.length findings);
+          0
+        end
+        else begin
+          Format.printf "vtp_lint: %d finding(s), %d gating@."
+            (List.length findings) (List.length gate);
+          1
+        end
+  end
+
+let cmd =
+  let doc = "Protocol-source lint: determinism, comparators, interfaces." in
+  Cmd.v
+    (Cmd.info "vtp_lint" ~doc)
+    Term.(const run $ list_rules $ warnings_only_exit $ roots)
+
+let () = exit (Cmd.eval' cmd)

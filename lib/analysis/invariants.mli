@@ -1,0 +1,91 @@
+(** Protocol-invariant checking over an observation stream.
+
+    The invariant catalogue is derived from the paper and the RFCs it
+    builds on:
+
+    - {b gtfrc-floor} (paper §4, gTFRC): outside slow start the allowed
+      rate never falls below [min(g, X_calc)] — the negotiated AF
+      reservation stays honoured.
+    - {b tfrc-rate-bounds} (RFC 3448 §4.3): [s/t_mbi <= X <=
+      max(2*X_recv, g)], and never above the negotiated ceiling.
+    - {b sack-wellformed} (RFC 2018 §4): feedback blocks are non-empty,
+      pairwise disjoint, strictly above the cumulative ack and within
+      the sequence range actually sent (a selfish or buggy receiver
+      acknowledging invented data is caught here).
+    - {b cum-ack-monotone}: the cumulative point never regresses.
+    - {b packet-conservation}: [sent = delivered + lost + in_flight] —
+      every frame accounted exactly once.
+
+    Observations are fed either live (the experiment harness under
+    [~checked:true]) or by replaying a {!Netsim.Tracer} buffer through
+    {!Trace_check}. *)
+
+type rate_info = {
+  at : float;
+  flow : int;
+  x_bps : float;  (** allowed sending rate *)
+  x_calc_bps : float;  (** equation rate; [infinity] while p = 0 *)
+  x_recv_bps : float;  (** rate last reported by the receiver *)
+  p : float;  (** loss event rate driving the sender *)
+  g_bps : float;  (** negotiated AF floor; 0 = none *)
+  cap_bps : float option;  (** application/interface ceiling *)
+  mbi_floor_bps : float;  (** one packet per t_mbi, in bit/s *)
+  slow_start : bool;
+}
+
+type event =
+  | Epoch
+      (** A new topology / set of connections is starting (flow ids may
+          be reused); per-flow feedback state resets.  Frame uids are
+          global, so packet-conservation accounting carries across
+          epochs. *)
+  | Rate of rate_info
+  | Sent of { at : float; flow : int; uid : int }
+  | Delivered of { at : float; flow : int; uid : int }
+  | Dropped of { at : float; flow : int; uid : int }
+  | Feedback of {
+      at : float;
+      flow : int;
+      cum_ack : int;
+      blocks : (int * int) list;  (** half-open [start, end) ranges *)
+      window_hi : int option;  (** one past the highest sequence sent *)
+    }
+
+type violation = {
+  invariant : string;
+  at : float;
+  flow : int;
+  detail : string;
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type spec = {
+  name : string;
+  provenance : string;  (** paper section / RFC the invariant encodes *)
+  doc : string;
+  make : unit -> event -> (float * int * string) option;
+}
+
+val catalogue : spec list
+(** All registered invariants; adding one is adding a record here. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** A fresh checker instantiating every catalogue invariant.  At most
+    [limit] (default 100) violations are retained. *)
+
+val feed : t -> event -> unit
+
+val events_seen : t -> int
+
+val violations : t -> violation list
+(** In discovery order (oldest first). *)
+
+val first_violation : t -> violation option
+
+val check_exn : t -> unit
+(** Raise {!Violation} with the first recorded violation, if any. *)

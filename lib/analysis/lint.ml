@@ -1,0 +1,554 @@
+(* A token-level linter for the protocol sources.
+
+   The scanner is deliberately not a full parser: it lexes OCaml well
+   enough to see through comments, strings and char literals, glue
+   dotted paths into single tokens ("Stdlib.compare", "Random.int") and
+   classify numeric literals.  Rules then pattern-match short token
+   windows.  That keeps the linter dependency-free, fast, and — unlike
+   a compiler-libs AST pass — robust against code that does not (yet)
+   compile. *)
+
+type severity = Warning | Error
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+type finding = {
+  rule_id : string;
+  severity : severity;
+  path : string;
+  line : int;
+  message : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token_kind = Ident | Float_lit | Int_lit | String_lit | Op
+
+type token = { kind : token_kind; text : string; tline : int }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_op_char c = String.contains "!$%&*+-/:<=>?@^|~." c
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push kind text tline = toks := { kind; text; tline } :: !toks in
+  let i = ref 0 in
+  let bump_lines upto =
+    (* count newlines between the current position and [upto] *)
+    for k = !i to upto - 1 do
+      if k < n && src.[k] = '\n' then incr line
+    done
+  in
+  (* Skip a string literal starting at [j] (src.[j] = '"'); returns the
+     index one past the closing quote and the raw literal. *)
+  let skip_string j =
+    let k = ref (j + 1) in
+    let stop = ref false in
+    while (not !stop) && !k < n do
+      (match src.[!k] with
+      | '\\' -> incr k (* skip escaped char *)
+      | '"' -> stop := true
+      | '\n' -> incr line
+      | _ -> ());
+      incr k
+    done;
+    !k
+  in
+  (* Skip a (possibly nested) comment starting at [j] with src.[j..j+1] =
+     "(*".  OCaml lexes string literals inside comments, so '"' must be
+     honoured there too. *)
+  let skip_comment j =
+    let depth = ref 1 in
+    let k = ref (j + 2) in
+    while !depth > 0 && !k < n do
+      if !k + 1 < n && src.[!k] = '(' && src.[!k + 1] = '*' then begin
+        incr depth;
+        k := !k + 2
+      end
+      else if !k + 1 < n && src.[!k] = '*' && src.[!k + 1] = ')' then begin
+        decr depth;
+        k := !k + 2
+      end
+      else if src.[!k] = '"' then begin
+        let j2 = skip_string !k in
+        k := j2
+      end
+      else begin
+        if src.[!k] = '\n' then incr line;
+        incr k
+      end
+    done;
+    !k
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if !i + 1 < n && c = '(' && src.[!i + 1] = '*' then i := skip_comment !i
+    else if c = '"' then begin
+      let tline = !line in
+      let j = skip_string !i in
+      push String_lit (String.sub src !i (j - !i)) tline;
+      i := j
+    end
+    else if c = '\'' then begin
+      (* char literal or type variable *)
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        (* escaped char literal: skip to closing quote *)
+        let k = ref (!i + 2) in
+        while !k < n && src.[!k] <> '\'' do incr k done;
+        i := !k + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3
+        (* plain char literal *)
+      else incr i (* type variable quote: skip, lex the name as ident *)
+    end
+    else if is_ident_start c then begin
+      let tline = !line in
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      (* glue dotted paths: "Stdlib.compare", "t.touched" *)
+      let continue = ref true in
+      while !continue do
+        if
+          !j + 1 < n
+          && src.[!j] = '.'
+          && is_ident_start src.[!j + 1]
+        then begin
+          incr j;
+          while !j < n && is_ident_char src.[!j] do incr j done
+        end
+        else continue := false
+      done;
+      push Ident (String.sub src !i (!j - !i)) tline;
+      i := !j
+    end
+    else if is_digit c then begin
+      let tline = !line in
+      let j = ref !i in
+      let is_float = ref false in
+      while !j < n && (is_digit src.[!j] || src.[!j] = '_') do incr j done;
+      if !j < n && src.[!j] = '.' && not (!j + 1 < n && src.[!j + 1] = '.')
+      then begin
+        is_float := true;
+        incr j;
+        while !j < n && (is_digit src.[!j] || src.[!j] = '_') do incr j done
+      end;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        let k = !j + 1 in
+        let k = if k < n && (src.[k] = '+' || src.[k] = '-') then k + 1 else k in
+        if k < n && is_digit src.[k] then begin
+          is_float := true;
+          j := k;
+          while !j < n && (is_digit src.[!j] || src.[!j] = '_') do incr j done
+        end
+      end;
+      push (if !is_float then Float_lit else Int_lit)
+        (String.sub src !i (!j - !i))
+        tline;
+      i := !j
+    end
+    else if is_op_char c then begin
+      let tline = !line in
+      let j = ref !i in
+      while !j < n && is_op_char src.[!j] do incr j done;
+      (* don't let a comment opener hide inside an operator run *)
+      push Op (String.sub src !i (!j - !i)) tline;
+      bump_lines !j;
+      i := !j
+    end
+    else begin
+      push Op (String.make 1 c) !line;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+type hit = { hline : int; hmessage : string }
+
+type matcher =
+  | Token_rule of (token array -> hit list)
+      (** runs over the token stream of one [.ml] file *)
+  | File_set_rule of (string list -> (string * hit) list)
+      (** runs once over the relative paths of all scanned files;
+          returns (path, hit) pairs — e.g. the missing-[.mli] rule *)
+
+type rule = {
+  id : string;
+  severity : severity;
+  doc : string;
+  dirs : string list;  (** path prefixes where the rule is active; [] = all *)
+  allow : string list;  (** path substrings exempt from the rule *)
+  matcher : matcher;
+}
+
+let tok (ts : token array) i =
+  if i >= 0 && i < Array.length ts then Some ts.(i) else None
+
+let text_at ts i = match tok ts i with Some t -> t.text | None -> ""
+
+(* Path component test: does [path] start with component [head]
+   ("Random.int" starts with "Random")? *)
+let first_component s =
+  match String.index_opt s '.' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let scan_tokens f ts =
+  let hits = ref [] in
+  Array.iteri (fun i t -> match f ts i t with
+    | Some h -> hits := h :: !hits
+    | None -> ()) ts;
+  List.rev !hits
+
+(* [=] / [<>] applied to a float literal.  A bare [=] is also a binder
+   (let, record fields, labelled defaults), so an equality is only
+   flagged when the token before the left operand introduces an
+   expression context. *)
+let float_eq_matcher ts =
+  let expr_intro = function
+    | "if" | "when" | "then" | "else" | "&&" | "||" | "(" | "begin" | "not"
+    | "assert" | "->" | "=" | "<>" | "while" | "do" ->
+        true
+    | _ -> false
+  in
+  scan_tokens
+    (fun ts i t ->
+      if t.kind <> Op || (t.text <> "=" && t.text <> "<>") then None
+      else
+        let left = tok ts (i - 1) and right = tok ts (i + 1) in
+        let float_operand =
+          (match left with Some l -> l.kind = Float_lit | None -> false)
+          || match right with Some r -> r.kind = Float_lit | None -> false
+        in
+        let simple_left =
+          match left with
+          | Some l -> (
+              match l.kind with
+              | Ident | Float_lit | Int_lit -> true
+              | String_lit | Op -> false)
+          | None -> false
+        in
+        if not float_operand then None
+        else if t.text = "<>" then
+          Some
+            {
+              hline = t.tline;
+              hmessage =
+                "polymorphic <> on a float; use explicit Float comparison";
+            }
+        else if not simple_left then
+          (* e.g. [let f () = 8.0 *. x]: a binder, not a comparison *)
+          None
+        else
+          (* left operand is a single path/literal token at i-1; the
+             token before it decides binder vs expression *)
+          let before = text_at ts (i - 2) in
+          let is_opt_default =
+            before = "(" && text_at ts (i - 3) = "?"
+          in
+          if expr_intro before && not is_opt_default then
+            Some
+              {
+                hline = t.tline;
+                hmessage =
+                  "polymorphic = on a float; use Float.equal (or an \
+                   epsilon comparison)";
+              }
+          else None)
+    ts
+
+(* Bare [compare] / [Stdlib.compare]: the polymorphic structural compare
+   raises on functional values, is wrong on floats (nan) and silently
+   depends on record field order — protocol code must use typed
+   comparators (Int.compare, Float.compare, Serial.compare, ...). *)
+let poly_compare_matcher ts =
+  scan_tokens
+    (fun ts i t ->
+      if t.kind <> Ident then None
+      else if t.text = "Stdlib.compare" || t.text = "Poly.compare" then
+        Some
+          {
+            hline = t.tline;
+            hmessage =
+              t.text ^ " is polymorphic; use a typed comparator \
+                        (Int.compare, Float.compare, Serial.compare, ...)";
+          }
+      else if t.text = "compare" then begin
+        (* exempt: definitions (let compare), labels (~compare[:]),
+           record-field declarations (compare : ...) *)
+        let prev = text_at ts (i - 1) and next = text_at ts (i + 1) in
+        if prev = "let" || prev = "~" || prev = "and" || next = ":" || next = "="
+        then None
+        else
+          Some
+            {
+              hline = t.tline;
+              hmessage =
+                "bare polymorphic compare; use a typed comparator";
+            }
+      end
+      else None)
+    ts
+
+(* Any [Random.*] call outside the engine's seeded RNG shim breaks
+   experiment reproducibility (the determinism guard). *)
+let random_matcher ts =
+  scan_tokens
+    (fun _ _ t ->
+      if t.kind = Ident && first_component t.text = "Random" then
+        Some
+          {
+            hline = t.tline;
+            hmessage =
+              "global Random used; draw from Engine.Rng (seeded, \
+               splittable) instead";
+          }
+      else None)
+    ts
+
+let obj_magic_matcher ts =
+  scan_tokens
+    (fun _ _ t ->
+      if t.kind = Ident && t.text = "Obj.magic" then
+        Some { hline = t.tline; hmessage = "Obj.magic defeats the type system" }
+      else None)
+    ts
+
+let assert_false_matcher ts =
+  scan_tokens
+    (fun ts i t ->
+      if t.kind = Ident && t.text = "assert" && text_at ts (i + 1) = "false"
+      then
+        Some
+          {
+            hline = t.tline;
+            hmessage =
+              "bare 'assert false'; raise an informative error \
+               (invalid_arg/failwith with a message) instead";
+          }
+      else None)
+    ts
+
+let failwith_empty_matcher ts =
+  scan_tokens
+    (fun ts i t ->
+      if
+        t.kind = Ident
+        && t.text = "failwith"
+        && text_at ts (i + 1) = "\"\""
+      then
+        Some
+          {
+            hline = t.tline;
+            hmessage = "failwith with an empty message";
+          }
+      else None)
+    ts
+
+(* Every library module must publish an interface.  "lib/" may be the
+   start of a relative path or a component of an absolute one. *)
+let in_lib f =
+  let pre = "lib/" in
+  (String.length f > 4 && String.sub f 0 4 = pre)
+  ||
+  let rec at i =
+    i + 5 <= String.length f
+    && ((f.[i] = '/' && String.sub f (i + 1) 4 = pre) || at (i + 1))
+  in
+  at 0
+
+let missing_mli_rule files =
+  List.filter_map
+    (fun f ->
+      if Filename.check_suffix f ".ml" && in_lib f then
+        let mli = f ^ "i" in
+        if List.mem mli files then None
+        else
+          Some
+            ( f,
+              {
+                hline = 1;
+                hmessage = "library module has no .mli interface";
+              } )
+      else None)
+    files
+
+let protocol_dirs = [ "lib/tfrc"; "lib/sack"; "lib/core" ]
+
+let rules : rule list =
+  [
+    {
+      id = "poly-compare";
+      severity = Error;
+      doc =
+        "bare compare/Stdlib.compare in protocol code (floats and \
+         protocol records need typed comparators)";
+      dirs = protocol_dirs;
+      allow = [];
+      matcher = Token_rule poly_compare_matcher;
+    };
+    {
+      id = "float-eq";
+      severity = Error;
+      doc = "polymorphic =/<> applied to a float literal";
+      dirs = protocol_dirs @ [ "lib/stats" ];
+      allow = [];
+      matcher = Token_rule float_eq_matcher;
+    };
+    {
+      id = "random-call";
+      severity = Error;
+      doc =
+        "Random.* outside lib/engine/rng.ml (experiments must be \
+         reproducible from the root seed)";
+      dirs = [];
+      allow = [ "lib/engine/rng.ml" ];
+      matcher = Token_rule random_matcher;
+    };
+    {
+      id = "obj-magic";
+      severity = Error;
+      doc = "Obj.magic anywhere";
+      dirs = [];
+      allow = [];
+      matcher = Token_rule obj_magic_matcher;
+    };
+    {
+      id = "assert-false";
+      severity = Error;
+      doc = "bare 'assert false' without an informative message";
+      dirs = [];
+      allow = [];
+      matcher = Token_rule assert_false_matcher;
+    };
+    {
+      id = "failwith-empty";
+      severity = Error;
+      doc = "failwith \"\" carries no diagnostic";
+      dirs = [];
+      allow = [];
+      matcher = Token_rule failwith_empty_matcher;
+    };
+    {
+      id = "missing-mli";
+      severity = Error;
+      doc = "library .ml without a sibling .mli";
+      dirs = [ "lib" ];
+      allow = [];
+      matcher = File_set_rule missing_mli_rule;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driving *)
+
+let normalise_path p =
+  (* strip leading "./" so dir prefixes match *)
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let rule_applies r path =
+  let path = normalise_path path in
+  (r.dirs = [] || List.exists (fun d -> contains_sub ~sub:d path) r.dirs)
+  && not (List.exists (fun a -> contains_sub ~sub:a path) r.allow)
+
+let finding_of_hit r path (h : hit) =
+  {
+    rule_id = r.id;
+    severity = r.severity;
+    path = normalise_path path;
+    line = h.hline;
+    message = h.hmessage;
+  }
+
+let lint_string ~path src =
+  let ts = Array.of_list (tokenize src) in
+  List.concat_map
+    (fun r ->
+      match r.matcher with
+      | File_set_rule _ -> []
+      | Token_rule m ->
+          if rule_applies r path then
+            List.map (finding_of_hit r path) (m ts)
+          else [])
+    rules
+
+let lint_file_names files =
+  let files = List.map normalise_path files in
+  List.concat_map
+    (fun r ->
+      match r.matcher with
+      | Token_rule _ -> []
+      | File_set_rule m ->
+          List.filter_map
+            (fun (path, h) ->
+              if rule_applies r path then Some (finding_of_hit r path h)
+              else None)
+            (m files))
+    rules
+
+let rec walk dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun acc e ->
+          if String.length e > 0 && (e.[0] = '.' || e.[0] = '_') then acc
+          else
+            let p = Filename.concat dir e in
+            if Sys.is_directory p then walk p @ acc
+            else if
+              Filename.check_suffix e ".ml" || Filename.check_suffix e ".mli"
+            then p :: acc
+            else acc)
+        [] entries
+  | exception Sys_error _ -> []
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_tree ~roots =
+  let files = List.concat_map walk roots in
+  let ml_files = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  let token_findings =
+    List.concat_map (fun p -> lint_string ~path:p (read_file p)) ml_files
+  in
+  let tree_findings = lint_file_names files in
+  List.sort
+    (fun a b ->
+      match String.compare a.path b.path with
+      | 0 -> Int.compare a.line b.line
+      | c -> c)
+    (token_findings @ tree_findings)
+
+let errors findings =
+  List.filter (fun (f : finding) -> f.severity = Error) findings
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s: %s" f.path f.line f.rule_id
+    (severity_name f.severity)
+    f.message

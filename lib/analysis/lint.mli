@@ -1,0 +1,69 @@
+(** [vtp_lint]: a token-level linter for the protocol sources.
+
+    The rule table is data-driven: a rule is one record carrying its id,
+    severity, the path prefixes it polices, an allowlist, and a matcher
+    over the token stream (or over the scanned file set, for tree-shape
+    rules such as missing-[.mli]).  Adding a lint is adding one record
+    to {!rules}.
+
+    The scanner lexes OCaml just deeply enough to be trustworthy —
+    comments (nested, with embedded strings), string/char literals,
+    dotted paths glued into single tokens, float vs int literals — so
+    rules never fire inside comments or strings.  It is a heuristic
+    analyzer by design: it flags [=]/[<>] on float {e literals} (the
+    decidable token-level core of "no polymorphic equality on floats"),
+    not every float-typed equality. *)
+
+type severity = Warning | Error
+
+type finding = {
+  rule_id : string;
+  severity : severity;
+  path : string;  (** normalised, relative *)
+  line : int;
+  message : string;
+}
+
+type token_kind = Ident | Float_lit | Int_lit | String_lit | Op
+
+type token = { kind : token_kind; text : string; tline : int }
+
+type hit = { hline : int; hmessage : string }
+
+type matcher =
+  | Token_rule of (token array -> hit list)
+  | File_set_rule of (string list -> (string * hit) list)
+
+type rule = {
+  id : string;
+  severity : severity;
+  doc : string;
+  dirs : string list;
+  allow : string list;
+  matcher : matcher;
+}
+
+val rules : rule list
+(** The active rule table: poly-compare, float-eq, random-call,
+    obj-magic, assert-false, failwith-empty, missing-mli. *)
+
+val tokenize : string -> token list
+(** Exposed for tests. *)
+
+val lint_string : path:string -> string -> finding list
+(** Run every applicable token rule over one file's contents.  [path]
+    decides which rules apply (dir scoping + allowlists). *)
+
+val lint_file_names : string list -> finding list
+(** Run the file-set rules (missing-mli) over a list of relative
+    paths — no file contents needed. *)
+
+val lint_tree : roots:string list -> finding list
+(** Walk the given directories (skipping dot- and underscore-prefixed
+    entries), lint every [.ml], and run the file-set rules.  Sorted by
+    path then line. *)
+
+val errors : finding list -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule-id] severity: message] — machine readable. *)

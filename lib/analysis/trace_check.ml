@@ -1,0 +1,42 @@
+(* Replay a Netsim.Tracer buffer through the invariant checker.
+
+   A tracer records frame events at named tap points; a [roles] mapping
+   says which points mean "frame injected", "frame delivered to the
+   application side" and "frame dropped".  Conservation (and any other
+   frame-level invariant) is then checked exactly as in a live run. *)
+
+type roles = {
+  sent : string list;
+  delivered : string list;
+  dropped : string list;
+}
+
+let default_roles =
+  { sent = [ "sent" ]; delivered = [ "delivered" ]; dropped = [ "dropped" ] }
+
+let mem point names = List.exists (String.equal point) names
+
+let event_of roles (ev : Netsim.Tracer.event) =
+  if mem ev.point roles.sent then
+    Some
+      (Invariants.Sent { at = ev.at; flow = ev.flow_id; uid = ev.uid })
+  else if mem ev.point roles.delivered then
+    Some
+      (Invariants.Delivered { at = ev.at; flow = ev.flow_id; uid = ev.uid })
+  else if mem ev.point roles.dropped then
+    Some
+      (Invariants.Dropped { at = ev.at; flow = ev.flow_id; uid = ev.uid })
+  else None
+
+let replay ?(roles = default_roles) checker events =
+  List.iter
+    (fun ev ->
+      match event_of roles ev with
+      | Some e -> Invariants.feed checker e
+      | None -> ())
+    events
+
+let check ?roles events =
+  let checker = Invariants.create () in
+  replay ?roles checker events;
+  Invariants.first_violation checker

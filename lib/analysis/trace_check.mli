@@ -1,0 +1,25 @@
+(** Replay {!Netsim.Tracer} output through the protocol-invariant
+    checker.
+
+    Tap points are free-form strings; [roles] names the points that mean
+    "injected", "delivered" and "dropped".  Events whose point carries
+    none of these roles are ignored (they are still useful for ordering
+    assertions in tests, just not for conservation). *)
+
+type roles = {
+  sent : string list;
+  delivered : string list;
+  dropped : string list;
+}
+
+val default_roles : roles
+(** ["sent"], ["delivered"], ["dropped"]. *)
+
+val replay :
+  ?roles:roles -> Invariants.t -> Netsim.Tracer.event list -> unit
+(** Feed each tracer event (oldest first, as {!Netsim.Tracer.events}
+    returns them) into the checker. *)
+
+val check :
+  ?roles:roles -> Netsim.Tracer.event list -> Invariants.violation option
+(** One-shot: fresh checker, replay, first violation if any. *)

@@ -159,7 +159,10 @@ let transmit_opportunity t =
       | Some sb ->
           Sack.Scoreboard.on_send sb ~seq ~now ~size:t.cfg.packet_size
             ~is_retx:true
-      | None -> assert false);
+      | None ->
+          failwith
+            "Connection: Retransmit decision without a scoreboard (the \
+             reliability plane exists only alongside one)");
       emit_data t ~seq ~is_retx:true;
       true
   | Sack.Reliability.Fresh_data ->
@@ -189,6 +192,34 @@ let feed_losses t ~now losses =
       Sack.Reliability.on_losses rel ~now losses;
       Tfrc.Sender.notify_data t.snd.cc
   | Some _ | None -> ()
+
+(* Report the rate-update outcome to the invariant checker, when one is
+   installed (the harness's checked mode).  [x_recv] and [p] are the
+   bytes/s inputs the sender was just fed. *)
+let inspect_sample t ~x_recv ~p =
+  match Inspect.hooks () with
+  | None -> ()
+  | Some h ->
+      let cc = t.snd.cc in
+      let prm = Tfrc.Sender.params cc in
+      let s = prm.Tfrc.Sender.packet_size in
+      let x_calc_bps =
+        if p > 0.0 then Tfrc.Equation.rate_bps ~s ~r:(Tfrc.Sender.rtt cc) ~p ()
+        else infinity
+      in
+      h.Inspect.on_rate_sample
+        {
+          Inspect.at = Engine.Sim.now t.sim;
+          flow_id = t.endpoint.Netsim.Topology.flow_id;
+          x_bps = Tfrc.Sender.rate_bps cc;
+          x_calc_bps;
+          x_recv_bps = 8.0 *. x_recv;
+          p;
+          g_bps = t.cfg.agreed.Capabilities.target_bps;
+          cap_bps = t.cfg.max_rate_bps;
+          mbi_floor_bps = 8.0 *. float_of_int s /. prm.Tfrc.Sender.t_mbi;
+          slow_start = Tfrc.Sender.in_slow_start cc;
+        }
 
 let merge_covers (a : Sack.Scoreboard.cover list)
     (b : Sack.Scoreboard.cover list) =
@@ -221,12 +252,14 @@ let sender_on_sack t (sf : Header.sack_feedback) =
           end;
           let p = Loss_reconstructor.loss_event_rate lr in
           Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:sf.sack_tstamp_echo
-            ~t_delay:sf.sack_t_delay ~x_recv:sf.sack_x_recv ~p
+            ~t_delay:sf.sack_t_delay ~x_recv:sf.sack_x_recv ~p;
+          inspect_sample t ~x_recv:sf.sack_x_recv ~p
       | None -> ())
 
 let sender_on_std_feedback t (f : Header.feedback) =
   Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:f.tstamp_echo
-    ~t_delay:f.t_delay ~x_recv:f.x_recv ~p:f.p
+    ~t_delay:f.t_delay ~x_recv:f.x_recv ~p:f.p;
+  inspect_sample t ~x_recv:f.x_recv ~p:f.p
 
 let arm_expiry_timer t =
   match (t.snd.scoreboard, t.snd.reliability) with
@@ -659,7 +692,7 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
       (* The selfish-receiver knob only exists where the receiver
          computes p — that is the attack surface QTP_light removes. *)
       let f =
-        if cfg.selfish_p_factor = 1.0 then f
+        if Float.equal cfg.selfish_p_factor 1.0 then f
         else { f with p = f.p *. cfg.selfish_p_factor }
       in
       let segment =

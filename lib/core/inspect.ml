@@ -1,0 +1,22 @@
+type rate_sample = {
+  at : float;
+  flow_id : int;
+  x_bps : float;
+  x_calc_bps : float;
+  x_recv_bps : float;
+  p : float;
+  g_bps : float;
+  cap_bps : float option;
+  mbi_floor_bps : float;
+  slow_start : bool;
+}
+
+type hooks = { on_rate_sample : rate_sample -> unit }
+
+let current : hooks option ref = ref None
+
+let install h = current := Some h
+
+let clear () = current := None
+
+let hooks () = !current

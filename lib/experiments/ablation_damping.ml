@@ -8,6 +8,7 @@ let run_case ~seed ~damping =
       ()
   in
   let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+  Common.instrument topo;
   let monitor =
     Netsim.Monitor.start ~sim
       ~qdisc:(Netsim.Link.qdisc topo.Netsim.Topology.bottleneck)

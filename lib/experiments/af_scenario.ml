@@ -37,6 +37,7 @@ let run ~seed ~g_mbps ~proto ?(bottleneck_mbps = 10.0) ?(excess_mbps = 8.0)
       ~committed_rates:(Array.map Common.mbps committed)
       ()
   in
+  Common.instrument topo;
   let rng = Engine.Sim.split_rng sim in
   (* Unresponsive excess load, spread over several Poisson aggregates so
      it does not synchronise with anything. *)

@@ -7,6 +7,22 @@
 val mbps : float -> float
 (** Megabits/s to bits/s. *)
 
+val with_checked : checked:bool -> (unit -> 'a) -> 'a
+(** [with_checked ~checked:true run] executes [run] with the
+    protocol-invariant checker live: {!Qtp.Inspect} hooks feed every
+    TFRC rate update, and any topology built through the helpers below
+    (or passed to {!instrument}) is tapped for packet conservation and
+    SACK well-formedness.  Raises {!Analysis.Invariants.Violation} with
+    the first violation once [run] returns.  With [~checked:false] it is
+    just [run ()]. *)
+
+val instrument : Netsim.Topology.t -> unit
+(** Tap a topology for the ambient checker installed by
+    {!with_checked}; a no-op outside checked mode.  Must be called
+    before transports attach to the endpoints.  The canned builders
+    below already do this — only scenarios that assemble a raw
+    {!Netsim.Topology.t} themselves need to call it. *)
+
 val warmup : float
 (** Seconds discarded at the start of every measurement (default 5). *)
 

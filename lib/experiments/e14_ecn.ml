@@ -19,6 +19,7 @@ let run_case ~seed ~light ~ecn =
       ()
   in
   let topo = Netsim.Topology.duplex_path ~sim ~forward () in
+  Common.instrument topo;
   let offer =
     if light then
       Qtp.Profile.qtp_light ~ecn

@@ -19,6 +19,7 @@ let run_case ~seed ~long_is_tfrc =
       ~hops:(List.init n_hops (fun _ -> hop ()))
       ~paths ()
   in
+  Common.instrument topo;
   (* Cross traffic: greedy TCP on every hop. *)
   let cross =
     List.init n_hops (fun i ->

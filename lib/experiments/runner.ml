@@ -150,7 +150,7 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ?(seed = 42) ?ids ?(format = `Table) ~out () =
+let run_all ?(seed = 42) ?ids ?(format = `Table) ?(checked = false) ~out () =
   let selected =
     match ids with
     | None -> all
@@ -158,10 +158,11 @@ let run_all ?(seed = 42) ?ids ?(format = `Table) ~out () =
   in
   List.iter
     (fun e ->
+      let table () = Common.with_checked ~checked (fun () -> e.run ~seed) in
       match format with
       | `Table ->
           Format.fprintf out "@.== %s: %s@.   claim: %s@.@." e.id e.title
             e.claim;
-          Format.fprintf out "%s@." (Stats.Table.render (e.run ~seed))
-      | `Csv -> Format.fprintf out "%s@." (Stats.Table.to_csv (e.run ~seed)))
+          Format.fprintf out "%s@." (Stats.Table.render (table ()))
+      | `Csv -> Format.fprintf out "%s@." (Stats.Table.to_csv (table ())))
     selected

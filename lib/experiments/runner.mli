@@ -16,8 +16,11 @@ val run_all :
   ?seed:int ->
   ?ids:string list ->
   ?format:[ `Table | `Csv ] ->
+  ?checked:bool ->
   out:Format.formatter ->
   unit ->
   unit
 (** Run (a subset of) the suite, printing each table (or CSV blocks with
-    [~format:`Csv]). *)
+    [~format:`Csv]).  With [~checked:true] each entry runs under
+    {!Common.with_checked}, raising {!Analysis.Invariants.Violation} on
+    the first protocol-invariant violation. *)

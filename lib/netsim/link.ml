@@ -13,6 +13,7 @@ type t = {
   loss : Loss_model.t;
   name : string;
   mutable sink : (Frame.t -> unit) option;
+  mutable on_drop : (Frame.t -> unit) option;
   mutable busy : bool;
   st : stats;
 }
@@ -28,11 +29,17 @@ let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none)
     loss;
     name;
     sink = None;
+    on_drop = None;
     busy = false;
     st = { tx_frames = 0; tx_bytes = 0; lost_frames = 0; delivered = 0 };
   }
 
 let connect t sink = t.sink <- Some sink
+
+let on_drop t f = t.on_drop <- Some f
+
+let dropped t frame =
+  match t.on_drop with Some f -> f frame | None -> ()
 
 let deliver t frame =
   match t.sink with
@@ -51,7 +58,10 @@ let rec transmit t frame =
 and complete t frame =
   t.st.tx_frames <- t.st.tx_frames + 1;
   t.st.tx_bytes <- t.st.tx_bytes + frame.Frame.size;
-  if Loss_model.drops t.loss then t.st.lost_frames <- t.st.lost_frames + 1
+  if Loss_model.drops t.loss then begin
+    t.st.lost_frames <- t.st.lost_frames + 1;
+    dropped t frame
+  end
   else
     ignore
       (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t frame));
@@ -60,14 +70,18 @@ and complete t frame =
   | None -> t.busy <- false
 
 let send t frame =
-  if t.busy then ignore (Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame)
+  if t.busy then begin
+    if not (Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame) then
+      dropped t frame
+  end
   else begin
     (* Still count the packet at the qdisc so drop statistics and RED
        averages see the full arrival process. *)
     if Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame then
       match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
       | Some f -> transmit t f
-      | None -> assert false
+      | None ->
+          failwith (t.name ^ ": qdisc accepted a frame but dequeued none")
   end
 
 let stats t = t.st

@@ -28,6 +28,11 @@ val create :
 val connect : t -> (Frame.t -> unit) -> unit
 (** Set the receiver-side sink. Must be called before traffic flows. *)
 
+val on_drop : t -> (Frame.t -> unit) -> unit
+(** Observe every frame this link drops — by the loss model after
+    serialisation, or by the qdisc refusing to enqueue.  Used by the
+    invariant checker's packet-conservation accounting. *)
+
 val send : t -> Frame.t -> unit
 (** Offer a frame at the transmitter. *)
 

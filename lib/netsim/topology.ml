@@ -23,6 +23,7 @@ type t = {
   bottleneck : Link.t;
   reverse : Link.t;
   endpoints : endpoint array;
+  links : Link.t list;  (** every link in the topology, access links included *)
 }
 
 let link_of_spec ~sim ~name s =
@@ -76,20 +77,24 @@ let dumbbell ~sim ~n_flows ~bottleneck ?reverse ?access ?committed_rates () =
       (match marker with Some m -> Marker.mark m frame | None -> ());
       Link.send access frame
     in
-    {
-      flow_id = i;
-      to_receiver;
-      to_sender = Link.send rev;
-      on_receiver_rx = (fun sink -> Router.add_route fwd_router ~flow_id:i sink);
-      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:i sink);
-      marker;
-    }
+    ( {
+        flow_id = i;
+        to_receiver;
+        to_sender = Link.send rev;
+        on_receiver_rx =
+          (fun sink -> Router.add_route fwd_router ~flow_id:i sink);
+        on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:i sink);
+        marker;
+      },
+      access )
   in
+  let pairs = Array.init n_flows make_endpoint in
   {
     sim;
     bottleneck = bneck;
     reverse = rev;
-    endpoints = Array.init n_flows make_endpoint;
+    endpoints = Array.map fst pairs;
+    links = bneck :: rev :: Array.to_list (Array.map snd pairs);
   }
 
 let duplex_path ~sim ~forward ?reverse () =
@@ -113,7 +118,7 @@ let duplex_path ~sim ~forward ?reverse () =
       marker = None;
     }
   in
-  { sim; bottleneck = fwd; reverse = rev; endpoints = [| ep |] }
+  { sim; bottleneck = fwd; reverse = rev; endpoints = [| ep |]; links = [ fwd; rev ] }
 
 let parking_lot ~sim ~hops ~paths ?reverse () =
   if hops = [] then invalid_arg "Topology.parking_lot: no hops";
@@ -165,6 +170,7 @@ let parking_lot ~sim ~hops ~paths ?reverse () =
     bottleneck;
     reverse = rev;
     endpoints = Array.mapi make_endpoint paths;
+    links = rev :: Array.to_list links;
   }
 
 let chain ~sim ~n_flows ~hops ?reverse () =
@@ -207,6 +213,12 @@ let chain ~sim ~n_flows ~hops ?reverse () =
       marker = None;
     }
   in
-  { sim; bottleneck; reverse = rev; endpoints = Array.init n_flows make_endpoint }
+  {
+    sim;
+    bottleneck;
+    reverse = rev;
+    endpoints = Array.init n_flows make_endpoint;
+    links = rev :: links;
+  }
 
 let endpoint t i = t.endpoints.(i)

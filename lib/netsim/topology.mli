@@ -33,6 +33,10 @@ type t = {
   bottleneck : Link.t;  (** shared forward bottleneck *)
   reverse : Link.t;  (** shared reverse path *)
   endpoints : endpoint array;
+  links : Link.t list;
+      (** every link in the topology, access links included — lets an
+          observer (e.g. the invariant checker) register {!Link.on_drop}
+          on all of them *)
 }
 
 val dumbbell :

@@ -106,7 +106,7 @@ let all_ranges t = List.map to_block t.ranges
 let sack_blocks t =
   charge t "recv.light.feedback";
   let by_recency =
-    List.sort (fun a b -> Stdlib.compare b.touched a.touched) t.ranges
+    List.sort (fun a b -> Int.compare b.touched a.touched) t.ranges
   in
   List.filteri (fun i _ -> i < t.max_blocks) by_recency |> List.map to_block
 

@@ -3,7 +3,8 @@ let jain xs =
   if n = 0 then invalid_arg "Fairness.jain: empty";
   let sum = Array.fold_left ( +. ) 0.0 xs in
   let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
-  if sumsq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+  if Float.equal sumsq 0.0 then 1.0
+  else sum *. sum /. (float_of_int n *. sumsq)
 
 let throughput_ratio a b =
   let mean xs =
@@ -11,4 +12,4 @@ let throughput_ratio a b =
     else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
   in
   let mb = mean b in
-  if mb = 0.0 then infinity else mean a /. mb
+  if Float.equal mb 0.0 then infinity else mean a /. mb

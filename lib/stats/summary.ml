@@ -15,7 +15,7 @@ let of_array xs =
 
 let of_list xs = of_array (Array.of_list xs)
 
-let cov t = if t.mean = 0.0 then nan else t.stddev /. t.mean
+let cov t = if Float.equal t.mean 0.0 then nan else t.stddev /. t.mean
 
 let percentile xs q =
   if Array.length xs = 0 then invalid_arg "Summary.percentile: empty";

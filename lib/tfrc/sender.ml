@@ -169,7 +169,7 @@ let on_feedback t ~tstamp_echo ~t_delay ~x_recv ~p =
     Rtt.sample t.rtt sample;
     t.r_sample_last <- sample;
     t.r_sqmean <-
-      (if t.r_sqmean = 0.0 then sqrt sample
+      (if Float.equal t.r_sqmean 0.0 then sqrt sample
        else (0.9 *. t.r_sqmean) +. (0.1 *. sqrt sample))
   end;
   let r = Rtt.smoothed t.rtt in
