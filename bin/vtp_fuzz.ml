@@ -1,0 +1,142 @@
+(* CLI: the deterministic scenario fuzzer.
+
+   Examples:
+     vtp_fuzz --seeds 200            # soak seeds 1..200
+     vtp_fuzz --seeds 200 --shrink   # and minimise any failure found
+     vtp_fuzz --replay 1337          # re-run one seed, full report
+     vtp_fuzz --matrix --seeds 60    # 10 seeds per profile/mode cell
+     vtp_fuzz --smoke                # the fixed 25-seed corpus (@fuzz-smoke)
+
+   Every run is a pure function of its seeds: the same invocation
+   prints the same bytes.  Exit code 0 iff no scenario failed. *)
+
+open Cmdliner
+
+let seeds =
+  Arg.(
+    value & opt int 50
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Number of scenarios to run (with $(b,--matrix): total across \
+              the six cells).")
+
+let base =
+  Arg.(
+    value & opt int 1
+    & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+
+let replay =
+  Arg.(
+    value & opt (some int) None
+    & info [ "replay" ] ~docv:"SEED"
+        ~doc:"Re-run a single seed and print its full report.")
+
+let shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"Greedily minimise every failing scenario before reporting it.")
+
+let matrix =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:"Sweep the six profile/reliability compositions instead of \
+              free-sampling profiles.")
+
+let smoke =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"Run the fixed 25-seed corpus (what dune's @fuzz-smoke alias \
+              executes).")
+
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print a line per scenario as it runs.")
+
+let print_found (f : Fuzz.Driver.found) =
+  Format.printf "@.--- FAILURE ---@.%a@." Fuzz.Exec.pp_report f.Fuzz.Driver.report;
+  (match f.Fuzz.Driver.shrunk with
+  | None -> ()
+  | Some o ->
+      Format.printf
+        "@.shrunk (%d simplification(s), %d execution(s)):@.%a@."
+        o.Fuzz.Shrink.steps o.Fuzz.Shrink.executions Fuzz.Scenario.pp
+        o.Fuzz.Shrink.shrunk);
+  Format.printf "replay: vtp_fuzz --replay %d@."
+    f.Fuzz.Driver.report.Fuzz.Exec.scenario.Fuzz.Scenario.seed
+
+let progress_of verbose =
+  if verbose then
+    Some
+      (fun seed (r : Fuzz.Exec.report) ->
+        Format.printf "%s %s@."
+          (if Fuzz.Exec.passed r then "pass" else "FAIL")
+          (Fuzz.Scenario.summary r.Fuzz.Exec.scenario);
+        ignore seed)
+  else None
+
+let summarise (s : Fuzz.Driver.soak) =
+  Format.printf
+    "@.%d scenario(s), %d failing, %d benign handshake timeout(s)@."
+    s.Fuzz.Driver.runs
+    (List.length s.Fuzz.Driver.found)
+    s.Fuzz.Driver.handshake_timeouts;
+  List.iter print_found s.Fuzz.Driver.found;
+  if s.Fuzz.Driver.found = [] then 0 else 1
+
+let run seeds base replay shrink matrix smoke verbose =
+  match replay with
+  | Some seed ->
+      let f = Fuzz.Driver.run_seed ~shrink seed in
+      Format.printf "%a@." Fuzz.Exec.pp_report f.Fuzz.Driver.report;
+      (match f.Fuzz.Driver.shrunk with
+      | None -> ()
+      | Some o ->
+          Format.printf
+            "@.shrunk (%d simplification(s), %d execution(s)):@.%a@."
+            o.Fuzz.Shrink.steps o.Fuzz.Shrink.executions Fuzz.Scenario.pp
+            o.Fuzz.Shrink.shrunk);
+      if Fuzz.Exec.passed f.Fuzz.Driver.report then 0 else 1
+  | None ->
+      let progress = progress_of verbose in
+      if smoke then begin
+        let found = ref [] in
+        let timeouts = ref 0 in
+        List.iter
+          (fun seed ->
+            let f = Fuzz.Driver.run_seed ~shrink seed in
+            timeouts := !timeouts + f.Fuzz.Driver.report.Fuzz.Exec.handshake_timeouts;
+            if not (Fuzz.Exec.passed f.Fuzz.Driver.report) then
+              found := f :: !found;
+            match progress with
+            | Some p -> p seed f.Fuzz.Driver.report
+            | None -> ())
+          Fuzz.Driver.smoke_corpus;
+        summarise
+          {
+            Fuzz.Driver.runs = List.length Fuzz.Driver.smoke_corpus;
+            found = List.rev !found;
+            handshake_timeouts = !timeouts;
+          }
+      end
+      else if matrix then
+        let per_cell =
+          max 1 (seeds / List.length Fuzz.Driver.matrix_cells)
+        in
+        summarise
+          (Fuzz.Driver.matrix ~base ~shrink ?progress ~seeds_per_cell:per_cell
+             ())
+      else summarise (Fuzz.Driver.soak ~base ~shrink ?progress ~seeds ())
+
+let cmd =
+  let doc =
+    "Deterministic scenario fuzzing of the versatile transport protocol."
+  in
+  Cmd.v
+    (Cmd.info "vtp_fuzz" ~doc)
+    Term.(
+      const run $ seeds $ base $ replay $ shrink $ matrix $ smoke $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -16,7 +16,7 @@
 
 let ladder = [ 0.4e6; 0.8e6; 1.5e6; 2.5e6; 4.0e6 ]
 
-let duration = 60.0
+let duration = Ex_common.duration 60.0
 
 let () =
   let sim = Engine.Sim.create ~seed:9 () in
@@ -40,8 +40,9 @@ let () =
   in
   let topo = Netsim.Topology.duplex_path ~sim ~forward () in
   ignore
-    (Engine.Sim.schedule_at sim 30.0 (fun () ->
-         Format.printf "t= 30.0s  -- channel degrades to 6%% bursty loss --@.";
+    (Engine.Sim.schedule_at sim (0.5 *. duration) (fun () ->
+         Format.printf "t=%5.1fs  -- channel degrades to 6%% bursty loss --@."
+           (0.5 *. duration);
          regime := harsh));
   let agreed =
     Qtp.Profile.agreed_exn

@@ -1,0 +1,11 @@
+(* Shared by every example: virtual run time, overridable through the
+   VTP_DURATION environment variable so the test suite can smoke-run
+   each example in a fraction of its demo length. *)
+
+let duration default =
+  match Sys.getenv_opt "VTP_DURATION" with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some d when d > 0.0 -> d
+      | Some _ | None -> default)

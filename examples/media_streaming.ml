@@ -12,7 +12,7 @@
 
    Run with:  dune exec examples/media_streaming.exe *)
 
-let duration = 30.0
+let duration = Ex_common.duration 30.0
 
 let run ~light =
   let sim = Engine.Sim.create ~seed:5 () in

@@ -11,6 +11,8 @@
 
 let g_mbps = 3.0
 
+let duration = Ex_common.duration 60.0
+
 let describe name (r : Experiments.Af_scenario.result) =
   Format.printf "%-28s achieved %.2f Mb/s  (%.0f%% of g)  retx=%d@." name
     (r.Experiments.Af_scenario.achieved_wire_bps /. 1e6)
@@ -23,7 +25,7 @@ let () =
      8 Mb/s of unresponsive excess traffic in the same class.@.@."
     g_mbps;
   let run proto =
-    Experiments.Af_scenario.run ~seed:11 ~g_mbps ~proto ()
+    Experiments.Af_scenario.run ~seed:11 ~g_mbps ~proto ~duration ()
   in
   describe "TCP NewReno" (run Experiments.Af_scenario.Tcp_newreno);
   describe "QTP_AF (gTFRC + SACK full)" (run Experiments.Af_scenario.Qtp_af);

@@ -3,6 +3,8 @@
 
    Run with:  dune exec examples/quickstart.exe *)
 
+let duration = Ex_common.duration 10.0
+
 let () =
   (* 1. A simulation world and a 10 Mb/s, 40 ms path. *)
   let sim = Engine.Sim.create ~seed:1 () in
@@ -26,7 +28,7 @@ let () =
   in
 
   (* 3. Run virtual time. *)
-  Engine.Sim.run ~until:10.0 sim;
+  Engine.Sim.run ~until:duration sim;
 
   (* 4. Inspect. *)
   (match Qtp.Connection.state conn with
@@ -37,7 +39,8 @@ let () =
   | Qtp.Connection.Closed ->
       Format.printf "unexpected connection state@.");
   let rate =
-    Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:1.0 ~until:10.0
+    Stats.Series.rate_bps (Qtp.Connection.arrivals conn)
+      ~from_:(0.1 *. duration) ~until:duration
   in
   Format.printf
     "sent %d segments, delivered %d in order, throughput %.2f Mb/s@."

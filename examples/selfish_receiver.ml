@@ -13,6 +13,8 @@
 
 let loss = 0.02
 
+let duration = Ex_common.duration 30.0
+
 let run ~light ~selfish =
   let sim = Engine.Sim.create ~seed:3 () in
   let rng = Engine.Sim.split_rng sim in
@@ -39,8 +41,9 @@ let run ~light ~selfish =
          ~selfish_p_factor:(if selfish then 0.0 else 1.0)
          agreed)
   in
-  Engine.Sim.run ~until:30.0 sim;
-  Stats.Series.rate_bps (Qtp.Connection.arrivals conn) ~from_:5.0 ~until:30.0
+  Engine.Sim.run ~until:duration sim;
+  Stats.Series.rate_bps (Qtp.Connection.arrivals conn)
+    ~from_:(duration /. 6.0) ~until:duration
   /. 1e6
 
 let () =

@@ -389,7 +389,7 @@ let missing_mli_rule files =
       else None)
     files
 
-let protocol_dirs = [ "lib/tfrc"; "lib/sack"; "lib/core" ]
+let protocol_dirs = [ "lib/tfrc"; "lib/sack"; "lib/core"; "lib/fuzz" ]
 
 let rules : rule list =
   [

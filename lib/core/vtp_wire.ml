@@ -2,11 +2,8 @@
 
 type Netsim.Frame.body += Vtp of Packet.Segment.t
 
-let next_uid = ref 0
-
 let frame_of ~sim ~flow_id segment =
-  incr next_uid;
-  Netsim.Frame.make ~uid:!next_uid ~flow_id
+  Netsim.Frame.make ~uid:(Netsim.Frame.fresh_uid ()) ~flow_id
     ~size:(Packet.Segment.size segment)
     ~born:(Engine.Sim.now sim) (Vtp segment)
 

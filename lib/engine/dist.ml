@@ -25,6 +25,27 @@ let uniform_range rng ~lo ~hi =
   assert (lo < hi);
   lo +. Rng.float rng (hi -. lo)
 
+let log_uniform_range rng ~lo ~hi =
+  assert (lo > 0.0 && lo < hi);
+  exp (uniform_range rng ~lo:(log lo) ~hi:(log hi))
+
+let choice rng arr =
+  if Array.length arr = 0 then invalid_arg "Dist.choice: empty array";
+  arr.(Rng.int rng (Array.length arr))
+
+let weighted rng choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. Float.max 0.0 w) 0.0 choices in
+  if not (total > 0.0) then invalid_arg "Dist.weighted: no positive weight";
+  let x = Rng.float rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Dist.weighted: empty list"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest ->
+        let acc = acc +. Float.max 0.0 w in
+        if x < acc then v else pick acc rest
+  in
+  pick 0.0 choices
+
 let poisson rng ~mean =
   assert (mean >= 0.0);
   let limit = exp (-.mean) in

@@ -21,3 +21,16 @@ val uniform_range : Rng.t -> lo:float -> hi:float -> float
 
 val poisson : Rng.t -> mean:float -> int
 (** Poisson-distributed count (Knuth's method; adequate for mean ≲ 500). *)
+
+val log_uniform_range : Rng.t -> lo:float -> hi:float -> float
+(** Log-uniform in [\[lo, hi)]; requires [0 < lo < hi].  The natural
+    sampler for scale parameters spanning decades (link rates, loss
+    probabilities) where every order of magnitude should be equally
+    likely. *)
+
+val choice : Rng.t -> 'a array -> 'a
+(** Uniform pick from a non-empty array. *)
+
+val weighted : Rng.t -> (float * 'a) list -> 'a
+(** Pick with probability proportional to the (non-negative) weights;
+    at least one weight must be positive. *)

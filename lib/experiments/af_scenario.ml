@@ -14,7 +14,12 @@ type result = {
 }
 
 let run ~seed ~g_mbps ~proto ?(bottleneck_mbps = 10.0) ?(excess_mbps = 8.0)
-    ?(n_excess_flows = 4) ?(link_loss = 0.0) () =
+    ?(n_excess_flows = 4) ?(link_loss = 0.0) ?(duration = Common.duration) () =
+  let measure series =
+    Stats.Series.rate_bps series
+      ~from_:(Float.min Common.warmup (0.2 *. duration))
+      ~until:duration
+  in
   let n_flows = 1 + n_excess_flows in
   let committed = Array.make n_flows 0.0 in
   committed.(0) <- g_mbps;
@@ -67,8 +72,8 @@ let run ~seed ~g_mbps ~proto ?(bottleneck_mbps = 10.0) ?(excess_mbps = 8.0)
   | Tcp_newreno ->
       let params = Tcp.Tcp_sender.default_params in
       let flow = Tcp.Flow.create ~sim ~endpoint:ep ~params () in
-      Engine.Sim.run ~until:Common.duration sim;
-      let rate = Common.measured_rate (Tcp.Flow.goodput_series flow) in
+      Engine.Sim.run ~until:duration sim;
+      let rate = measure (Tcp.Flow.goodput_series flow) in
       finish rate
         ~wire:(Tcp.Tcp_wire.seg_size ~payload:params.packet_size)
         ~payload:params.packet_size
@@ -82,8 +87,8 @@ let run ~seed ~g_mbps ~proto ?(bottleneck_mbps = 10.0) ?(excess_mbps = 8.0)
       let agreed = Qtp.Profile.agreed_exn offer (Qtp.Profile.anything ()) in
       let cfg = Qtp.Connection.config ~initial_rtt:0.2 agreed in
       let conn = Qtp.Connection.create ~sim ~endpoint:ep cfg in
-      Engine.Sim.run ~until:Common.duration sim;
-      let rate = Common.measured_rate (Qtp.Connection.goodput conn) in
+      Engine.Sim.run ~until:duration sim;
+      let rate = measure (Qtp.Connection.goodput conn) in
       let payload = 1500 - Packet.Header.data_header_bytes in
       finish rate ~wire:1500 ~payload
         ~retx:(Qtp.Connection.retransmissions conn)

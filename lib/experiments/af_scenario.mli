@@ -29,9 +29,12 @@ val run :
   ?excess_mbps:float ->
   ?n_excess_flows:int ->
   ?link_loss:float ->
+  ?duration:float ->
   unit ->
   result
-(** [link_loss] adds random non-congestion loss on the bottleneck (a
+(** [duration] (default {!Common.duration}) is the virtual run length —
+    the examples' smoke tests shorten it.  [link_loss] adds random
+    non-congestion loss on the bottleneck (a
     lossy AF path, e.g. a wireless segment inside the class): green
     packets die too, TFRC's equation share drops below [g], and only the
     gTFRC floor preserves the assurance. *)

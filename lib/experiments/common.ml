@@ -13,142 +13,14 @@ let active : Analysis.Invariants.t option ref = ref None
 let instrument (topo : Netsim.Topology.t) =
   match !active with
   | None -> ()
-  | Some checker ->
-      let open Netsim in
-      let sim = topo.Topology.sim in
-      let now () = Engine.Sim.now sim in
-      let feed ev = Analysis.Invariants.feed checker ev in
-      (* Sub-cases inside one experiment reuse flow ids with fresh
-         connections; reset the per-flow feedback state. *)
-      feed Analysis.Invariants.Epoch;
-      (* Only the protocol under test is tracked: VTP frame uids come
-         from one global counter, so they are unique across flows and
-         directions; TCP / background frames use separate counters and
-         would collide. *)
-      let vtp_uid (frame : Frame.t) =
-        match frame.Frame.body with
-        | Qtp.Vtp_wire.Vtp _ -> Some frame.Frame.uid
-        | _ -> None
-      in
-      let hi_sent : (int, int) Hashtbl.t = Hashtbl.create 8 in
-      let note_sent flow (frame : Frame.t) =
-        match frame.Frame.body with
-        | Qtp.Vtp_wire.Vtp seg ->
-            feed
-              (Analysis.Invariants.Sent
-                 { at = now (); flow; uid = frame.Frame.uid });
-            (match seg.Packet.Segment.hdr with
-            | Packet.Header.Data d ->
-                let s = Packet.Serial.to_int d.Packet.Header.seq in
-                let prev =
-                  Option.value (Hashtbl.find_opt hi_sent flow) ~default:(-1)
-                in
-                if s > prev then Hashtbl.replace hi_sent flow s
-            | _ -> ())
-        | _ -> ()
-      in
-      let note_delivered flow frame =
-        match vtp_uid frame with
-        | Some uid ->
-            feed (Analysis.Invariants.Delivered { at = now (); flow; uid })
-        | None -> ()
-      in
-      let note_feedback flow (frame : Frame.t) =
-        match frame.Frame.body with
-        | Qtp.Vtp_wire.Vtp
-            { Packet.Segment.hdr = Packet.Header.Sack_feedback sf; _ } ->
-            let blocks =
-              List.map
-                (fun b ->
-                  ( Packet.Serial.to_int b.Packet.Header.block_start,
-                    Packet.Serial.to_int b.Packet.Header.block_end ))
-                sf.Packet.Header.blocks
-            in
-            let window_hi =
-              Option.map (fun hi -> hi + 1) (Hashtbl.find_opt hi_sent flow)
-            in
-            feed
-              (Analysis.Invariants.Feedback
-                 {
-                   at = now ();
-                   flow;
-                   cum_ack = Packet.Serial.to_int sf.Packet.Header.cum_ack;
-                   blocks;
-                   window_hi;
-                 })
-        | _ -> ()
-      in
-      Array.iteri
-        (fun i (ep : Topology.endpoint) ->
-          let flow = ep.Topology.flow_id in
-          topo.Topology.endpoints.(i) <-
-            {
-              ep with
-              Topology.to_receiver =
-                (fun f ->
-                  note_sent flow f;
-                  ep.Topology.to_receiver f);
-              to_sender =
-                (fun f ->
-                  note_sent flow f;
-                  ep.Topology.to_sender f);
-              on_receiver_rx =
-                (fun sink ->
-                  ep.Topology.on_receiver_rx (fun f ->
-                      note_delivered flow f;
-                      sink f));
-              on_sender_rx =
-                (fun sink ->
-                  ep.Topology.on_sender_rx (fun f ->
-                      note_delivered flow f;
-                      note_feedback flow f;
-                      sink f));
-            })
-        topo.Topology.endpoints;
-      List.iter
-        (fun link ->
-          Link.on_drop link (fun (f : Frame.t) ->
-              match vtp_uid f with
-              | Some uid ->
-                  feed
-                    (Analysis.Invariants.Dropped
-                       { at = now (); flow = f.Frame.flow_id; uid })
-              | None -> ()))
-        topo.Topology.links
+  | Some checker -> Analysis.Observe.instrument checker topo
 
 let with_checked ~checked run =
   if not checked then run ()
-  else begin
-    let checker = Analysis.Invariants.create () in
-    active := Some checker;
-    Qtp.Inspect.install
-      {
-        Qtp.Inspect.on_rate_sample =
-          (fun s ->
-            Analysis.Invariants.feed checker
-              (Analysis.Invariants.Rate
-                 {
-                   at = s.Qtp.Inspect.at;
-                   flow = s.Qtp.Inspect.flow_id;
-                   x_bps = s.Qtp.Inspect.x_bps;
-                   x_calc_bps = s.Qtp.Inspect.x_calc_bps;
-                   x_recv_bps = s.Qtp.Inspect.x_recv_bps;
-                   p = s.Qtp.Inspect.p;
-                   g_bps = s.Qtp.Inspect.g_bps;
-                   cap_bps = s.Qtp.Inspect.cap_bps;
-                   mbi_floor_bps = s.Qtp.Inspect.mbi_floor_bps;
-                   slow_start = s.Qtp.Inspect.slow_start;
-                 }));
-      };
-    Fun.protect
-      ~finally:(fun () ->
-        active := None;
-        Qtp.Inspect.clear ())
-      (fun () ->
-        let result = run () in
-        Analysis.Invariants.check_exn checker;
-        result)
-  end
+  else
+    Analysis.Observe.with_checker (fun checker ->
+        active := Some checker;
+        Fun.protect ~finally:(fun () -> active := None) run)
 
 let warmup = 5.0
 

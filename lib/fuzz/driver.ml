@@ -1,0 +1,77 @@
+type found = {
+  report : Exec.report;
+  shrunk : Shrink.outcome option;
+}
+
+type soak = {
+  runs : int;
+  found : found list;  (** failing scenarios, in seed order *)
+  handshake_timeouts : int;
+}
+
+(* A failure "persists" under shrinking if the shrunk scenario still
+   fails at all — any violation or oracle breach in a strictly simpler
+   scenario is at least as interesting as the original. *)
+let still_fails sc = not (Exec.passed (Exec.run sc))
+
+let run_scenario ?(shrink = false) sc =
+  let report = Exec.run sc in
+  if Exec.passed report then { report; shrunk = None }
+  else if not shrink then { report; shrunk = None }
+  else { report; shrunk = Some (Shrink.shrink ~still_fails sc) }
+
+let run_seed ?shrink seed = run_scenario ?shrink (Scenario.generate ~seed)
+
+let soak ?(base = 1) ?(shrink = false) ?progress ~seeds () =
+  let found = ref [] in
+  let timeouts = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = base + i in
+    let f = run_seed ~shrink seed in
+    timeouts := !timeouts + f.report.Exec.handshake_timeouts;
+    if not (Exec.passed f.report) then found := f :: !found;
+    match progress with Some p -> p seed f.report | None -> ()
+  done;
+  { runs = seeds; found = List.rev !found; handshake_timeouts = !timeouts }
+
+(* ------------------------------------------------------------------ *)
+(* Profile / reliability matrix *)
+
+let matrix_cells =
+  [
+    Scenario.P_tfrc;
+    Scenario.P_full;
+    Scenario.P_af 0.3;
+    Scenario.P_light Qtp.Capabilities.R_none;
+    Scenario.P_light Qtp.Capabilities.R_partial;
+    Scenario.P_light Qtp.Capabilities.R_full;
+  ]
+
+let matrix ?(base = 1) ?(shrink = false) ?progress ~seeds_per_cell () =
+  let found = ref [] in
+  let timeouts = ref 0 in
+  let runs = ref 0 in
+  List.iteri
+    (fun cell profile ->
+      for i = 0 to seeds_per_cell - 1 do
+        let seed = base + (cell * seeds_per_cell) + i in
+        let sc = { (Scenario.generate ~seed) with Scenario.profile = profile } in
+        let f = run_scenario ~shrink sc in
+        incr runs;
+        timeouts := !timeouts + f.report.Exec.handshake_timeouts;
+        if not (Exec.passed f.report) then found := f :: !found;
+        match progress with Some p -> p seed f.report | None -> ()
+      done)
+    matrix_cells;
+  { runs = !runs; found = List.rev !found; handshake_timeouts = !timeouts }
+
+(* ------------------------------------------------------------------ *)
+(* Fixed smoke corpus: the seeds dune's @fuzz-smoke alias replays on
+   every test run.  Chosen once, kept stable — coverage growth belongs
+   in new seeds appended here, not in reshuffling. *)
+
+let smoke_corpus =
+  [
+    101; 102; 103; 104; 105; 106; 107; 108; 109; 110; 111; 112; 113;
+    114; 115; 116; 117; 118; 119; 120; 121; 122; 123; 124; 125;
+  ]

@@ -1,0 +1,56 @@
+(** Fuzzing campaigns: seed sweeps, the profile matrix and the fixed
+    smoke corpus. *)
+
+type found = {
+  report : Exec.report;
+  shrunk : Shrink.outcome option;  (** present when shrinking was on *)
+}
+
+type soak = {
+  runs : int;
+  found : found list;  (** failing scenarios, in seed order *)
+  handshake_timeouts : int;
+      (** benign: negotiation gave up on a faulty path — reported so a
+          campaign summary can show how hostile the sampled networks
+          were *)
+}
+
+val still_fails : Scenario.t -> bool
+(** Re-execute and ask whether any failure (invariant or oracle)
+    remains — the shrinker's predicate. *)
+
+val run_scenario : ?shrink:bool -> Scenario.t -> found
+(** Execute one scenario; when [shrink] (default false) and it failed,
+    greedily minimise it. *)
+
+val run_seed : ?shrink:bool -> int -> found
+(** [run_scenario] of [Scenario.generate ~seed]. *)
+
+val soak :
+  ?base:int ->
+  ?shrink:bool ->
+  ?progress:(int -> Exec.report -> unit) ->
+  seeds:int ->
+  unit ->
+  soak
+(** Run seeds [base .. base + seeds - 1] (default base 1). *)
+
+val matrix_cells : Scenario.profile list
+(** The six profile/reliability compositions the paper distinguishes:
+    TFRC alone, TFRC+full, QTP_AF, and QTP_light under each reliability
+    mode. *)
+
+val matrix :
+  ?base:int ->
+  ?shrink:bool ->
+  ?progress:(int -> Exec.report -> unit) ->
+  seeds_per_cell:int ->
+  unit ->
+  soak
+(** For every cell, generate scenarios and force the cell's profile
+    onto them — every composition gets exercised regardless of the
+    generator's sampling. *)
+
+val smoke_corpus : int list
+(** The 25 fixed seeds dune's [@fuzz-smoke] alias replays on every test
+    run.  Append new seeds to grow coverage; never reshuffle. *)

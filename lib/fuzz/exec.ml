@@ -1,0 +1,342 @@
+module Caps = Qtp.Capabilities
+
+type failure =
+  | Invariant of Analysis.Invariants.violation
+  | Oracle of { flow : int; what : string }
+  | Crash of string
+
+type flow_stats = {
+  flow : int;
+  final : string;
+  established : bool;
+  data_sent : int;
+  retx : int;
+  delivered : int;
+  skipped : int;
+  abandoned : int;
+}
+
+type report = {
+  scenario : Scenario.t;
+  failures : failure list;
+  flows : flow_stats list;
+  mangled : Netsim.Mangler.stats;  (** summed over every mangled link *)
+  handshake_timeouts : int;
+  checker_events : int;
+}
+
+let passed r = r.failures = []
+
+(* The close driver polls every [max (2 * srtt) 0.05] for at most 200
+   ticks, and generation bounds keep the rtt of any scenario under a
+   few seconds — so this much virtual time after [close] always
+   suffices for every connection to reach Closed. *)
+let drain_slack = 1500.0
+
+let state_str : Qtp.Connection.state -> string = function
+  | Qtp.Connection.Negotiating -> "negotiating"
+  | Qtp.Connection.Established _ -> "established"
+  | Qtp.Connection.Closing -> "closing"
+  | Qtp.Connection.Closed -> "closed"
+  | Qtp.Connection.Failed r -> "failed: " ^ r
+
+(* Stationary loss = pi_bad * loss_bad with loss_good = 0 (same
+   derivation as the experiment harness's canned model). *)
+let gilbert ~loss ~burstiness rng =
+  let loss_bad = 0.5 in
+  let pi_bad = loss /. loss_bad in
+  let p_bg = 0.5 *. (1.0 -. (0.9 *. burstiness)) in
+  let p_gb = p_bg *. pi_bad /. (1.0 -. pi_bad) in
+  Netsim.Loss_model.gilbert_elliott ~p_good_to_bad:p_gb ~p_bad_to_good:p_bg
+    ~loss_good:0.0 ~loss_bad ~rng
+
+let red_params ~buffer_pkts ~rate_bps =
+  {
+    Netsim.Red.min_th = Float.max 4.0 (0.25 *. float_of_int buffer_pkts);
+    max_th = Float.max 8.0 (0.7 *. float_of_int buffer_pkts);
+    max_p = 0.1;
+    w_q = 0.002;
+    gentle = true;
+    idle_pkt_time = 1500.0 *. 8.0 /. rate_bps;
+  }
+
+let build_topology ~sim ~rng (sc : Scenario.t) ~n_total =
+  let rate = sc.Scenario.rate_mbps *. 1e6 in
+  let delay = sc.Scenario.delay_ms /. 1000.0 in
+  let qdisc () =
+    if sc.Scenario.red then
+      Netsim.Qdisc.red ~capacity_pkts:sc.Scenario.buffer_pkts
+        ~params:(red_params ~buffer_pkts:sc.Scenario.buffer_pkts ~rate_bps:rate)
+        ~rng:(Engine.Rng.split rng) ()
+    else Netsim.Qdisc.droptail ~capacity_pkts:sc.Scenario.buffer_pkts
+  in
+  let loss () =
+    match sc.Scenario.loss with
+    | Scenario.Clean -> Netsim.Loss_model.none
+    | Scenario.Bernoulli p ->
+        Netsim.Loss_model.bernoulli ~p ~rng:(Engine.Rng.split rng)
+    | Scenario.Gilbert { loss; burstiness } ->
+        gilbert ~loss ~burstiness (Engine.Rng.split rng)
+  in
+  let mangle () =
+    if Netsim.Mangler.is_active sc.Scenario.mangle then
+      Some
+        (Netsim.Mangler.create ~sim ~rng:(Engine.Rng.split rng)
+           sc.Scenario.mangle)
+    else None
+  in
+  let forward =
+    Netsim.Topology.spec ~rate_bps:rate ~delay ~qdisc ~loss ~mangle ()
+  in
+  let reverse =
+    Netsim.Topology.spec ~rate_bps:rate ~delay
+      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:2000)
+      ~mangle:(if sc.Scenario.mangle_reverse then mangle else fun () -> None)
+      ()
+  in
+  (* Extra hops of a chain / parking lot: clean, amply buffered, same
+     rate — the first hop stays the bottleneck and the fault site. *)
+  let plain_hop =
+    Netsim.Topology.spec ~rate_bps:(1.25 *. rate) ~delay:0.002
+      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:2000)
+      ()
+  in
+  match sc.Scenario.shape with
+  | Scenario.Dumbbell _ ->
+      let committed_rates =
+        match sc.Scenario.profile with
+        | Scenario.P_af frac ->
+            let n_vtp = Scenario.flows sc in
+            Some
+              (Array.init n_total (fun i ->
+                   if i < n_vtp then frac *. rate /. float_of_int n_vtp
+                   else 0.0))
+        | _ -> None
+      in
+      Netsim.Topology.dumbbell ~sim ~n_flows:n_total ~bottleneck:forward
+        ~reverse ?committed_rates ()
+  | Scenario.Chain h ->
+      let hops = forward :: List.init (h - 1) (fun _ -> plain_hop) in
+      Netsim.Topology.chain ~sim ~n_flows:n_total ~hops ~reverse ()
+  | Scenario.Parking_lot h ->
+      let hops = forward :: List.init (h - 1) (fun _ -> plain_hop) in
+      (* Flow 0 crosses every hop; flow 1 is a single-hop cross flow on
+         the last hop; an optional background flow shares the long
+         path. *)
+      let vtp_paths = [ (0, h); (h - 1, h) ] in
+      let paths =
+        Array.of_list
+          (if n_total > 2 then vtp_paths @ [ (0, h) ] else vtp_paths)
+      in
+      Netsim.Topology.parking_lot ~sim ~hops ~paths ~reverse ()
+
+let offers (sc : Scenario.t) ~fair_bps =
+  match sc.Scenario.profile with
+  | Scenario.P_af frac ->
+      (Qtp.Profile.qtp_af ~g_bps:(frac *. fair_bps) (), Qtp.Profile.anything ())
+  | Scenario.P_light m ->
+      (Qtp.Profile.qtp_light ~reliability:[ m ] (), Qtp.Profile.anything ())
+  | Scenario.P_tfrc -> (Qtp.Profile.qtp_tfrc (), Qtp.Profile.anything ())
+  | Scenario.P_full -> (Qtp.Profile.qtp_full (), Qtp.Profile.anything ())
+
+let source ~sim ~rng (sc : Scenario.t) ~fair_bps =
+  match sc.Scenario.workload with
+  | Scenario.Greedy -> Qtp.Source.greedy ()
+  | Scenario.Cbr frac ->
+      Qtp.Source.cbr ~sim ~rate_bps:(frac *. fair_bps) ~packet_size:1500 ()
+  | Scenario.On_off frac ->
+      Qtp.Source.on_off ~sim ~rng:(Engine.Rng.split rng) ~mean_on:1.0
+        ~mean_off:0.5 ~rate_bps:(frac *. fair_bps) ~packet_size:1500 ()
+
+let run (sc : Scenario.t) : report =
+  let sim = Engine.Sim.create ~seed:sc.Scenario.seed () in
+  let rng = Engine.Sim.split_rng sim in
+  let n_vtp = Scenario.flows sc in
+  let n_total = n_vtp + if sc.Scenario.background then 1 else 0 in
+  let topo = build_topology ~sim ~rng sc ~n_total in
+  let rate = sc.Scenario.rate_mbps *. 1e6 in
+  let fair_bps = rate /. float_of_int n_vtp in
+  let checker = Analysis.Invariants.create () in
+  Analysis.Observe.install_rate_hook checker;
+  Fun.protect ~finally:Analysis.Observe.clear_rate_hook @@ fun () ->
+  Analysis.Observe.instrument checker topo;
+  let initiator, responder = offers sc ~fair_bps in
+  let initial_rtt =
+    Float.max 0.05 (4.0 *. sc.Scenario.delay_ms /. 1000.0)
+  in
+  let conns =
+    Array.init n_vtp (fun i ->
+        Qtp.Connection.create_negotiated ~sim
+          ~endpoint:(Netsim.Topology.endpoint topo i)
+          ~source:(source ~sim ~rng sc ~fair_bps)
+          ~start_at:(0.01 *. float_of_int i)
+          ~initial_rtt ~initiator ~responder ())
+  in
+  if sc.Scenario.background then begin
+    let ep = Netsim.Topology.endpoint topo n_vtp in
+    ep.Netsim.Topology.on_receiver_rx (fun _ -> ());
+    ignore
+      (Workload.Background.poisson ~sim ~sink:ep.Netsim.Topology.to_receiver
+         ~flow_id:n_vtp ~rng:(Engine.Rng.split rng)
+         ~rate_bps:(0.3 *. rate) ~packet_size:1000
+         ~stop_at:sc.Scenario.duration ())
+  end;
+  let agreed_at_close = Array.make n_vtp None in
+  (* Any exception escaping the simulation is itself a finding — fuzzing
+     must report crashes, not die on them. *)
+  let crash =
+    match
+      Engine.Sim.run ~until:sc.Scenario.duration sim;
+      Array.iteri
+        (fun i c ->
+          match Qtp.Connection.state c with
+          | Qtp.Connection.Established a -> agreed_at_close.(i) <- Some a
+          | _ -> ())
+        conns;
+      Array.iter Qtp.Connection.close conns;
+      Engine.Sim.run ~until:(sc.Scenario.duration +. drain_slack) sim
+    with
+    | () -> None
+    | exception exn -> Some (Printexc.to_string exn)
+  in
+  (* Oracles. *)
+  let oracle_failures = ref [] in
+  let fail flow what = oracle_failures := Oracle { flow; what } :: !oracle_failures in
+  let handshake_timeouts = ref 0 in
+  let flows =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let established = agreed_at_close.(i) <> None in
+           let st = Qtp.Connection.state c in
+           (match st with
+           | _ when crash <> None ->
+               (* A crashed run never reached the drain horizon; the
+                  per-flow oracles would only echo that. *)
+               ()
+           | Qtp.Connection.Closed -> ()
+           | Qtp.Connection.Failed "handshake timeout" ->
+               incr handshake_timeouts;
+               if not (Scenario.faulty sc) then
+                 fail i "handshake timeout on a fault-free path"
+           | Qtp.Connection.Failed r -> fail i ("connection failed: " ^ r)
+           | Qtp.Connection.Negotiating | Qtp.Connection.Established _
+           | Qtp.Connection.Closing ->
+               fail i
+                 ("no-hang: connection still " ^ state_str st
+                ^ " at the drain horizon"));
+           (match agreed_at_close.(i) with
+           | _ when crash <> None -> ()
+           | None -> ()
+           | Some a ->
+               if a.Caps.mode <> Scenario.expected_mode sc then
+                 fail i
+                   (Format.asprintf
+                      "negotiation: agreed mode %a, offers dictate %a"
+                      Caps.pp_mode a.Caps.mode Caps.pp_mode
+                      (Scenario.expected_mode sc));
+               if a.Caps.plane <> Scenario.expected_plane sc then
+                 fail i
+                   (Format.asprintf
+                      "negotiation: agreed plane %a, offers dictate %a"
+                      Caps.pp_plane a.Caps.plane Caps.pp_plane
+                      (Scenario.expected_plane sc));
+               (match sc.Scenario.profile with
+               | Scenario.P_af _ ->
+                   if not (a.Caps.target_bps > 0.0) then
+                     fail i "negotiation: QTP_AF agreed without a QoS target"
+               | _ -> ());
+               (* Full reliability: once closed cleanly, the receiver
+                  holds exactly the prefix of what the sender emitted. *)
+               if
+                 a.Caps.mode = Caps.R_full
+                 && (match st with Qtp.Connection.Closed -> true | _ -> false)
+               then begin
+                 let sent = Qtp.Connection.data_sent c in
+                 let delivered = Qtp.Connection.delivered c in
+                 let skipped = Qtp.Connection.skipped c in
+                 let abandoned = Qtp.Connection.abandoned c in
+                 if skipped <> 0 then
+                   fail i
+                     (Printf.sprintf
+                        "full reliability: receiver skipped %d segment(s)"
+                        skipped);
+                 if abandoned <> 0 then
+                   fail i
+                     (Printf.sprintf
+                        "full reliability: sender abandoned %d segment(s)"
+                        abandoned);
+                 if delivered <> sent then
+                   fail i
+                     (Printf.sprintf
+                        "full reliability: delivered %d of %d distinct \
+                         segments"
+                        delivered sent)
+               end);
+           {
+             flow = i;
+             final = state_str (Qtp.Connection.state c);
+             established;
+             data_sent = Qtp.Connection.data_sent c;
+             retx = Qtp.Connection.retransmissions c;
+             delivered = Qtp.Connection.delivered c;
+             skipped = Qtp.Connection.skipped c;
+             abandoned = Qtp.Connection.abandoned c;
+           })
+         conns)
+  in
+  let mangled =
+    List.fold_left
+      (fun (acc : Netsim.Mangler.stats) link ->
+        match Netsim.Link.mangler link with
+        | None -> acc
+        | Some m ->
+            let s = Netsim.Mangler.stats m in
+            {
+              Netsim.Mangler.passed = acc.Netsim.Mangler.passed + s.Netsim.Mangler.passed;
+              reordered = acc.Netsim.Mangler.reordered + s.Netsim.Mangler.reordered;
+              duplicated = acc.Netsim.Mangler.duplicated + s.Netsim.Mangler.duplicated;
+              corrupted = acc.Netsim.Mangler.corrupted + s.Netsim.Mangler.corrupted;
+            })
+      { Netsim.Mangler.passed = 0; reordered = 0; duplicated = 0; corrupted = 0 }
+      topo.Netsim.Topology.links
+  in
+  let invariant_failures =
+    List.map (fun v -> Invariant v) (Analysis.Invariants.violations checker)
+  in
+  let crash_failures =
+    match crash with None -> [] | Some msg -> [ Crash msg ]
+  in
+  {
+    scenario = sc;
+    failures = crash_failures @ invariant_failures @ List.rev !oracle_failures;
+    flows;
+    mangled;
+    handshake_timeouts = !handshake_timeouts;
+    checker_events = Analysis.Invariants.events_seen checker;
+  }
+
+let pp_failure fmt = function
+  | Invariant v -> Analysis.Invariants.pp_violation fmt v
+  | Oracle { flow; what } -> Format.fprintf fmt "[oracle] flow %d: %s" flow what
+  | Crash msg -> Format.fprintf fmt "[crash] %s" msg
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%a@," Scenario.pp r.scenario;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt
+        "flow %d: %s sent=%d retx=%d delivered=%d skipped=%d abandoned=%d@,"
+        f.flow f.final f.data_sent f.retx f.delivered f.skipped f.abandoned)
+    r.flows;
+  Format.fprintf fmt
+    "mangled: %d passed, %d reordered, %d duplicated, %d corrupted@,"
+    r.mangled.Netsim.Mangler.passed r.mangled.Netsim.Mangler.reordered
+    r.mangled.Netsim.Mangler.duplicated r.mangled.Netsim.Mangler.corrupted;
+  Format.fprintf fmt "checker events: %d@," r.checker_events;
+  (match r.failures with
+  | [] -> Format.fprintf fmt "verdict: PASS"
+  | fs ->
+      Format.fprintf fmt "verdict: FAIL (%d)" (List.length fs);
+      List.iter (fun f -> Format.fprintf fmt "@,  %a" pp_failure f) fs);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,57 @@
+(** Execute one scenario under the protocol-invariant checker and the
+    end-of-run oracles.
+
+    The run builds the scenario's topology (fault injection included),
+    drives one VTP connection per flow through negotiation, data
+    transfer and graceful close, and checks:
+
+    - every {!Analysis.Invariants} catalogue invariant, live;
+    - {b no-hang}: every connection reaches [Closed] by a fixed drain
+      horizon (a handshake timeout is tolerated on faulty paths — six
+      straight SYN losses are legitimate protocol behaviour, not a
+      bug);
+    - {b negotiation}: the agreed plane / mode match what the offers
+      dictate;
+    - {b full reliability}: a connection that agreed [R_full] and
+      closed cleanly delivered exactly the prefix of distinct segments
+      it sent — nothing skipped, nothing abandoned.
+
+    Everything is a pure function of the scenario (globally allocated
+    frame uids aside, which carry no behaviour), so a report reproduces
+    from the scenario value alone. *)
+
+type failure =
+  | Invariant of Analysis.Invariants.violation
+  | Oracle of { flow : int; what : string }
+  | Crash of string
+      (** an exception escaped the simulation — always a finding *)
+
+type flow_stats = {
+  flow : int;
+  final : string;  (** connection state at the drain horizon *)
+  established : bool;  (** negotiation had completed when close was called *)
+  data_sent : int;  (** distinct data segments *)
+  retx : int;
+  delivered : int;
+  skipped : int;
+  abandoned : int;
+}
+
+type report = {
+  scenario : Scenario.t;
+  failures : failure list;  (** empty = scenario passed *)
+  flows : flow_stats list;
+  mangled : Netsim.Mangler.stats;  (** summed over every mangled link *)
+  handshake_timeouts : int;
+  checker_events : int;
+}
+
+val run : Scenario.t -> report
+
+val passed : report -> bool
+
+val drain_slack : float
+(** Virtual seconds allowed after [close] for connections to drain. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

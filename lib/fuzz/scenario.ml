@@ -1,0 +1,214 @@
+module Caps = Qtp.Capabilities
+
+type shape =
+  | Dumbbell of int
+  | Chain of int
+  | Parking_lot of int
+
+type loss =
+  | Clean
+  | Bernoulli of float
+  | Gilbert of { loss : float; burstiness : float }
+
+type profile =
+  | P_af of float
+  | P_light of Caps.reliability_mode
+  | P_tfrc
+  | P_full
+
+type workload =
+  | Greedy
+  | Cbr of float
+  | On_off of float
+
+type t = {
+  seed : int;
+  shape : shape;
+  rate_mbps : float;
+  delay_ms : float;
+  buffer_pkts : int;
+  red : bool;
+  loss : loss;
+  mangle : Netsim.Mangler.profile;
+  mangle_reverse : bool;
+  profile : profile;
+  workload : workload;
+  background : bool;
+  duration : float;
+}
+
+let flows t =
+  match t.shape with
+  | Dumbbell n -> n
+  | Chain _ -> 1
+  | Parking_lot _ -> 2
+
+let expected_mode t =
+  match t.profile with
+  | P_af _ | P_full -> Caps.R_full
+  | P_tfrc -> Caps.R_none
+  | P_light m -> m
+
+let expected_plane t =
+  match t.profile with
+  | P_light _ -> Caps.Light
+  | P_af _ | P_tfrc | P_full -> Caps.Standard
+
+let faulty t =
+  (match t.loss with Clean -> false | Bernoulli _ | Gilbert _ -> true)
+  || Netsim.Mangler.is_active t.mangle
+
+(* Generation bounds.  They are chosen so that the close-drain horizon
+   used by {!Exec} is always sufficient: rtt is capped (rate >= 1 Mb/s,
+   buffer <= 120 pkts, one-way delay <= 80 ms) and fault probabilities
+   are moderate enough that handshakes and CLOSE exchanges almost
+   always complete within their retry budgets. *)
+
+let generate ~seed =
+  let rng = Engine.Rng.create ~seed in
+  let shape =
+    match
+      Engine.Dist.weighted rng
+        [ (3.0, `D1); (2.0, `Dn); (2.0, `Chain); (1.0, `Parking) ]
+    with
+    | `D1 -> Dumbbell 1
+    | `Dn -> Dumbbell (2 + Engine.Rng.int rng 3)
+    | `Chain -> Chain (2 + Engine.Rng.int rng 2)
+    | `Parking -> Parking_lot (2 + Engine.Rng.int rng 2)
+  in
+  let rate_mbps = Engine.Dist.log_uniform_range rng ~lo:1.0 ~hi:16.0 in
+  let delay_ms = Engine.Dist.log_uniform_range rng ~lo:2.0 ~hi:80.0 in
+  let buffer_pkts = 10 + Engine.Rng.int rng 111 in
+  let red = Engine.Rng.chance rng 0.25 in
+  let loss =
+    match Engine.Dist.weighted rng [ (5.0, `C); (3.0, `B); (2.0, `G) ] with
+    | `C -> Clean
+    | `B -> Bernoulli (Engine.Dist.log_uniform_range rng ~lo:1e-4 ~hi:0.05)
+    | `G ->
+        Gilbert
+          {
+            loss = Engine.Dist.log_uniform_range rng ~lo:1e-3 ~hi:0.03;
+            burstiness = Engine.Rng.float rng 0.8;
+          }
+  in
+  let fault_p () = Engine.Dist.log_uniform_range rng ~lo:1e-3 ~hi:0.12 in
+  let p_reorder = if Engine.Rng.chance rng 0.5 then fault_p () else 0.0 in
+  let reorder_max_hold = 1 + Engine.Rng.int rng 8 in
+  let p_duplicate = if Engine.Rng.chance rng 0.5 then fault_p () else 0.0 in
+  let p_corrupt = if Engine.Rng.chance rng 0.5 then fault_p () else 0.0 in
+  let mangle =
+    Netsim.Mangler.profile ~p_reorder ~reorder_max_hold ~p_duplicate
+      ~p_corrupt ()
+  in
+  let mangle_reverse = Engine.Rng.chance rng 0.3 in
+  let profile =
+    match Engine.Rng.int rng 4 with
+    | 0 -> P_af (0.1 +. Engine.Rng.float rng 0.4)
+    | 1 ->
+        P_light
+          (Engine.Dist.choice rng [| Caps.R_none; Caps.R_partial; Caps.R_full |])
+    | 2 -> P_tfrc
+    | _ -> P_full
+  in
+  let workload =
+    match Engine.Dist.weighted rng [ (2.0, `G); (2.0, `C); (1.0, `O) ] with
+    | `G -> Greedy
+    | `C -> Cbr (0.3 +. Engine.Rng.float rng 0.9)
+    | `O -> On_off (0.5 +. Engine.Rng.float rng 1.0)
+  in
+  let background = Engine.Rng.chance rng 0.3 in
+  let duration = 4.0 +. Engine.Rng.float rng 8.0 in
+  {
+    seed;
+    shape;
+    rate_mbps;
+    delay_ms;
+    buffer_pkts;
+    red;
+    loss;
+    mangle;
+    mangle_reverse;
+    profile;
+    workload;
+    background;
+    duration;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let pp_shape fmt = function
+  | Dumbbell n -> Format.fprintf fmt "dumbbell(%d)" n
+  | Chain h -> Format.fprintf fmt "chain(%d hops)" h
+  | Parking_lot h -> Format.fprintf fmt "parking-lot(%d hops)" h
+
+let pp_loss fmt = function
+  | Clean -> Format.pp_print_string fmt "clean"
+  | Bernoulli p -> Format.fprintf fmt "bernoulli(%.4g)" p
+  | Gilbert { loss; burstiness } ->
+      Format.fprintf fmt "gilbert(loss=%.4g, burst=%.2f)" loss burstiness
+
+let pp_profile fmt = function
+  | P_af frac -> Format.fprintf fmt "qtp_af(g=%.2f of fair share)" frac
+  | P_light m -> Format.fprintf fmt "qtp_light(%a)" Caps.pp_mode m
+  | P_tfrc -> Format.pp_print_string fmt "qtp_tfrc"
+  | P_full -> Format.pp_print_string fmt "qtp_full"
+
+let pp_workload fmt = function
+  | Greedy -> Format.pp_print_string fmt "greedy"
+  | Cbr f -> Format.fprintf fmt "cbr(%.2f of fair share)" f
+  | On_off f -> Format.fprintf fmt "on-off(%.2f of fair share)" f
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v 2>scenario seed=%d@,\
+     shape:    %a@,\
+     path:     %.3g Mb/s, %.3g ms, %d pkts %s@,\
+     loss:     %a@,\
+     mangle:   %a%s@,\
+     profile:  %a@,\
+     workload: %a%s@,\
+     duration: %.2f s@]"
+    t.seed pp_shape t.shape t.rate_mbps t.delay_ms t.buffer_pkts
+    (if t.red then "(RED)" else "(droptail)")
+    pp_loss t.loss Netsim.Mangler.pp_profile t.mangle
+    (if t.mangle_reverse then " +reverse" else "")
+    pp_profile t.profile pp_workload t.workload
+    (if t.background then " +background" else "")
+    t.duration
+
+let summary t =
+  Format.asprintf "seed=%d %a %a %a %.2fs" t.seed pp_shape t.shape pp_profile
+    t.profile pp_loss t.loss t.duration
+
+let equal (a : t) (b : t) =
+  a.seed = b.seed && a.shape = b.shape
+  && Float.equal a.rate_mbps b.rate_mbps
+  && Float.equal a.delay_ms b.delay_ms
+  && a.buffer_pkts = b.buffer_pkts && a.red = b.red
+  && (match (a.loss, b.loss) with
+     | Clean, Clean -> true
+     | Bernoulli x, Bernoulli y -> Float.equal x y
+     | Gilbert g, Gilbert h ->
+         Float.equal g.loss h.loss && Float.equal g.burstiness h.burstiness
+     | _ -> false)
+  && Float.equal a.mangle.Netsim.Mangler.p_reorder
+       b.mangle.Netsim.Mangler.p_reorder
+  && a.mangle.Netsim.Mangler.reorder_max_hold
+     = b.mangle.Netsim.Mangler.reorder_max_hold
+  && Float.equal a.mangle.Netsim.Mangler.p_duplicate
+       b.mangle.Netsim.Mangler.p_duplicate
+  && Float.equal a.mangle.Netsim.Mangler.p_corrupt
+       b.mangle.Netsim.Mangler.p_corrupt
+  && a.mangle_reverse = b.mangle_reverse
+  && (match (a.profile, b.profile) with
+     | P_af x, P_af y -> Float.equal x y
+     | P_light m, P_light n -> m = n
+     | P_tfrc, P_tfrc | P_full, P_full -> true
+     | _ -> false)
+  && (match (a.workload, b.workload) with
+     | Greedy, Greedy -> true
+     | Cbr x, Cbr y | On_off x, On_off y -> Float.equal x y
+     | _ -> false)
+  && a.background = b.background
+  && Float.equal a.duration b.duration

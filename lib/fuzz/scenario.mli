@@ -1,0 +1,80 @@
+(** Randomised end-to-end protocol scenarios.
+
+    A scenario is a fully self-describing value: topology shape, path
+    parameters, queueing discipline, loss model, in-network fault
+    profile ({!Netsim.Mangler.profile}), negotiated QTP profile,
+    application workload, background traffic and run duration.
+    {!generate} derives every field deterministically from a single
+    integer seed, so a failing scenario is reproduced by its seed alone;
+    the shrinker ({!Shrink}) edits fields directly. *)
+
+type shape =
+  | Dumbbell of int  (** n parallel VTP flows over one bottleneck *)
+  | Chain of int  (** one flow over this many hops in a row *)
+  | Parking_lot of int
+      (** one long flow over all hops plus a cross flow on the last *)
+
+type loss =
+  | Clean
+  | Bernoulli of float
+  | Gilbert of { loss : float; burstiness : float }
+      (** stationary loss rate; higher burstiness concentrates losses *)
+
+type profile =
+  | P_af of float
+      (** QTP_AF with a committed rate of this fraction of the fair
+          share *)
+  | P_light of Qtp.Capabilities.reliability_mode  (** QTP_light *)
+  | P_tfrc  (** plain TFRC, no reliability *)
+  | P_full  (** TFRC + full reliability, best-effort network *)
+
+type workload =
+  | Greedy
+  | Cbr of float  (** rate as a fraction of the fair share *)
+  | On_off of float
+
+type t = {
+  seed : int;  (** replay key: seeds the generator and the simulation *)
+  shape : shape;
+  rate_mbps : float;  (** bottleneck rate *)
+  delay_ms : float;  (** bottleneck one-way propagation delay *)
+  buffer_pkts : int;
+  red : bool;  (** RED bottleneck queue instead of droptail *)
+  loss : loss;
+  mangle : Netsim.Mangler.profile;  (** forward-path fault injection *)
+  mangle_reverse : bool;  (** also mangle the feedback path *)
+  profile : profile;
+  workload : workload;
+  background : bool;  (** unresponsive Poisson cross-traffic *)
+  duration : float;  (** seconds of data transfer before close *)
+}
+
+val generate : seed:int -> t
+(** The scenario is a pure function of [seed]. *)
+
+val flows : t -> int
+(** Number of VTP connections the scenario runs. *)
+
+val expected_mode : t -> Qtp.Capabilities.reliability_mode
+(** The reliability mode negotiation must arrive at (the responder is
+    fully permissive, so the initiator's preference wins). *)
+
+val expected_plane : t -> Qtp.Capabilities.feedback_plane
+
+val faulty : t -> bool
+(** Any loss model or fault injection active — when false, e.g. a
+    handshake timeout is inexcusable. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line, deterministic rendering (replay output is compared
+    byte-for-byte). *)
+
+val summary : t -> string
+(** One line: seed, shape, profile, loss, duration. *)
+
+val pp_shape : Format.formatter -> shape -> unit
+val pp_loss : Format.formatter -> loss -> unit
+val pp_profile : Format.formatter -> profile -> unit
+val pp_workload : Format.formatter -> workload -> unit

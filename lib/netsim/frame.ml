@@ -17,6 +17,17 @@ type t = {
 let make ~uid ~flow_id ~size ?(mark = Mark.Best_effort) ~born body =
   { uid; flow_id; size; mark; ect = false; ce = false; body; born; hops = 0 }
 
+(* One process-wide stream keeps frame uids unique across every
+   allocator (transport frames, in-network duplicates), which the
+   packet-conservation checker relies on. *)
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let copy t = { t with uid = fresh_uid () }
+
 let pp fmt t =
   Format.fprintf fmt "frame#%d flow=%d %dB %a hops=%d" t.uid t.flow_id t.size
     Mark.pp t.mark t.hops

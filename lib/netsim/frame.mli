@@ -25,4 +25,14 @@ val make :
   uid:int -> flow_id:int -> size:int -> ?mark:Mark.t -> born:float ->
   body -> t
 
+val fresh_uid : unit -> int
+(** Next value of the process-wide uid stream.  Every frame allocator
+    (transports, the {!Mangler}'s duplicates) must draw from this one
+    stream so that uids stay globally unique — the packet-conservation
+    invariant keys on them. *)
+
+val copy : t -> t
+(** Byte-identical clone carrying a {!fresh_uid} — an in-network
+    duplicate, distinguishable from the original by uid alone. *)
+
 val pp : Format.formatter -> t -> unit

@@ -11,6 +11,7 @@ type t = {
   delay : float;
   qdisc : Qdisc.t;
   loss : Loss_model.t;
+  mangler : Mangler.t option;
   name : string;
   mutable sink : (Frame.t -> unit) option;
   mutable on_drop : (Frame.t -> unit) option;
@@ -18,7 +19,7 @@ type t = {
   st : stats;
 }
 
-let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none)
+let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
     ?(name = "link") () =
   assert (rate_bps > 0.0 && delay >= 0.0);
   {
@@ -27,6 +28,7 @@ let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none)
     delay;
     qdisc;
     loss;
+    mangler;
     name;
     sink = None;
     on_drop = None;
@@ -49,6 +51,13 @@ let deliver t frame =
       t.st.delivered <- t.st.delivered + 1;
       sink frame
 
+(* Propagation complete: the mangler stage, when present, sits between
+   the wire and the sink (it may hold, clone or damage the frame). *)
+let arrive t frame =
+  match t.mangler with
+  | Some m -> Mangler.push m ~emit:(fun f -> deliver t f) frame
+  | None -> deliver t frame
+
 let rec transmit t frame =
   t.busy <- true;
   let tx_time = 8.0 *. float_of_int frame.Frame.size /. t.rate_bps in
@@ -64,7 +73,7 @@ and complete t frame =
   end
   else
     ignore
-      (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t frame));
+      (Engine.Sim.schedule_after t.sim t.delay (fun () -> arrive t frame));
   match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
   | Some next -> transmit t next
   | None -> t.busy <- false
@@ -86,6 +95,7 @@ let send t frame =
 
 let stats t = t.st
 let qdisc t = t.qdisc
+let mangler t = t.mangler
 let name t = t.name
 let rate_bps t = t.rate_bps
 let delay t = t.delay

@@ -21,9 +21,12 @@ val create :
   delay:float ->
   qdisc:Qdisc.t ->
   ?loss:Loss_model.t ->
+  ?mangler:Mangler.t ->
   ?name:string ->
   unit ->
   t
+(** [mangler], when given, is applied after propagation and before the
+    sink: frames may be reordered, duplicated or corrupted there. *)
 
 val connect : t -> (Frame.t -> unit) -> unit
 (** Set the receiver-side sink. Must be called before traffic flows. *)
@@ -38,6 +41,12 @@ val send : t -> Frame.t -> unit
 
 val stats : t -> stats
 val qdisc : t -> Qdisc.t
+
+val mangler : t -> Mangler.t option
+(** The fault-injection stage installed at creation, if any — exposed so
+    an observer (e.g. the fuzz harness's checker) can register its
+    {!Mangler.on_duplicate}/{!Mangler.on_corrupt} hooks. *)
+
 val name : t -> string
 val rate_bps : t -> float
 val delay : t -> float

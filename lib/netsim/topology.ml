@@ -3,11 +3,15 @@ type spec = {
   delay : float;
   qdisc : unit -> Qdisc.t;
   loss : unit -> Loss_model.t;
+  mangle : unit -> Mangler.t option;
 }
 
+let no_mangler () = None
+
 let spec ?(qdisc = fun () -> Qdisc.droptail ~capacity_pkts:100)
-    ?(loss = fun () -> Loss_model.none) ~rate_bps ~delay () =
-  { rate_bps; delay; qdisc; loss }
+    ?(loss = fun () -> Loss_model.none) ?(mangle = no_mangler) ~rate_bps
+    ~delay () =
+  { rate_bps; delay; qdisc; loss; mangle }
 
 type endpoint = {
   flow_id : int;
@@ -28,7 +32,7 @@ type t = {
 
 let link_of_spec ~sim ~name s =
   Link.create ~sim ~rate_bps:s.rate_bps ~delay:s.delay ~qdisc:(s.qdisc ())
-    ~loss:(s.loss ()) ~name ()
+    ~loss:(s.loss ()) ?mangler:(s.mangle ()) ~name ()
 
 let default_reverse_of bottleneck =
   {
@@ -36,6 +40,7 @@ let default_reverse_of bottleneck =
     delay = bottleneck.delay;
     qdisc = (fun () -> Qdisc.droptail ~capacity_pkts:2000);
     loss = (fun () -> Loss_model.none);
+    mangle = no_mangler;
   }
 
 let default_access_of bottleneck =
@@ -44,6 +49,7 @@ let default_access_of bottleneck =
     delay = 0.001;
     qdisc = (fun () -> Qdisc.droptail ~capacity_pkts:2000);
     loss = (fun () -> Loss_model.none);
+    mangle = no_mangler;
   }
 
 let dumbbell ~sim ~n_flows ~bottleneck ?reverse ?access ?committed_rates () =

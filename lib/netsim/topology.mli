@@ -8,16 +8,20 @@ type spec = {
   delay : float;
   qdisc : unit -> Qdisc.t;  (** fresh qdisc per link instance *)
   loss : unit -> Loss_model.t;  (** fresh loss model per link instance *)
+  mangle : unit -> Mangler.t option;
+      (** fresh fault-injection stage per link instance; [None] = clean *)
 }
 
 val spec :
   ?qdisc:(unit -> Qdisc.t) ->
   ?loss:(unit -> Loss_model.t) ->
+  ?mangle:(unit -> Mangler.t option) ->
   rate_bps:float ->
   delay:float ->
   unit ->
   spec
-(** Default qdisc: droptail of 100 packets; default loss: none. *)
+(** Default qdisc: droptail of 100 packets; default loss: none; default
+    mangler: none. *)
 
 type endpoint = {
   flow_id : int;

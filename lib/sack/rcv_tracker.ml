@@ -37,6 +37,13 @@ let received t s =
   Serial.( < ) s t.cum
   || List.exists (fun r -> Serial.( <= ) r.lo s && Serial.( < ) s r.hi) t.ranges
 
+(* Deliberate-bug hook for the fuzz harness's negative test: with the
+   duplicate check disabled, a duplicated segment re-inserts a range
+   that may sit below (or inside) already-acknowledged territory, and
+   the bogus block leaks into SACK reports — which the sack-wellformed
+   invariant must catch.  Never set outside tests. *)
+let test_only_skip_dup_check = ref false
+
 (* Pull ranges that now touch the cumulative point into it. *)
 let rec advance_cum t =
   match t.ranges with
@@ -50,7 +57,8 @@ let on_data t ~seq =
   charge t "recv.light.packet";
   t.packets <- t.packets + 1;
   t.stamp <- t.stamp + 1;
-  if received t seq then t.duplicates <- t.duplicates + 1
+  if (not !test_only_skip_dup_check) && received t seq then
+    t.duplicates <- t.duplicates + 1
   else if Serial.equal seq t.cum then begin
     t.cum <- Serial.succ t.cum;
     advance_cum t

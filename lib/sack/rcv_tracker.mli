@@ -40,3 +40,11 @@ val packets : t -> int
 
 val duplicates : t -> int
 (** Data packets that were already covered when they arrived. *)
+
+val test_only_skip_dup_check : bool ref
+(** Deliberate-bug hook, for tests only (default [false]): disables the
+    duplicate check in {!on_data}, so a duplicated or spuriously
+    retransmitted segment corrupts the range list and the damage leaks
+    into SACK reports.  The fuzz suite's negative test flips this to
+    prove the harness detects (and shrinks) exactly this class of
+    receiver bug. *)

@@ -48,6 +48,40 @@ let test_duplicates_counted () =
   Alcotest.(check int) "dups" 3 (T.duplicates t);
   Alcotest.(check int) "packets counted raw" 6 (T.packets t)
 
+(* Exact duplicates must leave the acknowledgment state untouched: no
+   cum movement, no new or widened ranges, no SACK block changes. *)
+let test_duplicates_leave_state_untouched () =
+  let t = T.create () in
+  feed t [ 0; 1; 5; 6; 10 ];
+  let cum = S.to_int (T.cum_ack t) in
+  let ranges = blocks_ints t in
+  feed t [ 0; 1; 5; 6; 10; 5; 10 ];
+  Alcotest.(check int) "cum unchanged" cum (S.to_int (T.cum_ack t));
+  Alcotest.(check (list (pair int int))) "ranges unchanged" ranges
+    (blocks_ints t);
+  Alcotest.(check int) "all counted as dups" 7 (T.duplicates t)
+
+(* The deliberate-bug hook exists for the fuzz harness's negative test;
+   prove it really corrupts the range list (a below-cum block appears)
+   and that turning it off restores correct behaviour. *)
+let test_bug_hook_corrupts_ranges () =
+  Sack.Rcv_tracker.test_only_skip_dup_check := true;
+  Fun.protect
+    ~finally:(fun () -> Sack.Rcv_tracker.test_only_skip_dup_check := false)
+    (fun () ->
+      let t = T.create () in
+      feed t [ 0; 1; 2 ];
+      (* A duplicate of 1 now re-inserts a range below the cum point. *)
+      feed t [ 1 ];
+      Alcotest.(check bool)
+        "bogus below-cum range present" true
+        (List.exists (fun (lo, _) -> lo < S.to_int (T.cum_ack t))
+           (blocks_ints t)));
+  let t = T.create () in
+  feed t [ 0; 1; 2; 1 ];
+  Alcotest.(check (list (pair int int))) "clean again with hook off" []
+    (blocks_ints t)
+
 let test_sack_blocks_recency_first () =
   let t = T.create ~max_blocks:2 () in
   feed t [ 0; 5; 10; 15; 20 ];
@@ -130,6 +164,10 @@ let suite =
     Alcotest.test_case "fill merges" `Quick test_fill_merges_back;
     Alcotest.test_case "multiple ranges" `Quick test_multiple_ranges_sorted;
     Alcotest.test_case "duplicates" `Quick test_duplicates_counted;
+    Alcotest.test_case "duplicates leave state untouched" `Quick
+      test_duplicates_leave_state_untouched;
+    Alcotest.test_case "bug hook corrupts ranges" `Quick
+      test_bug_hook_corrupts_ranges;
     Alcotest.test_case "sack recency order" `Quick
       test_sack_blocks_recency_first;
     Alcotest.test_case "received query" `Quick test_received_query;

@@ -43,6 +43,21 @@ let test_duplicates_dropped () =
   feed r [ 0; 0; 1; 1; 1 ];
   Alcotest.(check int) "two deliveries" 2 (List.length !delivered)
 
+(* An exact duplicate of a still-buffered (out-of-order) segment must
+   not double-deliver once the hole fills, and must not disturb the
+   delivery counters the fuzz oracles key on. *)
+let test_duplicate_of_buffered_segment () =
+  let r, delivered, _ = make () in
+  feed r [ 0; 2; 2; 3; 2 ];
+  Alcotest.(check int) "only the prefix so far" 1 (List.length !delivered);
+  Alcotest.(check int) "buffer holds each segment once" 2 (R.buffered r);
+  feed r [ 1 ];
+  Alcotest.(check (list int)) "each delivered exactly once"
+    [ 0; 1; 2; 3 ]
+    (List.rev_map fst !delivered);
+  Alcotest.(check int) "delivered counter" 4 (R.delivered r);
+  Alcotest.(check int) "nothing skipped" 0 (R.skipped r)
+
 let test_stale_dropped () =
   let r, delivered, _ = make () in
   feed r [ 0; 1; 2 ];
@@ -98,6 +113,8 @@ let suite =
     Alcotest.test_case "in order" `Quick test_in_order_immediate;
     Alcotest.test_case "out of order buffers" `Quick test_out_of_order_buffers;
     Alcotest.test_case "duplicates" `Quick test_duplicates_dropped;
+    Alcotest.test_case "duplicate of buffered segment" `Quick
+      test_duplicate_of_buffered_segment;
     Alcotest.test_case "stale" `Quick test_stale_dropped;
     Alcotest.test_case "fwd skips + gap" `Quick
       test_fwd_point_skips_and_reports_gap;
