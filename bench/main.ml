@@ -12,11 +12,18 @@
       cost-model claims (QTP_light's cheap receiver, the sender-side
       reconstruction price) can be checked against real ns/op numbers.
 
+   3. {b Scale scenarios} ([Scale]) — 10/100/500 mixed-protocol flows
+      over a shared AF bottleneck, timed under both event-queue
+      backends; the machine-readable report for regression tracking.
+
    Usage:
-     dune exec bench/main.exe                 # micro + all tables
-     dune exec bench/main.exe -- micro        # microbenchmarks only
-     dune exec bench/main.exe -- tables       # tables only
-     dune exec bench/main.exe -- tables e1 e5 # a table subset *)
+     dune exec bench/main.exe                        # micro + all tables
+     dune exec bench/main.exe -- micro               # microbenchmarks only
+     dune exec bench/main.exe -- tables              # tables only
+     dune exec bench/main.exe -- tables e1 e5        # a table subset
+     dune exec bench/main.exe -- scale               # micro + scale -> BENCH_<date>.json
+     dune exec bench/main.exe -- scale --json F      # ... report into F
+     dune exec bench/main.exe -- smoke --json F      # one fast 10-flow scenario *)
 
 open Bechamel
 open Toolkit
@@ -211,21 +218,16 @@ let micro_tests =
     bench_end_to_end;
   ]
 
-let run_micro () =
+(* Measure every microbenchmark, returning (name, ns/run, r2) rows
+   sorted by benchmark name — [Hashtbl.iter] order is unspecified, and
+   report rows must be stable across runs. *)
+let measure_micro () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let instances = Instance.[ monotonic_clock ] in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let table =
-    Stats.Table.create ~title:"Microbenchmarks (Bechamel, monotonic clock)"
-      ~columns:
-        [
-          ("benchmark", Stats.Table.Left);
-          ("ns/run", Stats.Table.Right);
-          ("r2", Stats.Table.Right);
-        ]
-  in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -242,24 +244,116 @@ let run_micro () =
             | Some r -> r
             | None -> nan
           in
-          Stats.Table.add_row table
-            [
-              name;
-              Stats.Table.cell_f ~decimals:1 ns;
-              Stats.Table.cell_f ~decimals:4 r2;
-            ])
+          rows := (name, ns, r2) :: !rows)
         analysis)
     micro_tests;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+
+let print_micro rows =
+  let table =
+    Stats.Table.create ~title:"Microbenchmarks (Bechamel, monotonic clock)"
+      ~columns:
+        [
+          ("benchmark", Stats.Table.Left);
+          ("ns/run", Stats.Table.Right);
+          ("r2", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Stats.Table.add_row table
+        [
+          name;
+          Stats.Table.cell_f ~decimals:1 ns;
+          Stats.Table.cell_f ~decimals:4 r2;
+        ])
+    rows;
   Stats.Table.print table
+
+let run_micro () = print_micro (measure_micro ())
 
 let run_tables ids =
   let ids = match ids with [] -> None | l -> Some l in
   Experiments.Runner.run_all ?ids ~out:Format.std_formatter ()
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report *)
+
+let json_of_micro rows =
+  Stats.Json.List
+    (List.map
+       (fun (name, ns, r2) ->
+         Stats.Json.Obj
+           [
+             ("name", Stats.Json.String name);
+             ("ns_per_run", Stats.Json.Float ns);
+             ("r2", Stats.Json.Float r2);
+           ])
+       rows)
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let report ~mode ~micro ~scale_results =
+  Stats.Json.Obj
+    [
+      ("schema", Stats.Json.String "vtp-bench-1");
+      ("mode", Stats.Json.String mode);
+      ("date", Stats.Json.String (today ()));
+      ("micro", json_of_micro micro);
+      ( "scale",
+        Stats.Json.List (List.map Scale.json_of_result scale_results) );
+      ("wheel_vs_heap", Stats.Json.List (Scale.json_ratios scale_results));
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Stats.Json.to_channel oc json);
+  Printf.printf "wrote %s\n" path
+
+let run_scale ~json_file () =
+  let micro = measure_micro () in
+  print_micro micro;
+  let results = Scale.suite () in
+  Stats.Table.print (Scale.table results);
+  let path =
+    match json_file with
+    | Some f -> f
+    | None -> Printf.sprintf "BENCH_%s.json" (today ())
+  in
+  write_json path (report ~mode:"scale" ~micro ~scale_results:results)
+
+let run_smoke ~json_file () =
+  let results = Scale.smoke () in
+  Stats.Table.print (Scale.table results);
+  match json_file with
+  | Some f -> write_json f (report ~mode:"smoke" ~micro:[] ~scale_results:results)
+  | None -> ()
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "micro" :: _ -> run_micro ()
-  | _ :: "tables" :: ids -> run_tables ids
+  let rec extract_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args =
+    extract_json [] (List.tl (Array.to_list Sys.argv))
+  in
+  match args with
+  | "micro" :: _ -> (
+      let micro = measure_micro () in
+      print_micro micro;
+      match json_file with
+      | Some f ->
+          write_json f (report ~mode:"micro" ~micro ~scale_results:[])
+      | None -> ())
+  | "scale" :: _ -> run_scale ~json_file ()
+  | "smoke" :: _ -> run_smoke ~json_file ()
+  | "tables" :: ids -> run_tables ids
   | _ ->
       run_micro ();
       run_tables []

@@ -1,0 +1,345 @@
+(* Many-flow scale scenarios.
+
+   Each scenario runs a mixed population — one third QTP_AF (reserved
+   rate, full reliability), one third QTP_light (SACK-only feedback),
+   one third TCP — over a shared RIO/AF bottleneck, and reports
+   wall-clock, simulated-events-per-second throughput and peak heap
+   words.  The 500-flow scenario is run under both event-queue backends
+   on the same seed: the protocols restart their timers on every
+   feedback, so the heap scheduler drags an ever-growing tail of
+   cancelled entries while the wheel removes them eagerly — the ratio
+   of the two throughputs is the headline number of this suite. *)
+
+module Common = Experiments.Common
+
+type result = {
+  name : string;
+  flows : int;
+  sched : Engine.Sim.sched;
+  seed : int;
+  sim_seconds : float;
+  wall_s : float;
+  events : int;
+  events_per_sec : float;
+  max_heap_words : int;
+  allocated_words : float;
+  delivered_bytes : int;
+}
+
+let sched_name = function `Heap -> "heap" | `Wheel -> "wheel"
+
+(* Peak heap size during [f], sampled at every major-GC cycle end (plus
+   once after), so the figure is per-run rather than a process-lifetime
+   high-water mark. *)
+let with_gc_metrics f =
+  let peak = ref 0 in
+  let sample () =
+    let s = Gc.quick_stat () in
+    if s.Gc.heap_words > !peak then peak := s.Gc.heap_words
+  in
+  Gc.full_major ();
+  let before = Gc.quick_stat () in
+  let alarm = Gc.create_alarm sample in
+  let started = Unix.gettimeofday () in
+  let x = f () in
+  let wall = Unix.gettimeofday () -. started in
+  Gc.delete_alarm alarm;
+  sample ();
+  let after = Gc.quick_stat () in
+  let words s = s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words in
+  (x, wall, !peak, words after -. words before)
+
+(* One third reserved QTP_AF, one third QTP_light, the rest TCP; the
+   bottleneck is provisioned at 1 Mb/s per flow with 40% of it reserved
+   for the AF class.  [tracer], when given, is installed before any
+   transport attaches so the recorded operation stream is complete. *)
+let setup ?tracer ~sched ~seed ~n_flows () =
+  let n_af = n_flows / 3 in
+  let n_light = n_flows / 3 in
+  let bottleneck_mbps = float_of_int n_flows *. 1.0 in
+  let g_mbps = 0.4 in
+  let committed =
+    Array.init n_flows (fun i -> if i < n_af then g_mbps else 0.0)
+  in
+  let sim, topo =
+    Common.af_dumbbell ~sched ~seed ~n_flows ~bottleneck_mbps
+      ~committed_mbps:committed ()
+  in
+  Engine.Sim.set_tracer sim tracer;
+  let qtp_conns = ref [] in
+  let tcp_flows = ref [] in
+  for i = 0 to n_flows - 1 do
+    let endpoint = Netsim.Topology.endpoint topo i in
+    if i < n_af then begin
+      let agreed =
+        Qtp.Profile.agreed_exn
+          (Qtp.Profile.qtp_af ~g_bps:(Common.mbps g_mbps) ())
+          (Qtp.Profile.anything ())
+      in
+      let c =
+        Qtp.Connection.create ~sim ~endpoint
+          (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+      in
+      qtp_conns := c :: !qtp_conns
+    end
+    else if i < n_af + n_light then begin
+      let agreed =
+        Qtp.Profile.agreed_exn
+          (Qtp.Profile.qtp_light ())
+          (Qtp.Profile.anything ())
+      in
+      let c =
+        Qtp.Connection.create ~sim ~endpoint
+          (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+      in
+      qtp_conns := c :: !qtp_conns
+    end
+    else begin
+      let f = Tcp.Flow.create ~sim ~endpoint () in
+      tcp_flows := f :: !tcp_flows
+    end
+  done;
+  let delivered () =
+    let total = ref 0 in
+    List.iter
+      (fun c -> total := !total + Qtp.Connection.delivered c)
+      !qtp_conns;
+    List.iter
+      (fun f ->
+        total := !total + Stats.Series.total_bytes (Tcp.Flow.goodput_series f))
+      !tcp_flows;
+    !total
+  in
+  (sim, delivered)
+
+let run_scenario ~name ~sched ~seed ~n_flows ~sim_seconds () =
+  let (events, delivered), wall, peak, allocated =
+    with_gc_metrics (fun () ->
+        let sim, delivered = setup ~sched ~seed ~n_flows () in
+        Engine.Sim.run ~until:sim_seconds sim;
+        (Engine.Sim.executed sim, delivered ()))
+  in
+  {
+    name;
+    flows = n_flows;
+    sched;
+    seed;
+    sim_seconds;
+    wall_s = wall;
+    events;
+    events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    max_heap_words = peak;
+    allocated_words = allocated;
+    delivered_bytes = delivered;
+  }
+
+let default_seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-only replay.
+
+   Whole-scenario events/sec mixes scheduler cost with protocol work
+   (TFRC arithmetic, SACK bookkeeping, queueing), which drowns the
+   queue backends' difference.  To isolate the scheduler we record the
+   raw operation stream — schedule/cancel/pop — of the 500-flow
+   scenario once via {!Engine.Sim.set_tracer}, then replay that exact
+   stream against each bare backend.  Sequence numbers are assigned in
+   schedule order on both sides, so a recorded [T_cancel seq] addresses
+   the same logical event in the replay. *)
+
+let record_trace ~seed ~n_flows ~sim_seconds =
+  let ops = ref [] in
+  let sim, _delivered =
+    setup ~tracer:(fun op -> ops := op :: !ops) ~sched:`Wheel ~seed ~n_flows ()
+  in
+  Engine.Sim.run ~until:sim_seconds sim;
+  Engine.Sim.set_tracer sim None;
+  Array.of_list (List.rev !ops)
+
+let fresh_ev time seq =
+  let ev = Engine.Event.make_dummy () in
+  ev.Engine.Event.time <- time;
+  ev.Engine.Event.seq <- seq;
+  ev.Engine.Event.live <- true;
+  ev
+
+(* Replays mirror what {!Engine.Sim} does with each backend: the wheel
+   unlinks cancelled events eagerly, the heap marks them dead and sheds
+   the corpses as they surface at the top.  Returns the number of live
+   pops (identical across backends by construction). *)
+let replay ~sched ops =
+  let n_sched =
+    Array.fold_left
+      (fun n op ->
+        match op with Engine.Sim.T_schedule _ -> n + 1 | _ -> n)
+      0 ops
+  in
+  let evs = Array.make (max 1 n_sched) (Engine.Event.make_dummy ()) in
+  let pops = ref 0 in
+  (match sched with
+  | `Wheel ->
+      let w = Engine.Wheel.create () in
+      let next = ref 0 in
+      Array.iter
+        (fun op ->
+          match op with
+          | Engine.Sim.T_schedule time ->
+              let ev = fresh_ev time !next in
+              evs.(!next) <- ev;
+              incr next;
+              Engine.Wheel.add w ev
+          | Engine.Sim.T_cancel seq ->
+              let ev = evs.(seq) in
+              ev.Engine.Event.live <- false;
+              ignore (Engine.Wheel.remove w ev : bool)
+          | Engine.Sim.T_pop -> (
+              match Engine.Wheel.pop_min w with
+              | Some _ -> incr pops
+              | None -> failwith "sched replay: wheel underflow"))
+        ops
+  | `Heap ->
+      let h = Engine.Heap.create ~compare:Engine.Event.compare in
+      let next = ref 0 in
+      Array.iter
+        (fun op ->
+          match op with
+          | Engine.Sim.T_schedule time ->
+              let ev = fresh_ev time !next in
+              evs.(!next) <- ev;
+              incr next;
+              Engine.Heap.add h ev
+          | Engine.Sim.T_cancel seq -> evs.(seq).Engine.Event.live <- false
+          | Engine.Sim.T_pop ->
+              let rec pop_live () =
+                match Engine.Heap.pop_min h with
+                | None -> failwith "sched replay: heap underflow"
+                | Some ev -> if ev.Engine.Event.live then incr pops else pop_live ()
+              in
+              pop_live ())
+        ops);
+  !pops
+
+let sched_replay ?(seed = default_seed) () =
+  let n_flows = 500 and sim_seconds = 2.0 in
+  let ops = record_trace ~seed ~n_flows ~sim_seconds in
+  let run sched =
+    let pops, wall, peak, allocated =
+      with_gc_metrics (fun () -> replay ~sched ops)
+    in
+    {
+      name = "scale_500_sched";
+      flows = n_flows;
+      sched;
+      seed;
+      sim_seconds;
+      wall_s = wall;
+      events = pops;
+      events_per_sec = (if wall > 0.0 then float_of_int pops /. wall else 0.0);
+      max_heap_words = peak;
+      allocated_words = allocated;
+      delivered_bytes = 0;
+    }
+  in
+  [ run `Wheel; run `Heap ]
+
+(* The suite: growing populations under the default (wheel) scheduler,
+   a heap rerun of the largest scenario for the whole-stack
+   head-to-head, and the scheduler-only trace replay of the same
+   workload (the headline wheel-vs-heap number). *)
+let suite ?(seed = default_seed) () =
+  [
+    run_scenario ~name:"scale_10" ~sched:`Wheel ~seed ~n_flows:10
+      ~sim_seconds:10.0 ();
+    run_scenario ~name:"scale_100" ~sched:`Wheel ~seed ~n_flows:100
+      ~sim_seconds:4.0 ();
+    run_scenario ~name:"scale_500" ~sched:`Wheel ~seed ~n_flows:500
+      ~sim_seconds:2.0 ();
+    run_scenario ~name:"scale_500" ~sched:`Heap ~seed ~n_flows:500
+      ~sim_seconds:2.0 ();
+  ]
+  @ sched_replay ~seed ()
+
+(* One fast scenario for @bench-smoke: 10 flows, 2 simulated seconds. *)
+let smoke ?(seed = default_seed) () =
+  [
+    run_scenario ~name:"smoke_10" ~sched:`Wheel ~seed ~n_flows:10
+      ~sim_seconds:2.0 ();
+  ]
+
+let json_of_result r =
+  Stats.Json.Obj
+    [
+      ("name", Stats.Json.String r.name);
+      ("flows", Stats.Json.Int r.flows);
+      ("sched", Stats.Json.String (sched_name r.sched));
+      ("seed", Stats.Json.Int r.seed);
+      ("sim_seconds", Stats.Json.Float r.sim_seconds);
+      ("wall_s", Stats.Json.Float r.wall_s);
+      ("events", Stats.Json.Int r.events);
+      ("events_per_sec", Stats.Json.Float r.events_per_sec);
+      ("max_heap_words", Stats.Json.Int r.max_heap_words);
+      ("allocated_words", Stats.Json.Float r.allocated_words);
+      ("delivered_bytes", Stats.Json.Int r.delivered_bytes);
+    ]
+
+(* The wheel/heap throughput ratio for every scenario run under both
+   backends (keyed by name + seed). *)
+let json_ratios results =
+  let pairs =
+    List.filter_map
+      (fun r ->
+        if r.sched = `Wheel then
+          List.find_opt
+            (fun h -> h.sched = `Heap && h.name = r.name && h.seed = r.seed)
+            results
+          |> Option.map (fun h -> (r, h))
+        else None)
+      results
+  in
+  List.map
+    (fun ((w : result), (h : result)) ->
+      Stats.Json.Obj
+        [
+          ("scenario", Stats.Json.String w.name);
+          ("seed", Stats.Json.Int w.seed);
+          ("wheel_events_per_sec", Stats.Json.Float w.events_per_sec);
+          ("heap_events_per_sec", Stats.Json.Float h.events_per_sec);
+          ( "wheel_over_heap",
+            Stats.Json.Float
+              (if h.events_per_sec > 0.0 then
+                 w.events_per_sec /. h.events_per_sec
+               else 0.0) );
+        ])
+    pairs
+
+let table results =
+  let t =
+    Stats.Table.create ~title:"Scale scenarios (mixed QTP_AF/QTP_light/TCP)"
+      ~columns:
+        [
+          ("scenario", Stats.Table.Left);
+          ("sched", Stats.Table.Left);
+          ("flows", Stats.Table.Right);
+          ("sim s", Stats.Table.Right);
+          ("wall s", Stats.Table.Right);
+          ("events", Stats.Table.Right);
+          ("events/s", Stats.Table.Right);
+          ("peak heap Mw", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.name;
+          sched_name r.sched;
+          Stats.Table.cell_i r.flows;
+          Stats.Table.cell_f ~decimals:1 r.sim_seconds;
+          Stats.Table.cell_f ~decimals:2 r.wall_s;
+          Stats.Table.cell_i r.events;
+          Stats.Table.cell_f ~decimals:0 r.events_per_sec;
+          Stats.Table.cell_f ~decimals:2
+            (float_of_int r.max_heap_words /. 1e6);
+        ])
+    results;
+  t

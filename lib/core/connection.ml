@@ -356,11 +356,7 @@ let receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
   let new_hole = ref false in
   (match r.tracker with
   | Some tr ->
-      let expected =
-        match List.rev (Sack.Rcv_tracker.all_ranges tr) with
-        | (last : Sack.Blocks.t) :: _ -> last.block_end
-        | [] -> Sack.Rcv_tracker.cum_ack tr
-      in
+      let expected = Sack.Rcv_tracker.highest_expected tr in
       if Serial.( > ) d.seq expected then new_hole := true;
       Sack.Rcv_tracker.on_data tr ~seq:d.seq;
       Sack.Rcv_tracker.apply_fwd_point tr d.fwd_point

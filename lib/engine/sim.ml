@@ -1,24 +1,45 @@
-type event = { time : float; seq : int; run : unit -> unit; mutable live : bool }
+type sched = [ `Heap | `Wheel ]
 
-type handle = event
+type queue = Q_heap of Event.t Heap.t | Q_wheel of Wheel.t
+
+type handle = { ev : Event.t; h_gen : int }
+
+(* Fired and cancelled event records are recycled through a bounded
+   free-list so steady-state scheduling allocates only the caller's
+   closure and the 2-word handle.  [gen] is bumped on release; a stale
+   handle (cancel after fire) fails its generation check and is a
+   no-op, exactly as the contract demands. *)
+let pool_max = 65536
+
+type trace_op = T_schedule of float | T_cancel of int | T_pop
 
 type t = {
   mutable clock : float;
   mutable next_seq : int;
-  queue : event Heap.t;
+  queue : queue;
   root_rng : Rng.t;
+  mutable pool : Event.t array;
+  mutable pool_n : int;
+  mutable executed : int;
+  mutable tracer : (trace_op -> unit) option;
 }
 
-let compare_event a b =
-  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
-
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(sched = `Wheel) () =
   {
     clock = 0.0;
     next_seq = 0;
-    queue = Heap.create ~compare:compare_event;
+    queue =
+      (match sched with
+      | `Heap -> Q_heap (Heap.create ~compare:Event.compare)
+      | `Wheel -> Q_wheel (Wheel.create ()));
     root_rng = Rng.create ~seed;
+    pool = [||];
+    pool_n = 0;
+    executed = 0;
+    tracer = None;
   }
+
+let sched t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 
 let now t = t.clock
 
@@ -26,29 +47,116 @@ let rng t = t.root_rng
 
 let split_rng t = Rng.split t.root_rng
 
-let schedule_at t time run =
+let executed t = t.executed
+
+let set_tracer t f = t.tracer <- f
+
+let alloc t time run =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.pool_n > 0 then begin
+    let n = t.pool_n - 1 in
+    t.pool_n <- n;
+    let ev = t.pool.(n) in
+    ev.Event.time <- time;
+    ev.Event.seq <- seq;
+    ev.Event.run <- run;
+    ev.Event.live <- true;
+    ev
+  end
+  else
+    {
+      Event.time;
+      seq;
+      run;
+      live = true;
+      gen = 0;
+      tick = 0;
+      where = Event.in_none;
+      pos = 0;
+    }
+
+let release t (ev : Event.t) =
+  ev.Event.gen <- ev.Event.gen + 1;
+  ev.Event.run <- Event.noop;
+  ev.Event.live <- false;
+  if t.pool_n < Array.length t.pool then begin
+    t.pool.(t.pool_n) <- ev;
+    t.pool_n <- t.pool_n + 1
+  end
+  else if Array.length t.pool < pool_max then begin
+    let cap = Stdlib.max 64 (2 * Array.length t.pool) in
+    let pool = Array.make cap ev in
+    Array.blit t.pool 0 pool 0 t.pool_n;
+    t.pool <- pool;
+    t.pool_n <- t.pool_n + 1
+  end
+(* else: pool full, let the GC have it *)
+
+let enqueue t time run =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
-  let ev = { time; seq = t.next_seq; run; live = true } in
-  t.next_seq <- t.next_seq + 1;
-  Heap.add t.queue ev;
+  let ev = alloc t time run in
+  (match t.tracer with Some f -> f (T_schedule time) | None -> ());
+  (match t.queue with
+  | Q_heap h -> Heap.add h ev
+  | Q_wheel w -> Wheel.add w ev);
   ev
+
+let schedule_at t time run =
+  let ev = enqueue t time run in
+  { ev; h_gen = ev.Event.gen }
 
 let schedule_after t delay run =
   if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) run
 
-let cancel _t handle = handle.live <- false
+let post_at t time run = ignore (enqueue t time run : Event.t)
 
-let pending t = Heap.length t.queue
+let post_after t delay run =
+  if delay < 0.0 then invalid_arg "Sim.post_after: negative delay";
+  post_at t (t.clock +. delay) run
+
+let cancel t { ev; h_gen } =
+  if ev.Event.gen = h_gen && ev.Event.live then begin
+    ev.Event.live <- false;
+    (match t.tracer with Some f -> f (T_cancel ev.Event.seq) | None -> ());
+    match t.queue with
+    | Q_heap _ -> () (* lazily collected when it reaches the top *)
+    | Q_wheel w -> if Wheel.remove w ev then release t ev
+  end
+
+let pending t =
+  match t.queue with Q_heap h -> Heap.length h | Q_wheel w -> Wheel.length w
+
+(* Next live event, shedding cancelled heap entries as they surface.
+   Cancelled events never run and never advance the clock, under either
+   scheduler. *)
+let rec live_min t =
+  match t.queue with
+  | Q_wheel w -> Wheel.min w
+  | Q_heap h -> (
+      match Heap.min h with
+      | Some ev when not ev.Event.live ->
+          ignore (Heap.pop_min h);
+          release t ev;
+          live_min t
+      | head -> head)
 
 let step t =
-  match Heap.pop_min t.queue with
+  match live_min t with
   | None -> false
   | Some ev ->
-      t.clock <- ev.time;
-      if ev.live then ev.run ();
+      (match t.queue with
+      | Q_heap h -> ignore (Heap.pop_min h)
+      | Q_wheel w -> ignore (Wheel.pop_min w));
+      t.clock <- ev.Event.time;
+      t.executed <- t.executed + 1;
+      (match t.tracer with Some f -> f T_pop | None -> ());
+      let run = ev.Event.run in
+      release t ev;
+      run ();
       true
 
 let run ?until t =
@@ -57,8 +165,8 @@ let run ?until t =
   | Some horizon ->
       let continue = ref true in
       while !continue do
-        match Heap.min t.queue with
-        | Some ev when ev.time <= horizon -> ignore (step t)
+        match live_min t with
+        | Some ev when ev.Event.time <= horizon -> ignore (step t)
         | Some _ | None ->
             t.clock <- Stdlib.max t.clock horizon;
             continue := false

@@ -3,16 +3,31 @@
     A simulation owns a virtual clock and an event queue.  Events are
     thunks scheduled at absolute or relative virtual times; ties are
     broken by insertion order so runs are fully deterministic.  Time is
-    in seconds (float). *)
+    in seconds (float).
+
+    Two interchangeable schedulers sit behind the queue: a hierarchical
+    timer wheel ({!Wheel}, the default — O(1) amortized insert/cancel)
+    and a binary heap ({!Heap} — O(log n), kept as the differential
+    reference).  Both fire events in identical (time, insertion) order;
+    the choice is observable only through performance and through
+    {!pending}'s accounting of cancelled events. *)
 
 type t
+
+type sched = [ `Heap | `Wheel ]
+(** Event-queue backend: [`Wheel] is the hierarchical timer wheel
+    (default), [`Heap] the reference binary heap. *)
 
 type handle
 (** Cancellation token for a scheduled event. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?sched:sched -> unit -> t
 (** Fresh simulation at time 0.  [seed] (default 42) seeds the root RNG
-    from which components should [split] their own streams. *)
+    from which components should [split] their own streams.  [sched]
+    picks the queue backend (default [`Wheel]). *)
+
+val sched : t -> sched
+(** Which backend this simulation runs on. *)
 
 val now : t -> float
 (** Current virtual time. *)
@@ -30,17 +45,45 @@ val schedule_at : t -> float -> (unit -> unit) -> handle
 val schedule_after : t -> float -> (unit -> unit) -> handle
 (** [schedule_after t delay f] = [schedule_at t (now t +. delay) f]. *)
 
+val post_at : t -> float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule_at}: no cancellation handle is built, so
+    hot paths that never cancel (link transmission, propagation) avoid
+    the per-event handle allocation. *)
+
+val post_after : t -> float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule_after}. *)
+
 val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
-    no-op. *)
+    no-op.  A cancelled event never runs and never advances the
+    clock. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled placeholders). *)
+(** Number of events still queued.  Under [`Wheel] cancelled events are
+    removed immediately so this counts live events exactly; under
+    [`Heap] cancelled placeholders linger (and are counted) until they
+    would have fired. *)
+
+val executed : t -> int
+(** Events run so far — the denominator for events/sec throughput
+    accounting.  Cancelled events do not count. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue in time order.  With [until], stops once the
-    next event is strictly later than [until] and advances the clock to
-    [until].  Without it, runs until the queue empties. *)
+    next live event is strictly later than [until] and advances the
+    clock to [until].  Without it, runs until the queue empties. *)
 
 val step : t -> bool
-(** Execute the single next event. [false] if the queue was empty. *)
+(** Execute the single next live event. [false] if none remain. *)
+
+type trace_op =
+  | T_schedule of float  (** an event was enqueued for this time *)
+  | T_cancel of int  (** the event with this sequence number was cancelled *)
+  | T_pop  (** the next live event fired *)
+
+val set_tracer : t -> (trace_op -> unit) option -> unit
+(** Observe the raw scheduler operation stream.  The benchmark suite
+    records a scenario's trace once, then replays it against each bare
+    queue backend to measure scheduler throughput in isolation from
+    protocol work.  [None] (the default) disables tracing; the hook
+    costs one branch per operation when unset. *)

@@ -42,10 +42,10 @@ let af_rio ~rng () =
     ~out_params:(red_params ~min_th:10.0 ~max_th:30.0 ~max_p:0.5)
     ~rng ()
 
-let af_dumbbell ~seed ~n_flows ~bottleneck_mbps ?(bottleneck_delay = 0.03)
-    ~committed_mbps () =
+let af_dumbbell ?sched ~seed ~n_flows ~bottleneck_mbps
+    ?(bottleneck_delay = 0.03) ~committed_mbps () =
   assert (Array.length committed_mbps = n_flows);
-  let sim = Engine.Sim.create ~seed () in
+  let sim = Engine.Sim.create ~seed ?sched () in
   let qdisc_rng = Engine.Sim.split_rng sim in
   let bottleneck =
     Netsim.Topology.spec

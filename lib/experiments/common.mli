@@ -36,6 +36,7 @@ val af_rio : rng:Engine.Rng.t -> unit -> Netsim.Qdisc.t
     0.5). *)
 
 val af_dumbbell :
+  ?sched:Engine.Sim.sched ->
   seed:int ->
   n_flows:int ->
   bottleneck_mbps:float ->
@@ -44,7 +45,9 @@ val af_dumbbell :
   unit ->
   Engine.Sim.t * Netsim.Topology.t
 (** Dumbbell whose bottleneck runs {!af_rio}; per-flow edge markers are
-    installed for every positive committed rate. *)
+    installed for every positive committed rate.  [sched] selects the
+    simulation's event-queue backend (the scale benchmarks compare
+    both). *)
 
 val plain_dumbbell :
   seed:int ->

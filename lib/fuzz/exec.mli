@@ -46,7 +46,10 @@ type report = {
   checker_events : int;
 }
 
-val run : Scenario.t -> report
+val run : ?sched:Engine.Sim.sched -> Scenario.t -> report
+(** [sched] selects the simulation's event-queue backend (default
+    [`Wheel]); the determinism regression replays the same scenario
+    under both and compares report digests. *)
 
 val passed : report -> bool
 

@@ -35,4 +35,8 @@ val copy : t -> t
 (** Byte-identical clone carrying a {!fresh_uid} — an in-network
     duplicate, distinguishable from the original by uid alone. *)
 
+val dummy : t
+(** Inert zero-size frame (uid 0, flow -1) used to pad preallocated
+    container slots.  Never enqueue or transmit it. *)
+
 val pp : Format.formatter -> t -> unit

@@ -16,25 +16,12 @@ type t = {
   mutable sink : (Frame.t -> unit) option;
   mutable on_drop : (Frame.t -> unit) option;
   mutable busy : bool;
+  mutable tx_frame : Frame.t;  (** frame being serialized while [busy] *)
+  flight : Frame.t Engine.Ring.t;  (** launched frames in propagation *)
+  mutable tx_done : unit -> unit;  (** reused serialization-done thunk *)
+  mutable arrival : unit -> unit;  (** reused propagation-done thunk *)
   st : stats;
 }
-
-let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
-    ?(name = "link") () =
-  assert (rate_bps > 0.0 && delay >= 0.0);
-  {
-    sim;
-    rate_bps;
-    delay;
-    qdisc;
-    loss;
-    mangler;
-    name;
-    sink = None;
-    on_drop = None;
-    busy = false;
-    st = { tx_frames = 0; tx_bytes = 0; lost_frames = 0; delivered = 0 };
-  }
 
 let connect t sink = t.sink <- Some sink
 
@@ -51,32 +38,67 @@ let deliver t frame =
       t.st.delivered <- t.st.delivered + 1;
       sink frame
 
-(* Propagation complete: the mangler stage, when present, sits between
-   the wire and the sink (it may hold, clone or damage the frame). *)
-let arrive t frame =
+(* Propagation complete: frames launched onto the wire arrive in FIFO
+   order (the delay is constant), so the arrival thunk just pops the
+   flight ring.  The mangler stage, when present, sits between the wire
+   and the sink (it may hold, clone or damage the frame). *)
+let arrive t =
+  let frame = Engine.Ring.pop t.flight in
   match t.mangler with
   | Some m -> Mangler.push m ~emit:(fun f -> deliver t f) frame
   | None -> deliver t frame
 
+(* Serialization and propagation reuse one preallocated thunk each
+   ([tx_done] / [arrival]); the frame travels via [tx_frame] and the
+   flight ring, so a forwarded frame costs zero closure allocations. *)
 let rec transmit t frame =
   t.busy <- true;
+  t.tx_frame <- frame;
   let tx_time = 8.0 *. float_of_int frame.Frame.size /. t.rate_bps in
-  ignore
-    (Engine.Sim.schedule_after t.sim tx_time (fun () -> complete t frame))
+  Engine.Sim.post_after t.sim tx_time t.tx_done
 
-and complete t frame =
+and complete t =
+  let frame = t.tx_frame in
+  t.tx_frame <- Frame.dummy;
   t.st.tx_frames <- t.st.tx_frames + 1;
   t.st.tx_bytes <- t.st.tx_bytes + frame.Frame.size;
   if Loss_model.drops t.loss then begin
     t.st.lost_frames <- t.st.lost_frames + 1;
     dropped t frame
   end
-  else
-    ignore
-      (Engine.Sim.schedule_after t.sim t.delay (fun () -> arrive t frame));
+  else begin
+    Engine.Ring.push t.flight frame;
+    Engine.Sim.post_after t.sim t.delay t.arrival
+  end;
   match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
   | Some next -> transmit t next
   | None -> t.busy <- false
+
+let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
+    ?(name = "link") () =
+  assert (rate_bps > 0.0 && delay >= 0.0);
+  let t =
+    {
+      sim;
+      rate_bps;
+      delay;
+      qdisc;
+      loss;
+      mangler;
+      name;
+      sink = None;
+      on_drop = None;
+      busy = false;
+      tx_frame = Frame.dummy;
+      flight = Engine.Ring.create ~dummy:Frame.dummy;
+      tx_done = Engine.Event.noop;
+      arrival = Engine.Event.noop;
+      st = { tx_frames = 0; tx_bytes = 0; lost_frames = 0; delivered = 0 };
+    }
+  in
+  t.tx_done <- (fun () -> complete t);
+  t.arrival <- (fun () -> arrive t);
+  t
 
 let send t frame =
   if t.busy then begin

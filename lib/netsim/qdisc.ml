@@ -33,7 +33,7 @@ type discipline =
 type t = {
   name : string;
   disc : discipline;
-  fifo : Frame.t Queue.t;
+  fifo : Frame.t Engine.Ring.t;
   mutable bytes : int;
   st : stats;
 }
@@ -43,7 +43,7 @@ let droptail ~capacity_pkts =
   {
     name = "droptail";
     disc = Droptail { capacity = capacity_pkts };
-    fifo = Queue.create ();
+    fifo = Engine.Ring.create ~dummy:Frame.dummy;
     bytes = 0;
     st = fresh_stats ();
   }
@@ -57,7 +57,7 @@ let red ?capacity_pkts ?(ecn = false) ~params ~rng () =
   {
     name = "red";
     disc = Red_q { capacity; ecn; red = Red.create params ~rng };
-    fifo = Queue.create ();
+    fifo = Engine.Ring.create ~dummy:Frame.dummy;
     bytes = 0;
     st = fresh_stats ();
   }
@@ -79,14 +79,14 @@ let rio ?capacity_pkts ?(ecn = false) ~in_params ~out_params ~rng () =
           red_out = Red.create out_params ~rng:(Engine.Rng.split rng);
           green_pkts = 0;
         };
-    fifo = Queue.create ();
+    fifo = Engine.Ring.create ~dummy:Frame.dummy;
     bytes = 0;
     st = fresh_stats ();
   }
 
 let name t = t.name
 
-let length_pkts t = Queue.length t.fifo
+let length_pkts t = Engine.Ring.length t.fifo
 
 let length_bytes t = t.bytes
 
@@ -100,7 +100,7 @@ let record_drop t (frame : Frame.t) =
       t.st.dropped_nongreen <- t.st.dropped_nongreen + 1
 
 let accept t frame =
-  Queue.add frame t.fifo;
+  Engine.Ring.push t.fifo frame;
   t.bytes <- t.bytes + frame.Frame.size;
   t.st.accepted <- t.st.accepted + 1;
   (match t.disc with
@@ -124,7 +124,7 @@ let congest t ~ecn frame =
 
 let enqueue t ~now frame =
   t.st.offered <- t.st.offered + 1;
-  let qlen = Queue.length t.fifo in
+  let qlen = Engine.Ring.length t.fifo in
   match t.disc with
   | Droptail { capacity } ->
       if qlen >= capacity then begin
@@ -166,21 +166,22 @@ let enqueue t ~now frame =
       end
 
 let dequeue t ~now =
-  match Queue.take_opt t.fifo with
-  | None -> None
-  | Some frame ->
-      t.bytes <- t.bytes - frame.Frame.size;
-      t.st.dequeued <- t.st.dequeued + 1;
-      (match t.disc with
-      | Rio r when Mark.equal frame.Frame.mark Mark.Green ->
-          r.green_pkts <- r.green_pkts - 1
-      | Rio _ | Droptail _ | Red_q _ -> ());
-      if Queue.is_empty t.fifo then begin
-        match t.disc with
-        | Red_q { red; _ } -> Red.note_idle_start red ~now
-        | Rio r ->
-            Red.note_idle_start r.red_in ~now;
-            Red.note_idle_start r.red_out ~now
-        | Droptail _ -> ()
-      end;
-      Some frame
+  if Engine.Ring.is_empty t.fifo then None
+  else begin
+    let frame = Engine.Ring.pop t.fifo in
+    t.bytes <- t.bytes - frame.Frame.size;
+    t.st.dequeued <- t.st.dequeued + 1;
+    (match t.disc with
+    | Rio r when Mark.equal frame.Frame.mark Mark.Green ->
+        r.green_pkts <- r.green_pkts - 1
+    | Rio _ | Droptail _ | Red_q _ -> ());
+    if Engine.Ring.is_empty t.fifo then begin
+      match t.disc with
+      | Red_q { red; _ } -> Red.note_idle_start red ~now
+      | Rio r ->
+          Red.note_idle_start r.red_in ~now;
+          Red.note_idle_start r.red_out ~now
+      | Droptail _ -> ()
+    end;
+    Some frame
+  end

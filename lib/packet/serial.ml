@@ -35,3 +35,9 @@ let range lo hi =
   let n = diff hi lo in
   if Stdlib.( <= ) n 0 then []
   else List.init n (fun i -> add lo i)
+
+let iter_range f lo hi =
+  let n = diff hi lo in
+  for i = 0 to Stdlib.( - ) n 1 do
+    f (add lo i)
+  done

@@ -50,8 +50,6 @@ module W = struct
     ensure t (String.length s);
     Bytes.blit_string s 0 t.buf t.len (String.length s);
     t.len <- t.len + String.length s
-
-  let contents t = Bytes.sub t.buf 0 t.len
 end
 
 module R = struct
@@ -93,9 +91,8 @@ module R = struct
     s
 end
 
-let encode_body hdr =
-  let w = W.create 32 in
-  (match hdr with
+let write_body w hdr =
+  match hdr with
   | Header.Data d ->
       W.u32 w (Serial.to_int d.seq);
       W.f64 w d.tstamp;
@@ -132,8 +129,7 @@ let encode_body hdr =
       in
       W.u8 w kind;
       W.u16 w (String.length h.payload);
-      W.string w h.payload);
-  W.contents w
+      W.string w h.payload
 
 let tag_of = function
   | Header.Data _ -> tag_data
@@ -141,15 +137,22 @@ let tag_of = function
   | Header.Sack_feedback _ -> tag_sack
   | Header.Handshake _ -> tag_handshake
 
+(* One shared scratch writer: the 4-byte prefix and the body are laid
+   out in place and the only per-call allocation is the returned copy.
+   The simulation is single-threaded and [write_body] cannot re-enter
+   [encode], so reuse is safe. *)
+let scratch = W.create 256
+
 let encode hdr =
-  let body = encode_body hdr in
-  let total = Bytes.create (4 + Bytes.length body) in
-  Bytes.set_uint8 total 0 (tag_of hdr);
-  Bytes.set_uint8 total 1 0;
-  let ck = fletcher16 body ~pos:0 ~len:(Bytes.length body) in
-  Bytes.set_uint16_be total 2 ck;
-  Bytes.blit body 0 total 4 (Bytes.length body);
-  total
+  let w = scratch in
+  w.W.len <- 0;
+  W.u8 w (tag_of hdr);
+  W.u8 w 0;
+  W.u16 w 0 (* checksum, patched once the body is in place *);
+  write_body w hdr;
+  let ck = fletcher16 w.W.buf ~pos:4 ~len:(w.W.len - 4) in
+  Bytes.set_uint16_be w.W.buf 2 ck;
+  Bytes.sub w.W.buf 0 w.W.len
 
 let decode buf =
   if Bytes.length buf < 4 then raise (Malformed "short prefix");

@@ -11,10 +11,13 @@ type t = {
   cost : Stats.Cost.t option;
   mutable cum : Serial.t;
   mutable ranges : range list;  (* ascending, disjoint, above cum *)
+  scratch : range array;  (* reused top-k buffer for {!sack_blocks} *)
   mutable stamp : int;
   mutable packets : int;
   mutable duplicates : int;
 }
+
+let dummy_range = { lo = Serial.zero; hi = Serial.zero; touched = -1 }
 
 let create ?(max_blocks = 4) ?cost () =
   assert (max_blocks >= 1);
@@ -23,6 +26,7 @@ let create ?(max_blocks = 4) ?cost () =
     cost;
     cum = Serial.zero;
     ranges = [];
+    scratch = Array.make max_blocks dummy_range;
     stamp = 0;
     packets = 0;
     duplicates = 0;
@@ -111,12 +115,42 @@ let to_block r = { Packet.Header.block_start = r.lo; block_end = r.hi }
 
 let all_ranges t = List.map to_block t.ranges
 
+let highest_expected t =
+  let rec last = function
+    | [] -> t.cum
+    | [ r ] -> r.hi
+    | _ :: rest -> last rest
+  in
+  last t.ranges
+
+(* Most-recently-touched [max_blocks] ranges, newest first (recency
+   stamps are unique, so the selection is deterministic).  A bounded
+   insertion pass over a reused scratch array replaces the former
+   sort-whole-list / filter / map chain: only the returned blocks are
+   allocated. *)
 let sack_blocks t =
   charge t "recv.light.feedback";
-  let by_recency =
-    List.sort (fun a b -> Int.compare b.touched a.touched) t.ranges
+  let top = t.scratch in
+  let k = Array.length top in
+  let count = ref 0 in
+  List.iter
+    (fun r ->
+      if !count < k || r.touched > top.(k - 1).touched then begin
+        let i = ref (Stdlib.min !count (k - 1)) in
+        while !i > 0 && top.(!i - 1).touched < r.touched do
+          top.(!i) <- top.(!i - 1);
+          decr i
+        done;
+        top.(!i) <- r;
+        if !count < k then incr count
+      end)
+    t.ranges;
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (to_block top.(i) :: acc)
   in
-  List.filteri (fun i _ -> i < t.max_blocks) by_recency |> List.map to_block
+  let blocks = build (!count - 1) [] in
+  Array.fill top 0 k dummy_range;
+  blocks
 
 let packets t = t.packets
 

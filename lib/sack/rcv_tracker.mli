@@ -33,6 +33,11 @@ val sack_blocks : t -> Blocks.t list
 val all_ranges : t -> Blocks.t list
 (** Every out-of-order range currently held (normalised, ascending). *)
 
+val highest_expected : t -> Packet.Serial.t
+(** One past the highest sequence number received: the end of the last
+    out-of-order range, or {!cum_ack} when there is none.  O(ranges),
+    allocation-free. *)
+
 val received : t -> Packet.Serial.t -> bool
 (** Has this sequence number been received (cumulative or ranged)? *)
 

@@ -112,8 +112,7 @@ let on_feedback t ~cum_ack ~blocks =
   let newly_acked = ref [] in
   let cum_advanced = Serial.( > ) cum_ack t.snd_una in
   if cum_advanced then begin
-    let covered = Serial.range t.snd_una (Serial.min cum_ack t.snd_nxt) in
-    List.iter
+    Serial.iter_range
       (fun s ->
         match find t s with
         | Some e ->
@@ -123,14 +122,15 @@ let on_feedback t ~cum_ack ~blocks =
             t.acked <- t.acked + 1;
             Hashtbl.remove t.tbl (key s)
         | None -> ())
-      covered;
+      t.snd_una
+      (Serial.min cum_ack t.snd_nxt);
     t.snd_una <- Serial.max t.snd_una (Serial.min cum_ack t.snd_nxt)
   end;
   (* 2. SACK coverage. *)
   let newly_sacked = ref [] in
   List.iter
     (fun (b : Blocks.t) ->
-      List.iter
+      Serial.iter_range
         (fun s ->
           match find t s with
           | Some e when not e.sacked ->
@@ -138,21 +138,23 @@ let on_feedback t ~cum_ack ~blocks =
               e.lost <- false;
               newly_sacked := cover_of e :: !newly_sacked
           | Some _ | None -> ())
-        (Serial.range b.block_start b.block_end))
+        b.block_start b.block_end)
     blocks;
   (* 3. Loss inference: dupthresh SACKed numbers above an uncovered one.
      Walk from highest to lowest sequence counting SACKed entries. *)
-  let ordered = entries_in_order t in
   let sacked_above = ref 0 in
   let newly_lost = ref [] in
-  List.iter
-    (fun e ->
-      if e.sacked then incr sacked_above
-      else if !sacked_above >= t.dupthresh && not e.lost then begin
-        e.lost <- true;
-        newly_lost := e.seq :: !newly_lost
-      end)
-    (List.rev ordered);
+  let span = Serial.diff t.snd_nxt t.snd_una in
+  for i = span - 1 downto 0 do
+    match find t (Serial.add t.snd_una i) with
+    | Some e ->
+        if e.sacked then incr sacked_above
+        else if !sacked_above >= t.dupthresh && not e.lost then begin
+          e.lost <- true;
+          newly_lost := e.seq :: !newly_lost
+        end
+    | None -> ()
+  done;
   let by_seq f a b = Serial.compare (f a) (f b) in
   {
     newly_acked = List.sort (by_seq (fun c -> c.cov_seq)) !newly_acked;
@@ -180,9 +182,7 @@ let mark_expired t ~now ~timeout =
 let abandon_below t limit =
   let limit = Serial.min limit t.snd_nxt in
   if Serial.( > ) limit t.snd_una then begin
-    List.iter
-      (fun s -> Hashtbl.remove t.tbl (key s))
-      (Serial.range t.snd_una limit);
+    Serial.iter_range (fun s -> Hashtbl.remove t.tbl (key s)) t.snd_una limit;
     t.snd_una <- limit
   end
 

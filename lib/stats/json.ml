@@ -1,0 +1,82 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity literals; map them to null so emitted files
+   always parse.  [%.12g] keeps measurement precision without the noise
+   of full round-trip digits. *)
+let float_repr f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | FP_zero | FP_subnormal | FP_normal ->
+      let s = Printf.sprintf "%.12g" f in
+      (* "1e+06" is valid JSON, "1." is not; "1" is but keeps int/float
+         ambiguity — normalise bare integers to a trailing ".0". *)
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let rec emit buf ~indent ~level v =
+  let pad n = Buffer.add_string buf (String.make (indent * n) ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (level + 1);
+          emit buf ~indent ~level:(level + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (level + 1);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          emit buf ~indent ~level:(level + 1) item)
+        fields;
+      Buffer.add_char buf '\n';
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 1024 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  output_char oc '\n'
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,25 @@
+(** Minimal JSON tree and serialiser for machine-readable outputs
+    (benchmark reports, tooling hand-offs).
+
+    Write-only by design: the repo has no JSON dependency, and nothing
+    here needs to parse JSON — emitted files are consumed by external
+    tooling.  Serialisation is deterministic (object fields print in
+    the order given), NaN and infinities are emitted as [null] so the
+    output always parses, and strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indent width (default 2). *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
