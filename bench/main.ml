@@ -23,7 +23,8 @@
      dune exec bench/main.exe -- tables e1 e5        # a table subset
      dune exec bench/main.exe -- scale               # micro + scale -> BENCH_<date>.json
      dune exec bench/main.exe -- scale --json F      # ... report into F
-     dune exec bench/main.exe -- smoke --json F      # one fast 10-flow scenario *)
+     dune exec bench/main.exe -- smoke --json F      # one fast 10-flow scenario
+     dune exec bench/main.exe -- overhead            # tracing on/off, 100 flows *)
 
 open Bechamel
 open Toolkit
@@ -177,6 +178,20 @@ let bench_heap =
        ignore (Engine.Heap.pop_min h)
      done)
 
+(* The flight recorder's zero-allocation fast path: one packed journal
+   write plus the per-flow count bump, cycling over 64 flows so the tag
+   word varies like a real mixed-flow run. *)
+let bench_trace_record =
+  Test.make ~name:"trace.record_seg_send"
+    (let r = Trace.Recorder.create () in
+     let i = ref 0 in
+     Staged.stage @@ fun () ->
+     incr i;
+     Trace.Recorder.record_seg_send r ~flow:(!i land 63)
+       ~at:(float_of_int !i)
+       ~seq:(Packet.Serial.of_int !i)
+       ~size:1500 ~retx:false)
+
 (* A full end-to-end simulated second of a TFRC transfer, to price the
    whole stack rather than one kernel. *)
 let bench_end_to_end =
@@ -215,6 +230,7 @@ let micro_tests =
     bench_token_bucket;
     bench_wire_encode;
     bench_wire_roundtrip;
+    bench_trace_record;
     bench_end_to_end;
   ]
 
@@ -296,17 +312,23 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let report ~mode ~micro ~scale_results =
+let report ?trace_overhead ~mode ~micro ~scale_results () =
+  let overhead_field =
+    match trace_overhead with
+    | None -> []
+    | Some o -> [ ("trace_overhead", Scale.json_of_overhead o) ]
+  in
   Stats.Json.Obj
-    [
-      ("schema", Stats.Json.String "vtp-bench-1");
-      ("mode", Stats.Json.String mode);
-      ("date", Stats.Json.String (today ()));
-      ("micro", json_of_micro micro);
-      ( "scale",
-        Stats.Json.List (List.map Scale.json_of_result scale_results) );
-      ("wheel_vs_heap", Stats.Json.List (Scale.json_ratios scale_results));
-    ]
+    ([
+       ("schema", Stats.Json.String "vtp-bench-1");
+       ("mode", Stats.Json.String mode);
+       ("date", Stats.Json.String (today ()));
+       ("micro", json_of_micro micro);
+       ( "scale",
+         Stats.Json.List (List.map Scale.json_of_result scale_results) );
+       ("wheel_vs_heap", Stats.Json.List (Scale.json_ratios scale_results));
+     ]
+    @ overhead_field)
 
 let write_json path json =
   let oc = open_out path in
@@ -315,23 +337,43 @@ let write_json path json =
     (fun () -> Stats.Json.to_channel oc json);
   Printf.printf "wrote %s\n" path
 
+let print_overhead (o : Scale.overhead) =
+  Printf.printf
+    "trace overhead (%d flows): %.0f -> %.0f events/s (%.1f%%), %d trace \
+     events\n"
+    o.Scale.oh_untraced.Scale.flows o.Scale.oh_untraced.Scale.events_per_sec
+    o.Scale.oh_traced.Scale.events_per_sec
+    (100.0 *. Scale.overhead_fraction o)
+    o.Scale.oh_trace_events
+
 let run_scale ~json_file () =
   let micro = measure_micro () in
   print_micro micro;
   let results = Scale.suite () in
   Stats.Table.print (Scale.table results);
+  let overhead =
+    Scale.trace_overhead ~repeats:25 ~n_flows:100 ~sim_seconds:4.0 ()
+  in
+  print_overhead overhead;
   let path =
     match json_file with
     | Some f -> f
     | None -> Printf.sprintf "BENCH_%s.json" (today ())
   in
-  write_json path (report ~mode:"scale" ~micro ~scale_results:results)
+  write_json path
+    (report ~trace_overhead:overhead ~mode:"scale" ~micro
+       ~scale_results:results ())
 
 let run_smoke ~json_file () =
   let results = Scale.smoke () in
   Stats.Table.print (Scale.table results);
+  let overhead = Scale.trace_overhead ~n_flows:10 ~sim_seconds:2.0 () in
+  print_overhead overhead;
   match json_file with
-  | Some f -> write_json f (report ~mode:"smoke" ~micro:[] ~scale_results:results)
+  | Some f ->
+      write_json f
+        (report ~trace_overhead:overhead ~mode:"smoke" ~micro:[]
+           ~scale_results:results ())
   | None -> ()
 
 let () =
@@ -349,10 +391,21 @@ let () =
       print_micro micro;
       match json_file with
       | Some f ->
-          write_json f (report ~mode:"micro" ~micro ~scale_results:[])
+          write_json f (report ~mode:"micro" ~micro ~scale_results:[] ())
       | None -> ())
   | "scale" :: _ -> run_scale ~json_file ()
   | "smoke" :: _ -> run_smoke ~json_file ()
+  | "overhead" :: _ -> (
+      let overhead =
+        Scale.trace_overhead ~repeats:25 ~n_flows:100 ~sim_seconds:4.0 ()
+      in
+      print_overhead overhead;
+      match json_file with
+      | Some f ->
+          write_json f
+            (report ~trace_overhead:overhead ~mode:"overhead" ~micro:[]
+               ~scale_results:[] ())
+      | None -> ())
   | "tables" :: ids -> run_tables ids
   | _ ->
       run_micro ();

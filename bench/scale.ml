@@ -242,6 +242,98 @@ let sched_replay ?(seed = default_seed) () =
   in
   [ run `Wheel; run `Heap ]
 
+(* ------------------------------------------------------------------ *)
+(* Tracing overhead.
+
+   The flight recorder is meant to be cheap enough to leave on: every
+   instrumentation site is a single [Trace.Sink.on]/[Trace.Recorder.on]
+   branch when no recorder is installed, and a ring push when one is.
+   To price that claim we run the same scenario twice on one seed —
+   once bare, once under an ambient recorder — and report both
+   events/sec figures plus the fractional slowdown.  The acceptance
+   bar is <= 10% on the 100-flow scenario.
+
+   Wall-clock on sub-second runs is noisy (scheduling, cache state),
+   so each variant is measured [repeats] times, interleaved, and the
+   best run of each is compared — the standard way to estimate the
+   cost floor rather than the noise envelope. *)
+
+type overhead = {
+  oh_untraced : result;
+  oh_traced : result;
+  oh_trace_events : int;
+}
+
+let trace_overhead ?(seed = default_seed) ?(repeats = 5) ~n_flows ~sim_seconds
+    () =
+  let run ~traced =
+    let (events, delivered, trace_events), wall, peak, allocated =
+      with_gc_metrics (fun () ->
+          let body () =
+            let sim, delivered = setup ~sched:`Wheel ~seed ~n_flows () in
+            Engine.Sim.run ~until:sim_seconds sim;
+            (Engine.Sim.executed sim, delivered ())
+          in
+          if traced then
+            let (events, delivered), recorder =
+              Trace.Recorder.with_recorder body
+            in
+            (events, delivered, Trace.Recorder.events recorder)
+          else
+            let events, delivered = body () in
+            (events, delivered, 0))
+    in
+    ( {
+        name = (if traced then "trace_on" else "trace_off");
+        flows = n_flows;
+        sched = `Wheel;
+        seed;
+        sim_seconds;
+        wall_s = wall;
+        events;
+        events_per_sec =
+          (if wall > 0.0 then float_of_int events /. wall else 0.0);
+        max_heap_words = peak;
+        allocated_words = allocated;
+        delivered_bytes = delivered;
+      },
+      trace_events )
+  in
+  let best a b = if b.events_per_sec > a.events_per_sec then b else a in
+  let untraced = ref (fst (run ~traced:false)) in
+  let first_traced, trace_events = run ~traced:true in
+  let traced = ref first_traced in
+  for _ = 2 to repeats do
+    untraced := best !untraced (fst (run ~traced:false));
+    traced := best !traced (fst (run ~traced:true))
+  done;
+  {
+    oh_untraced = !untraced;
+    oh_traced = !traced;
+    oh_trace_events = trace_events;
+  }
+
+let overhead_fraction o =
+  if o.oh_untraced.events_per_sec > 0.0 then
+    1.0 -. (o.oh_traced.events_per_sec /. o.oh_untraced.events_per_sec)
+  else 0.0
+
+let json_of_overhead o =
+  Stats.Json.Obj
+    [
+      ("flows", Stats.Json.Int o.oh_untraced.flows);
+      ("seed", Stats.Json.Int o.oh_untraced.seed);
+      ("sim_seconds", Stats.Json.Float o.oh_untraced.sim_seconds);
+      ( "untraced_events_per_sec",
+        Stats.Json.Float o.oh_untraced.events_per_sec );
+      ("traced_events_per_sec", Stats.Json.Float o.oh_traced.events_per_sec);
+      ("trace_events", Stats.Json.Int o.oh_trace_events);
+      ("overhead_fraction", Stats.Json.Float (overhead_fraction o));
+      ( "delivered_bytes_match",
+        Stats.Json.Bool
+          (o.oh_untraced.delivered_bytes = o.oh_traced.delivered_bytes) );
+    ]
+
 (* The suite: growing populations under the default (wheel) scheduler,
    a heap rerun of the largest scenario for the whole-stack
    head-to-head, and the scheduler-only trace replay of the same

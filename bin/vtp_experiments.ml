@@ -25,10 +25,18 @@ let checked =
           "Run every scenario under the protocol-invariant checker; abort \
            with a diagnostic on the first violation.")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Run every scenario with the flight recorder live and print each \
+           entry's event count and canonical trace digest.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
-let run list_only seed csv checked ids =
+let run list_only seed csv checked trace ids =
   if list_only then begin
     List.iter
       (fun (e : Experiments.Runner.entry) ->
@@ -48,7 +56,7 @@ let run list_only seed csv checked ids =
         let ids = match ids with [] -> None | l -> Some l in
         let format = if csv then `Csv else `Table in
         (try
-           Experiments.Runner.run_all ~seed ?ids ~format ~checked
+           Experiments.Runner.run_all ~seed ?ids ~format ~checked ~trace
              ~out:Format.std_formatter ();
            `Ok ()
          with Analysis.Invariants.Violation v ->
@@ -64,6 +72,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "vtp_experiments" ~doc)
-    Term.(ret (const run $ list_flag $ seed $ csv $ checked $ ids))
+    Term.(ret (const run $ list_flag $ seed $ csv $ checked $ trace $ ids))
 
 let () = exit (Cmd.eval cmd)

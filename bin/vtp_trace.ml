@@ -1,74 +1,213 @@
-(* CLI: run a short scenario with packet tracing at both ends of the
-   bottleneck and dump the event trace — the debugging view of the
-   simulator.
+(* CLI: the flight-recorder trace tool.
 
-   Example:
-     vtp_trace --proto light --loss 0.05 --duration 1.5 --events 80 *)
+   Replays golden-corpus entries (or any fuzz seed) with the flight
+   recorder live and serialises the result: canonical text, digest, or
+   qlog-style JSON.  Also diffs two canonical traces and regenerates /
+   checks the committed corpus under test/golden/.
+
+   Examples:
+     vtp_trace --list
+     vtp_trace --run light_headline --digest
+     vtp_trace --run af_headline --sched heap --export af.trace
+     vtp_trace --seed 123 --json out.qlog
+     vtp_trace --diff a.trace b.trace
+     vtp_trace --regen test/golden
+     vtp_trace --check test/golden *)
 
 open Cmdliner
 
-let duration =
-  Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
 
-let loss =
-  Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc:"Bernoulli loss rate.")
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
-let events =
-  Arg.(value & opt int 60 & info [ "events" ] ~docv:"N" ~doc:"Trace lines to print (newest).")
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the golden corpus and exit.")
 
-let light =
-  Arg.(value & flag & info [ "light" ] ~doc:"Use the QTP_light profile instead of plain TFRC.")
+let run_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run" ] ~docv:"NAME" ~doc:"Replay this golden-corpus entry.")
 
-let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+let seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Replay the fuzz scenario generated from this seed.")
 
-let run duration loss events light seed =
-  let sim = Engine.Sim.create ~seed () in
-  let rng = Engine.Sim.split_rng sim in
-  let tracer = Netsim.Tracer.create ~sim ~capacity:events () in
-  let forward =
-    Netsim.Topology.spec ~rate_bps:10e6 ~delay:0.02
-      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:50)
-      ~loss:(fun () ->
-        if loss > 0.0 then
-          Netsim.Loss_model.bernoulli ~p:loss ~rng:(Engine.Rng.split rng)
-        else Netsim.Loss_model.none)
-      ()
-  in
-  let topo = Netsim.Topology.duplex_path ~sim ~forward () in
-  let ep = Netsim.Topology.endpoint topo 0 in
-  (* Tap the frame stream on both directions of the endpoint. *)
-  let fwd = ep.Netsim.Topology.to_receiver in
-  let rev = ep.Netsim.Topology.to_sender in
-  let ep =
-    {
-      ep with
-      Netsim.Topology.to_receiver = Netsim.Tracer.tap tracer "data->" fwd;
-      to_sender = Netsim.Tracer.tap tracer "<-fbk " rev;
-    }
-  in
-  let offer =
-    if light then Qtp.Profile.qtp_light () else Qtp.Profile.qtp_tfrc ()
-  in
-  let responder =
-    if light then Qtp.Profile.mobile_receiver () else Qtp.Profile.anything ()
-  in
-  let conn =
-    Qtp.Connection.create ~sim ~endpoint:ep
-      (Qtp.Connection.config ~initial_rtt:0.2
-         (Qtp.Profile.agreed_exn offer responder))
-  in
-  Engine.Sim.run ~until:duration sim;
-  Netsim.Tracer.dump tracer Format.std_formatter;
-  Format.printf
-    "@.%d events total; window above shows the last %d.@.sent=%d delivered=%d p=%.4f@."
-    (Netsim.Tracer.count tracer) events
-    (Qtp.Connection.data_sent conn)
-    (Qtp.Connection.delivered conn)
-    (Qtp.Connection.sender_loss_estimate conn)
+let sched =
+  Arg.(
+    value
+    & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+    & info [ "sched" ] ~docv:"BACKEND"
+        ~doc:"Event-queue backend: $(b,wheel) (default) or $(b,heap).")
+
+let export =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"FILE" ~doc:"Write the canonical trace to FILE.")
+
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a qlog-style JSON export to FILE.")
+
+let digest =
+  Arg.(
+    value & flag
+    & info [ "digest" ]
+        ~doc:"Print only the canonical trace digest (MD5 hex).")
+
+let diff =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' string string)) None
+    & info [ "diff" ] ~docv:"A,B"
+        ~doc:
+          "Compare two canonical trace files and report the first \
+           divergent line (exit 1 on mismatch).")
+
+let diff_pos =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"Files for $(b,--diff) (alternative to A,B).")
+
+let regen =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "regen" ] ~docv:"DIR"
+        ~doc:"Regenerate every corpus trace into DIR/<name>.trace.")
+
+let check =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check" ] ~docv:"DIR"
+        ~doc:
+          "Replay every corpus entry and compare against DIR/<name>.trace \
+           (exit 1 on any mismatch).")
+
+let do_diff a b =
+  let ta = read_file a and tb = read_file b in
+  match Trace.Export.diff ta tb with
+  | None ->
+      Format.printf "traces identical (%s)@."
+        (Trace.Export.digest_of_string ta);
+      `Ok ()
+  | Some d ->
+      Format.printf "%a" Trace.Export.pp_divergence d;
+      exit 1
+
+let capture_entry ~sched (e : Fuzz.Golden.entry) =
+  let report, recorder = Fuzz.Golden.capture ~sched e in
+  if not (Fuzz.Exec.passed report) then
+    Format.eprintf "warning: %s did not pass its oracles:@.%a@." e.name
+      Fuzz.Exec.pp_report report;
+  recorder
+
+let do_regen ~sched dir =
+  List.iter
+    (fun (e : Fuzz.Golden.entry) ->
+      let recorder = capture_entry ~sched e in
+      let text = Trace.Export.canonical recorder in
+      let path = Filename.concat dir (e.name ^ ".trace") in
+      write_file path text;
+      Format.printf "%-18s %s  (%d events)@." e.name
+        (Trace.Export.digest_of_string text)
+        (Trace.Recorder.events recorder))
+    Fuzz.Golden.corpus;
+  `Ok ()
+
+let do_check ~sched dir =
+  let bad = ref 0 in
+  List.iter
+    (fun (e : Fuzz.Golden.entry) ->
+      let path = Filename.concat dir (e.name ^ ".trace") in
+      if not (Sys.file_exists path) then begin
+        incr bad;
+        Format.printf "%-18s MISSING (%s)@." e.name path
+      end
+      else begin
+        let want = read_file path in
+        let got = Trace.Export.canonical (capture_entry ~sched e) in
+        match Trace.Export.diff want got with
+        | None -> Format.printf "%-18s ok@." e.name
+        | Some d ->
+            incr bad;
+            Format.printf "%-18s MISMATCH@.%a" e.name
+              Trace.Export.pp_divergence d
+      end)
+    Fuzz.Golden.corpus;
+  if !bad > 0 then exit 1;
+  `Ok ()
+
+let run list_only run_name seed sched export json digest diff diff_pos regen
+    check =
+  if list_only then begin
+    List.iter
+      (fun (e : Fuzz.Golden.entry) ->
+        Format.printf "%-18s %s@." e.Fuzz.Golden.name e.Fuzz.Golden.descr)
+      Fuzz.Golden.corpus;
+    `Ok ()
+  end
+  else
+    match (diff, diff_pos, regen, check) with
+    | Some (a, b), _, _, _ -> do_diff a b
+    | None, [ a; b ], _, _ -> do_diff a b
+    | None, _, Some dir, _ -> do_regen ~sched dir
+    | None, _, None, Some dir -> do_check ~sched dir
+    | None, _, None, None -> (
+        let entry =
+          match (run_name, seed) with
+          | Some name, _ -> Fuzz.Golden.find name
+          | None, Some seed ->
+              Some
+                {
+                  Fuzz.Golden.name = Printf.sprintf "seed_%d" seed;
+                  descr = "generated scenario";
+                  scenario = Fuzz.Scenario.generate ~seed;
+                }
+          | None, None -> None
+        in
+        match entry with
+        | None ->
+            `Error
+              ( true,
+                "nothing to do: pass --run NAME or --seed N (or --list, \
+                 --diff, --regen, --check)" )
+        | Some e ->
+            let recorder = capture_entry ~sched e in
+            let text = Trace.Export.canonical recorder in
+            (match json with
+            | Some path ->
+                write_file path
+                  (Stats.Json.to_string
+                     (Trace.Export.to_json
+                        ~meta:[ ("entry", Stats.Json.String e.name) ]
+                        recorder))
+            | None -> ());
+            (match export with
+            | Some path -> write_file path text
+            | None -> ());
+            if digest then
+              Format.printf "%s@." (Trace.Export.digest_of_string text)
+            else if export = None && json = None then print_string text;
+            `Ok ())
 
 let cmd =
-  let doc = "Dump a frame-level trace of a short VTP run." in
-  Cmd.v (Cmd.info "vtp_trace" ~doc)
-    Term.(const run $ duration $ loss $ events $ light $ seed)
+  let doc = "Flight-recorder traces: replay, export, digest, diff, corpus." in
+  Cmd.v
+    (Cmd.info "vtp_trace" ~doc)
+    Term.(
+      ret
+        (const run $ list_flag $ run_name $ seed $ sched $ export $ json
+       $ digest $ diff $ diff_pos $ regen $ check))
 
 let () = exit (Cmd.eval cmd)

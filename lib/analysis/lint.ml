@@ -389,7 +389,8 @@ let missing_mli_rule files =
       else None)
     files
 
-let protocol_dirs = [ "lib/tfrc"; "lib/sack"; "lib/core"; "lib/fuzz" ]
+let protocol_dirs =
+  [ "lib/tfrc"; "lib/sack"; "lib/core"; "lib/fuzz"; "lib/trace" ]
 
 let rules : rule list =
   [

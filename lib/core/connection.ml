@@ -67,6 +67,9 @@ type t = {
   sim : Engine.Sim.t;
   endpoint : Netsim.Topology.endpoint;
   cfg : config;
+  (* Always [Some]: the sink itself is inert until a recorder is
+     installed, so the per-event cost without tracing is one branch. *)
+  trace : Trace.Sink.t option;
   mutable state : state;
   (* [responder_offer] is consulted by the receiver half during the
      handshake; [initiator_offer] is what the SYN carries. *)
@@ -144,6 +147,7 @@ let emit_data t ~seq ~is_retx =
       segment
   in
   frame.Netsim.Frame.ect <- t.cfg.agreed.Capabilities.use_ecn;
+  Trace.Sink.seg_send t.trace ~seq ~size:t.cfg.packet_size ~retx:is_retx;
   t.endpoint.Netsim.Topology.to_receiver frame
 
 let transmit_opportunity t =
@@ -236,6 +240,12 @@ let sender_on_sack t (sf : Header.sack_feedback) =
       let res =
         Sack.Scoreboard.on_feedback sb ~cum_ack:sf.cum_ack ~blocks:sf.blocks
       in
+      if Trace.Sink.on t.trace then
+        Trace.Sink.sack_rcvd t.trace ~cum_ack:sf.cum_ack
+          ~blocks:(List.length sf.blocks)
+          ~acked:(List.length res.newly_acked)
+          ~sacked:(List.length res.newly_sacked)
+          ~lost:(List.length res.newly_lost);
       feed_losses t ~now res.newly_lost;
       (match t.snd.reconstructor with
       | Some lr ->
@@ -257,6 +267,9 @@ let sender_on_sack t (sf : Header.sack_feedback) =
       | None -> ())
 
 let sender_on_std_feedback t (f : Header.feedback) =
+  if Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace
+      (Trace.Event.Fb_rcvd { x_recv = f.x_recv; p = f.p });
   Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:f.tstamp_echo
     ~t_delay:f.t_delay ~x_recv:f.x_recv ~p:f.p;
   inspect_sample t ~x_recv:f.x_recv ~p:f.p
@@ -326,6 +339,10 @@ let emit_sack t =
           in
           t.feedback_packets <- t.feedback_packets + 1;
           t.feedback_bytes <- t.feedback_bytes + Packet.Segment.size segment;
+          if Trace.Sink.on t.trace then
+            Trace.Sink.sack_sent t.trace
+              ~cum_ack:(Sack.Rcv_tracker.cum_ack tr)
+              ~blocks:(List.length blocks) ~x_recv:t.rcv.rx_x_recv;
           send_reverse t segment)
 
 let arm_sack_timer t =
@@ -342,6 +359,8 @@ let receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
   let now = Engine.Sim.now t.sim in
   let r = t.rcv in
   Stats.Series.record t.arrivals ~time:now ~bytes:wire_size;
+  Trace.Sink.seg_recv t.trace ~seq:d.seq ~size:wire_size ~ce
+    ~retx:d.is_retransmit;
   if d.rtt_estimate > 0.0 then r.rx_last_rtt <- d.rtt_estimate;
   let first = r.rx_last = None in
   r.rx_last <- Some (d.tstamp, now);
@@ -418,8 +437,12 @@ let send_syn_with_retry t offer =
         let tm =
           Engine.Timer.create t.sim ~on_expire:(fun () ->
               if t.state = Negotiating then begin
-                if t.hs_tries >= max_handshake_tries then
-                  t.state <- Failed "handshake timeout"
+                if t.hs_tries >= max_handshake_tries then begin
+                  t.state <- Failed "handshake timeout";
+                  if Trace.Sink.on t.trace then
+                    Trace.Sink.emit t.trace
+                      (Trace.Event.Nego_failed { reason = "handshake timeout" })
+                end
                 else begin
                   t.hs_tries <- t.hs_tries + 1;
                   send_handshake t ~forward:true Header.Syn
@@ -443,6 +466,18 @@ let establish t agreed =
   Log.info (fun m ->
       m "flow %d established: %a" t.endpoint.Netsim.Topology.flow_id
         Capabilities.pp_agreed agreed);
+  if Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace
+      (Trace.Event.Negotiated
+         {
+           plane =
+             Format.asprintf "%a" Capabilities.pp_plane
+               agreed.Capabilities.plane;
+           mode =
+             Format.asprintf "%a" Capabilities.pp_mode
+               agreed.Capabilities.mode;
+           g_bps = agreed.Capabilities.target_bps;
+         });
   arm_expiry_timer t;
   Tfrc.Sender.start t.snd.cc
 
@@ -479,6 +514,8 @@ let finish_close t =
   if t.state <> Closed then begin
     t.state <- Closed;
     Log.info (fun m -> m "flow %d closed" t.endpoint.Netsim.Topology.flow_id);
+    if Trace.Sink.on t.trace then
+      Trace.Sink.emit t.trace (Trace.Event.Conn_state { state = "closed" });
     (match t.close_timer with
     | Some tm -> Engine.Timer.stop tm
     | None -> ());
@@ -509,7 +546,9 @@ let handle_handshake_at_sender t (h : Header.handshake) =
             Log.warn (fun m ->
                 m "flow %d negotiation failed: %s"
                   t.endpoint.Netsim.Topology.flow_id reason);
-            t.state <- Failed reason)
+            t.state <- Failed reason;
+            if Trace.Sink.on t.trace then
+              Trace.Sink.emit t.trace (Trace.Event.Nego_failed { reason }))
   | Header.Syn | Header.Ack_hs -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -565,6 +604,8 @@ let close t =
       finish_close t
   | Established _ ->
       t.state <- Closing;
+      if Trace.Sink.on t.trace then
+        Trace.Sink.emit t.trace (Trace.Event.Conn_state { state = "closing" });
       (* New data stops immediately; retransmissions keep flowing until
          the scoreboard drains (full reliability finishes its job). *)
       (match t.close_timer with
@@ -582,19 +623,24 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
   let agreed = cfg.agreed in
   let uses_sack_plane = uses_sack cfg in
   let policy = Capabilities.to_policy agreed in
+  let trace =
+    Trace.Sink.of_sim sim ~flow:endpoint.Netsim.Topology.flow_id
+  in
   let scoreboard =
-    if uses_sack_plane then Some (Sack.Scoreboard.create ?cost:cost_sender ())
+    if uses_sack_plane then
+      Some (Sack.Scoreboard.create ?cost:cost_sender ~trace ())
     else None
   in
   let reliability =
     Option.map
       (fun sb ->
-        Sack.Reliability.create ?cost:cost_sender policy ~scoreboard:sb ())
+        Sack.Reliability.create ?cost:cost_sender ~trace policy
+          ~scoreboard:sb ())
       scoreboard
   in
   let reconstructor =
     if agreed.Capabilities.plane = Capabilities.Light then
-      Some (Loss_reconstructor.create ?cost:cost_sender ())
+      Some (Loss_reconstructor.create ?cost:cost_sender ~trace ())
     else None
   in
   let source = match source with Some s -> s | None -> Source.greedy () in
@@ -615,7 +661,7 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
       ()
   in
   let cc =
-    Tfrc.Sender.create ~sim ?cost:cost_sender
+    Tfrc.Sender.create ~sim ?cost:cost_sender ~trace
       {
         Tfrc.Sender.default_params with
         packet_size = cfg.packet_size;
@@ -635,6 +681,7 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
       sim;
       endpoint;
       cfg;
+      trace = Some trace;
       state = initial_state;
       initiator_offer;
       responder_offer;
@@ -700,7 +747,8 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
       send_reverse t segment
     in
     t.rcv.std_recv <-
-      Some (Tfrc.Receiver.create ~sim ?cost:cost_receiver ~send_feedback ())
+      Some
+        (Tfrc.Receiver.create ~sim ?cost:cost_receiver ~trace ~send_feedback ())
   end;
   if agreed.Capabilities.plane = Capabilities.Light && cfg.cadence = Per_rtt
   then arm_sack_timer t;

@@ -1,15 +1,28 @@
 type t = {
   lh : Tfrc.Loss_history.t;
+  trace : Trace.Sink.t option;
   mutable last_arrival : float;
   mutable seeded : bool;
 }
 
-let create ?ndup ?discount ?cost () =
+let create ?ndup ?discount ?cost ?trace () =
   {
     lh = Tfrc.Loss_history.create ?ndup ?discount ?cost ();
+    trace;
     last_arrival = 0.0;
     seeded = false;
   }
+
+let trace_new_events t ~before =
+  let after = Tfrc.Loss_history.loss_events t.lh in
+  if after > before && Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace
+      (Trace.Event.Loss_event
+         {
+           side = Trace.Event.S_sender;
+           events = after;
+           p = Tfrc.Loss_history.loss_event_rate t.lh;
+         })
 
 (* §6.3.1 seeding must happen immediately when the first loss event
    appears — checking only at batch boundaries would make the estimate
@@ -29,6 +42,7 @@ let maybe_seed t ~rtt ~x_recv ~packet_size =
   end
 
 let on_covers t ~covers ~rtt ~x_recv ~packet_size =
+  let before = Tfrc.Loss_history.loss_events t.lh in
   List.iter
     (fun (c : Sack.Scoreboard.cover) ->
       (* Clamp to keep the virtual clock monotone even when covers from
@@ -38,10 +52,12 @@ let on_covers t ~covers ~rtt ~x_recv ~packet_size =
       Tfrc.Loss_history.on_packet t.lh ~seq:c.cov_seq ~arrival ~rtt
         ~is_retx:c.cov_was_retx;
       maybe_seed t ~rtt ~x_recv ~packet_size)
-    covers
+    covers;
+  trace_new_events t ~before
 
 let on_ce_marks t ~new_marks ~rtt ~x_recv ~packet_size =
   if new_marks > 0 then begin
+    let before = Tfrc.Loss_history.loss_events t.lh in
     let seq =
       match Tfrc.Loss_history.max_seq t.lh with
       | Some s -> s
@@ -51,7 +67,8 @@ let on_ce_marks t ~new_marks ~rtt ~x_recv ~packet_size =
       Tfrc.Loss_history.on_congestion_mark t.lh ~seq ~arrival:t.last_arrival
         ~rtt
     done;
-    maybe_seed t ~rtt ~x_recv ~packet_size
+    maybe_seed t ~rtt ~x_recv ~packet_size;
+    trace_new_events t ~before
   end
 
 let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.lh

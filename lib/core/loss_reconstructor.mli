@@ -17,7 +17,15 @@
 
 type t
 
-val create : ?ndup:int -> ?discount:bool -> ?cost:Stats.Cost.t -> unit -> t
+val create :
+  ?ndup:int ->
+  ?discount:bool ->
+  ?cost:Stats.Cost.t ->
+  ?trace:Trace.Sink.t ->
+  unit ->
+  t
+(** [trace] records a sender-side loss event whenever a replay batch
+    opens one. *)
 
 val on_covers :
   t ->

@@ -22,6 +22,14 @@ let with_checked ~checked run =
         active := Some checker;
         Fun.protect ~finally:(fun () -> active := None) run)
 
+(* Trace mode mirrors checked mode: install the ambient flight recorder
+   around the run, return it alongside the result. *)
+let with_trace ~trace run =
+  if not trace then (run (), None)
+  else
+    let x, recorder = Trace.Recorder.with_recorder run in
+    (x, Some recorder)
+
 let warmup = 5.0
 
 let duration = 60.0

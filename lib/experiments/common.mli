@@ -16,6 +16,12 @@ val with_checked : checked:bool -> (unit -> 'a) -> 'a
     the first violation once [run] returns.  With [~checked:false] it is
     just [run ()]. *)
 
+val with_trace : trace:bool -> (unit -> 'a) -> 'a * Trace.Recorder.t option
+(** [with_trace ~trace:true run] executes [run] with the flight
+    recorder live: every instrumented protocol module records its
+    events, and the filled recorder comes back with the result.  With
+    [~trace:false] it is [run ()] paired with [None]. *)
+
 val instrument : Netsim.Topology.t -> unit
 (** Tap a topology for the ambient checker installed by
     {!with_checked}; a no-op outside checked mode.  Must be called

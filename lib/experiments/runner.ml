@@ -150,7 +150,8 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ?(seed = 42) ?ids ?(format = `Table) ?(checked = false) ~out () =
+let run_all ?(seed = 42) ?ids ?(format = `Table) ?(checked = false)
+    ?(trace = false) ~out () =
   let selected =
     match ids with
     | None -> all
@@ -158,7 +159,22 @@ let run_all ?(seed = 42) ?ids ?(format = `Table) ?(checked = false) ~out () =
   in
   List.iter
     (fun e ->
-      let table () = Common.with_checked ~checked (fun () -> e.run ~seed) in
+      let table () =
+        let tbl, recorder =
+          Common.with_trace ~trace (fun () ->
+              Common.with_checked ~checked (fun () -> e.run ~seed))
+        in
+        (* The trace summary goes only to the human-readable format so
+           CSV output stays machine-parseable. *)
+        (match (recorder, format) with
+        | Some r, `Table ->
+            Format.fprintf out "   trace: %d events over %d flows, digest %s@."
+              (Trace.Recorder.events r)
+              (List.length (Trace.Recorder.flows r))
+              (Trace.Export.digest r)
+        | Some _, `Csv | None, _ -> ());
+        tbl
+      in
       match format with
       | `Table ->
           Format.fprintf out "@.== %s: %s@.   claim: %s@.@." e.id e.title

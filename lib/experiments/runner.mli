@@ -17,10 +17,13 @@ val run_all :
   ?ids:string list ->
   ?format:[ `Table | `Csv ] ->
   ?checked:bool ->
+  ?trace:bool ->
   out:Format.formatter ->
   unit ->
   unit
 (** Run (a subset of) the suite, printing each table (or CSV blocks with
     [~format:`Csv]).  With [~checked:true] each entry runs under
     {!Common.with_checked}, raising {!Analysis.Invariants.Violation} on
-    the first protocol-invariant violation. *)
+    the first protocol-invariant violation.  With [~trace:true] each
+    entry runs under {!Common.with_trace} and (in table format) a
+    per-entry event count and canonical digest is printed. *)

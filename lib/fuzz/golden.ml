@@ -1,0 +1,71 @@
+type entry = { name : string; descr : string; scenario : Scenario.t }
+
+(* Headline scenarios are hand-built (not generated): the AF assurance
+   and QTP_light setups the paper's tables rest on, with durations
+   short enough to keep committed traces small. *)
+
+let af_headline =
+  {
+    name = "af_headline";
+    descr = "two QTP_AF flows over an AF dumbbell (80% committed)";
+    scenario =
+      {
+        Scenario.seed = 9001;
+        shape = Scenario.Dumbbell 2;
+        rate_mbps = 10.0;
+        delay_ms = 30.0;
+        buffer_pkts = 85;
+        red = true;
+        loss = Scenario.Clean;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_af 0.8;
+        workload = Scenario.Greedy;
+        background = true;
+        duration = 2.0;
+      };
+  }
+
+let light_headline =
+  {
+    name = "light_headline";
+    descr = "QTP_light (full reliability) over a 1% Bernoulli-lossy path";
+    scenario =
+      {
+        Scenario.seed = 9002;
+        shape = Scenario.Dumbbell 1;
+        rate_mbps = 6.0;
+        delay_ms = 40.0;
+        buffer_pkts = 60;
+        red = false;
+        loss = Scenario.Bernoulli 0.01;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_light Qtp.Capabilities.R_full;
+        workload = Scenario.Greedy;
+        background = false;
+        duration = 2.0;
+      };
+  }
+
+(* A slice of the fuzz smoke corpus, durations clamped so the committed
+   traces stay a few hundred kilobytes each. *)
+let fuzz_seed seed =
+  let sc = Scenario.generate ~seed in
+  {
+    name = Printf.sprintf "fuzz_%d" seed;
+    descr = Scenario.summary sc;
+    scenario = { sc with Scenario.duration = Float.min sc.Scenario.duration 1.5 };
+  }
+
+let corpus =
+  [ af_headline; light_headline ] @ List.map fuzz_seed [ 101; 102; 103; 104; 105; 106 ]
+
+let find name = List.find_opt (fun e -> e.name = name) corpus
+
+let capture ?sched entry =
+  Trace.Recorder.with_recorder (fun () -> Exec.run ?sched entry.scenario)
+
+let canonical ?sched entry =
+  let _, recorder = capture ?sched entry in
+  Trace.Export.canonical recorder

@@ -27,7 +27,11 @@ let connect t sink = t.sink <- Some sink
 
 let on_drop t f = t.on_drop <- Some f
 
-let dropped t frame =
+let dropped t ~reason frame =
+  if Trace.Recorder.on () then
+    Trace.Recorder.emit ~flow:frame.Frame.flow_id
+      ~at:(Engine.Sim.now t.sim)
+      (Trace.Event.Drop { link = t.name; reason; size = frame.Frame.size });
   match t.on_drop with Some f -> f frame | None -> ()
 
 let deliver t frame =
@@ -64,7 +68,7 @@ and complete t =
   t.st.tx_bytes <- t.st.tx_bytes + frame.Frame.size;
   if Loss_model.drops t.loss then begin
     t.st.lost_frames <- t.st.lost_frames + 1;
-    dropped t frame
+    dropped t ~reason:Trace.Event.D_loss frame
   end
   else begin
     Engine.Ring.push t.flight frame;
@@ -103,7 +107,7 @@ let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
 let send t frame =
   if t.busy then begin
     if not (Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame) then
-      dropped t frame
+      dropped t ~reason:Trace.Event.D_queue frame
   end
   else begin
     (* Still count the packet at the qdisc so drop statistics and RED

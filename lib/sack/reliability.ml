@@ -17,17 +17,19 @@ type t = {
   policy : policy;
   scoreboard : Scoreboard.t;
   cost : Stats.Cost.t option;
+  trace : Trace.Sink.t option;
   queue : Serial.t Queue.t;
   queued : (int, unit) Hashtbl.t;
   abandoned_tbl : (int, unit) Hashtbl.t;
   mutable abandoned : int;
 }
 
-let create ?cost policy ~scoreboard () =
+let create ?cost ?trace policy ~scoreboard () =
   {
     policy;
     scoreboard;
     cost;
+    trace;
     queue = Queue.create ();
     queued = Hashtbl.create 64;
     abandoned_tbl = Hashtbl.create 64;
@@ -42,7 +44,9 @@ let key = Serial.to_int
 let abandon t seq =
   Hashtbl.replace t.abandoned_tbl (key seq) ();
   t.abandoned <- t.abandoned + 1;
-  charge t "send.reliability.abandon"
+  charge t "send.reliability.abandon";
+  if Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace (Trace.Event.Abandoned { seq })
 
 let on_losses t ~now:_ losses =
   List.iter

@@ -31,7 +31,13 @@ type decision =
 type t
 
 val create :
-  ?cost:Stats.Cost.t -> policy -> scoreboard:Scoreboard.t -> unit -> t
+  ?cost:Stats.Cost.t ->
+  ?trace:Trace.Sink.t ->
+  policy ->
+  scoreboard:Scoreboard.t ->
+  unit ->
+  t
+(** [trace] makes the engine record each abandon decision. *)
 
 val policy : t -> policy
 

@@ -26,6 +26,7 @@ type feedback_result = {
 type t = {
   dupthresh : int;
   cost : Stats.Cost.t option;
+  trace : Trace.Sink.t option;
   tbl : (int, entry) Hashtbl.t;
   mutable snd_una : Serial.t;
   mutable snd_nxt : Serial.t;
@@ -34,11 +35,12 @@ type t = {
   mutable acked : int;
 }
 
-let create ?(dupthresh = 3) ?cost () =
+let create ?(dupthresh = 3) ?cost ?trace () =
   assert (dupthresh >= 1);
   {
     dupthresh;
     cost;
+    trace;
     tbl = Hashtbl.create 256;
     snd_una = Serial.zero;
     snd_nxt = Serial.zero;
@@ -63,7 +65,10 @@ let on_send t ~seq ~now ~size ~is_retx =
         e.last_sent <- now;
         e.retx <- e.retx + 1;
         e.lost <- false;
-        t.retx <- t.retx + 1
+        t.retx <- t.retx + 1;
+        if Trace.Sink.on t.trace then
+          Trace.Sink.emit t.trace
+            (Trace.Event.Retransmit { seq = e.seq; count = e.retx })
   end
   else begin
     if not (Serial.equal seq t.snd_nxt) then
@@ -151,7 +156,11 @@ let on_feedback t ~cum_ack ~blocks =
         if e.sacked then incr sacked_above
         else if !sacked_above >= t.dupthresh && not e.lost then begin
           e.lost <- true;
-          newly_lost := e.seq :: !newly_lost
+          newly_lost := e.seq :: !newly_lost;
+          if Trace.Sink.on t.trace then
+            Trace.Sink.emit t.trace
+              (Trace.Event.Loss_inferred
+                 { seq = e.seq; by = Trace.Event.I_dupthresh })
         end
     | None -> ()
   done;
@@ -174,7 +183,11 @@ let mark_expired t ~now ~timeout =
     (fun e ->
       if (not e.sacked) && (not e.lost) && now -. e.last_sent > timeout then begin
         e.lost <- true;
-        fresh := e.seq :: !fresh
+        fresh := e.seq :: !fresh;
+        if Trace.Sink.on t.trace then
+          Trace.Sink.emit t.trace
+            (Trace.Event.Loss_inferred
+               { seq = e.seq; by = Trace.Event.I_timeout })
       end)
     (entries_in_order t);
   List.sort Serial.compare !fresh

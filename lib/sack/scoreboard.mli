@@ -24,7 +24,10 @@ type feedback_result = {
 
 type t
 
-val create : ?dupthresh:int -> ?cost:Stats.Cost.t -> unit -> t
+val create : ?dupthresh:int -> ?cost:Stats.Cost.t -> ?trace:Trace.Sink.t -> unit -> t
+(** [trace] makes the scoreboard record retransmissions and loss
+    inferences (dupthresh and timeout) into the flight recorder; the
+    sink supplies the clock the scoreboard itself does not hold. *)
 
 val on_send :
   t -> seq:Packet.Serial.t -> now:float -> size:int -> is_retx:bool -> unit

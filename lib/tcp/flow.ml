@@ -31,8 +31,12 @@ let create ~sim ~endpoint ?(params = Tcp_sender.default_params)
       ?delayed_acks:(if params.delayed_acks then Some sim else None)
       ~send_ack ()
   in
+  let trace = Trace.Sink.of_sim sim ~flow:flow_id in
+  let trace = Some trace in
   (* Sender side: emit data frames on the forward path. *)
   let transmit seg ~payload =
+    Trace.Sink.tcp_send trace ~seq:seg.Tcp_wire.seq
+      ~retx:seg.Tcp_wire.is_retx;
     let frame =
       Netsim.Frame.make ~uid:(uid ()) ~flow_id
         ~size:(Tcp_wire.seg_size ~payload)
@@ -56,7 +60,11 @@ let create ~sim ~endpoint ?(params = Tcp_sender.default_params)
       | _ -> ());
   endpoint.Netsim.Topology.on_sender_rx (fun frame ->
       match frame.Netsim.Frame.body with
-      | Tcp_wire.Ack ack -> Tcp_sender.on_ack sender ack
+      | Tcp_wire.Ack ack ->
+          Tcp_sender.on_ack sender ack;
+          Trace.Sink.tcp_ack trace ~cum_ack:ack.Tcp_wire.cum_ack
+            ~cwnd:(Tcp_sender.cwnd sender)
+            ~ssthresh:(Tcp_sender.ssthresh sender)
       | _ -> ());
   ignore
     (Engine.Sim.schedule_at sim start_at (fun () -> Tcp_sender.start sender));

@@ -1,6 +1,7 @@
 type t = {
   sim : Engine.Sim.t;
   cost : Stats.Cost.t option;
+  trace : Trace.Sink.t option;
   send_feedback : Packet.Header.feedback -> unit;
   lh : Loss_history.t;
   mutable timer : Engine.Timer.t option;  (* created lazily: needs self *)
@@ -37,6 +38,9 @@ let emit_feedback t =
         | Some s -> s
         | None -> Packet.Serial.zero
       in
+      if Trace.Sink.on t.trace then
+        Trace.Sink.emit t.trace
+          (Trace.Event.Fb_sent { x_recv = t.x_recv; p });
       t.send_feedback
         {
           Packet.Header.tstamp_echo = tstamp;
@@ -64,10 +68,11 @@ let rec arm_timer t =
   in
   Engine.Timer.start timer ~after:(Float.max 1e-4 t.last_rtt)
 
-let create ~sim ?cost ?ndup ?discount ~send_feedback () =
+let create ~sim ?cost ?trace ?ndup ?discount ~send_feedback () =
   {
     sim;
     cost;
+    trace;
     send_feedback;
     lh = Loss_history.create ?ndup ?discount ?cost ();
     timer = None;
@@ -114,6 +119,14 @@ let on_data t ?(ce = false) (d : Packet.Header.data) ~size =
     if p_seed > 0.0 then
       Loss_history.set_first_interval t.lh (1.0 /. p_seed)
   end;
+  if events_after > events_before && Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace
+      (Trace.Event.Loss_event
+         {
+           side = Trace.Event.S_receiver;
+           events = events_after;
+           p = Loss_history.loss_event_rate t.lh;
+         });
   if events_after > t.reported_events then begin
     (* New loss event: expedited report, then resume the RTT cadence. *)
     emit_feedback t;

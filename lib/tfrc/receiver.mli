@@ -13,11 +13,14 @@ type t
 val create :
   sim:Engine.Sim.t ->
   ?cost:Stats.Cost.t ->
+  ?trace:Trace.Sink.t ->
   ?ndup:int ->
   ?discount:bool ->
   send_feedback:(Packet.Header.feedback -> unit) ->
   unit ->
   t
+(** [trace] makes the receiver record each loss event it opens and each
+    feedback report it emits. *)
 
 val on_data : t -> ?ce:bool -> Packet.Header.data -> size:int -> unit
 (** Process one arriving data segment of [size] on-wire bytes.  [ce]

@@ -20,6 +20,7 @@ let default_params =
 type t = {
   sim : Engine.Sim.t;
   cost : Stats.Cost.t option;
+  trace : Trace.Sink.t option;
   p : params;
   on_transmit : unit -> bool;
   rtt : Rtt.t;
@@ -41,6 +42,18 @@ type t = {
 
 let charge t ?ops name =
   match t.cost with Some c -> Stats.Cost.charge c ?ops name | None -> ()
+
+let trace_rate t ~x_calc ~x_recv ~p =
+  if Trace.Sink.on t.trace then
+    Trace.Sink.emit t.trace
+      (Trace.Event.Rate_change
+         {
+           x_bps = 8.0 *. t.x;
+           x_calc_bps = 8.0 *. x_calc;
+           x_recv_bps = 8.0 *. x_recv;
+           p;
+           slow_start = t.slow_start;
+         })
 
 let s_float t = float_of_int t.p.packet_size
 
@@ -95,6 +108,7 @@ let nofeedback_timer t =
             t.nfb_expiries <- t.nfb_expiries + 1;
             charge t "send.nofeedback";
             t.x <- clamp t (t.x /. 2.0);
+            trace_rate t ~x_calc:0.0 ~x_recv:0.0 ~p:t.last_p;
             let tm2 = Option.get t.nofeedback in
             Engine.Timer.start tm2
               ~after:
@@ -109,13 +123,14 @@ let restart_nofeedback t =
   Engine.Timer.start tm
     ~after:(Float.max (4.0 *. Rtt.smoothed t.rtt) (2.0 *. s_float t /. t.x))
 
-let create ~sim ?cost p ~on_transmit () =
+let create ~sim ?cost ?trace p ~on_transmit () =
   assert (p.packet_size > 0 && p.initial_rtt > 0.0 && p.t_mbi > 0.0);
   let rtt = Rtt.create ~initial:p.initial_rtt () in
   let t =
     {
       sim;
       cost;
+      trace;
       p;
       on_transmit;
       rtt;
@@ -170,21 +185,29 @@ let on_feedback t ~tstamp_echo ~t_delay ~x_recv ~p =
     t.r_sample_last <- sample;
     t.r_sqmean <-
       (if Float.equal t.r_sqmean 0.0 then sqrt sample
-       else (0.9 *. t.r_sqmean) +. (0.1 *. sqrt sample))
+       else (0.9 *. t.r_sqmean) +. (0.1 *. sqrt sample));
+    if Trace.Sink.on t.trace then
+      Trace.Sink.emit t.trace
+        (Trace.Event.Rtt_sample { sample; srtt = Rtt.smoothed t.rtt })
   end;
   let r = Rtt.smoothed t.rtt in
-  if p > 0.0 then begin
-    t.slow_start <- false;
-    let x_calc = Equation.rate ~s:t.p.packet_size ~r ~p () in
-    t.x <- clamp t (Float.min x_calc (2.0 *. x_recv))
-  end
-  else begin
-    (* Slow start: double once per feedback, bounded by twice the rate
-       the receiver actually saw. *)
-    let doubled = 2.0 *. t.x in
-    let bound = if x_recv > 0.0 then 2.0 *. x_recv else doubled in
-    t.x <- clamp t (Float.min doubled bound)
-  end;
+  let x_calc =
+    if p > 0.0 then begin
+      t.slow_start <- false;
+      let x_calc = Equation.rate ~s:t.p.packet_size ~r ~p () in
+      t.x <- clamp t (Float.min x_calc (2.0 *. x_recv));
+      x_calc
+    end
+    else begin
+      (* Slow start: double once per feedback, bounded by twice the rate
+         the receiver actually saw. *)
+      let doubled = 2.0 *. t.x in
+      let bound = if x_recv > 0.0 then 2.0 *. x_recv else doubled in
+      t.x <- clamp t (Float.min doubled bound);
+      Float.infinity
+    end
+  in
+  trace_rate t ~x_calc ~x_recv ~p;
   (* A rate increase takes effect immediately rather than waiting out a
      long previously-scheduled gap — but never push the pending
      opportunity further away. *)

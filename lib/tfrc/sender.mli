@@ -38,6 +38,7 @@ type t
 val create :
   sim:Engine.Sim.t ->
   ?cost:Stats.Cost.t ->
+  ?trace:Trace.Sink.t ->
   params ->
   on_transmit:(unit -> bool) ->
   unit ->
@@ -45,7 +46,9 @@ val create :
 (** [on_transmit] is called at each transmission opportunity; it must
     send exactly one segment of [packet_size] bytes and return [true],
     or return [false] if the application has nothing to send (the
-    sender then idles until {!notify_data}). *)
+    sender then idles until {!notify_data}).  [trace] makes the sender
+    record RTT samples and every rate update into the flight
+    recorder. *)
 
 val start : t -> unit
 (** Begin transmitting (schedules the first opportunity immediately). *)

@@ -1,0 +1,78 @@
+(** Bounded per-connection event ring.
+
+    A bounded circular buffer of timestamped events, packed into flat
+    float chunks that are allocated lazily as the ring fills (so
+    short-lived flows stay small and recording allocates nothing per
+    event).  When full, the oldest entry is overwritten and {!dropped}
+    counts the eviction,
+    so a long run keeps the newest window at O(capacity) memory while
+    the canonical serialisation still states exactly how much history
+    was shed (keeping digests a pure function of the recorded run). *)
+
+type entry = { at : float;  (** virtual time *) ev : Event.t }
+
+type t
+
+val create : capacity:int -> t
+(** [capacity >= 1]. *)
+
+val push : ?flow:int -> t -> at:float -> Event.t -> unit
+(** Append an entry, evicting the oldest when full.  [flow]
+    (default 0) is an integer label stored alongside the entry; the
+    recorder uses it to journal every connection through one shared
+    ring (a single sequential write stream stays cache-friendly where
+    many interleaved rings do not) and to rebuild per-flow rings at
+    export via {!iter_tagged}. *)
+
+val push_seg_send :
+  ?flow:int -> t -> at:float -> seq:Packet.Serial.t -> size:int ->
+  retx:bool -> unit
+
+val push_seg_recv :
+  ?flow:int -> t -> at:float -> seq:Packet.Serial.t -> size:int ->
+  ce:bool -> retx:bool -> unit
+
+val push_sack_sent :
+  ?flow:int -> t -> at:float -> cum_ack:Packet.Serial.t -> blocks:int ->
+  x_recv:float -> unit
+
+val push_sack_rcvd :
+  ?flow:int -> t -> at:float -> cum_ack:Packet.Serial.t -> blocks:int ->
+  acked:int -> sacked:int -> lost:int -> unit
+
+val push_tcp_send :
+  ?flow:int -> t -> at:float -> seq:Packet.Serial.t -> retx:bool -> unit
+
+val push_tcp_ack :
+  ?flow:int -> t -> at:float -> cum_ack:Packet.Serial.t -> cwnd:float ->
+  ssthresh:float -> unit
+(** Zero-allocation fast paths for the hot event shapes: encode the
+    fields directly, bit-for-bit identical to {!push} of the
+    corresponding {!Event.t} (the golden corpus pins the
+    equivalence). *)
+
+val length : t -> int
+(** Entries currently held (<= capacity). *)
+
+val total : t -> int
+(** Entries ever pushed. *)
+
+val dropped : t -> int
+(** Entries overwritten ([total - length]). *)
+
+val note_dropped : t -> int -> unit
+(** [note_dropped t n] accounts for [n >= 0] entries that were shed
+    before they reached this ring (adds to {!total} only).  Used when
+    materialising a per-flow view of a partially-evicted journal, so
+    the view's {!dropped} still reports the full history shed. *)
+
+val capacity : t -> int
+
+val iter : (entry -> unit) -> t -> unit
+(** Oldest to newest. *)
+
+val iter_tagged : (int -> entry -> unit) -> t -> unit
+(** Oldest to newest, with each entry's flow label. *)
+
+val to_list : t -> entry list
+(** Oldest first. *)

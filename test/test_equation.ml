@@ -95,11 +95,47 @@ let test_golden_values () =
      term2 = 0.2*3*sqrt(0.3/8)*0.1*(1+0.32) = 0.2*3*0.193649*0.1*1.32
            = 0.01533704
      X = 1000/0.0282470 = 35 402.04 *)
-  check ~s:1000 ~r:0.05 ~p:0.1 ~expect:35402.04
+  check ~s:1000 ~r:0.05 ~p:0.1 ~expect:35402.04;
+  (* s=1460, R=0.2, p=0.001 (a low-loss TCP-segment point):
+     term1 = 0.2*sqrt(0.002/3) = 0.2*0.0258199 = 0.00516398
+     term2 = 0.8*3*sqrt(0.003/8)*0.001*(1+3.2e-5)
+           = 0.8*3*0.0193649*0.001*1.000032 = 4.64776e-5
+     X = 1460/0.00521046 = 280 205.85 B/s *)
+  check ~s:1460 ~r:0.2 ~p:0.001 ~expect:280205.85;
+  (* p=1 (every packet a loss event, the worst-case floor):
+     term1 = 0.1*sqrt(2/3) = 0.0816497
+     term2 = 0.4*3*sqrt(3/8)*1*(1+32) = 1.2*0.6123724*33 = 24.2499484
+     X = 1500/24.3315981 = 61.648 B/s *)
+  check ~s:1500 ~r:0.1 ~p:1.0 ~expect:61.648232
+
+(* RFC 3448 treats p as a probability: values above 1 are meaningless
+   and the implementation clamps them, so the worst-case rate floor at
+   p=1 also bounds any overshooting estimator. *)
+let test_p_clamped_at_one () =
+  Alcotest.(check (float 1e-9))
+    "rate(p=5) = rate(p=1)"
+    (Tfrc.Equation.rate ~s:1500 ~r:0.1 ~p:1.0 ())
+    (Tfrc.Equation.rate ~s:1500 ~r:0.1 ~p:5.0 ())
+
+(* As p -> 0 the RTO term vanishes and X approaches the first-term
+   model s/(R*sqrt(2p/3)) from below; the term ratio is exactly
+   t_RTO/R * 3*sqrt(3p/8)*p*(1+32p^2) / sqrt(2p/3) = 9p(1+32p^2)
+   with t_RTO = 4R, so at p = 1e-6 the relative gap is ~9e-6. *)
+let test_asymptote_near_zero () =
+  let s = 1500 and r = 0.1 and p = 1e-6 in
+  let x = Tfrc.Equation.rate ~s ~r ~p () in
+  let simple = float_of_int s /. (r *. sqrt (2.0 *. p /. 3.0)) in
+  let ratio = x /. simple in
+  Alcotest.(check bool)
+    (Printf.sprintf "X/simple = %.8f in [1-2e-5, 1)" ratio)
+    true
+    (ratio < 1.0 && ratio > 1.0 -. 2e-5)
 
 let suite =
   [
     Alcotest.test_case "golden values" `Quick test_golden_values;
+    Alcotest.test_case "p clamped at 1" `Quick test_p_clamped_at_one;
+    Alcotest.test_case "p->0 asymptote" `Quick test_asymptote_near_zero;
     Alcotest.test_case "p=0 -> infinity" `Quick test_no_loss_infinite;
     Alcotest.test_case "reference point" `Quick test_reference_point;
     Alcotest.test_case "decreasing in p" `Quick test_decreasing_in_p;

@@ -77,6 +77,28 @@ let test_mean_interval_weighted () =
   Alcotest.(check (list (float 0.5))) "closed intervals newest-first"
     [ 100.0; 200.0 ] intervals
 
+(* RFC 3448 section 5.4 conformance: with a full history of n = 8
+   closed intervals the weights must be [1;1;1;1;0.8;0.6;0.4;0.2]
+   (newest first).  Nine isolated loss events at seqs 10, 20, 31, 43,
+   56, 70, 85, 101, 118 close intervals of 10..17 packets, so newest
+   first the history reads [17;..;10] and the weighted mean is
+     (17+16+15+14 + 0.8*13 + 0.6*12 + 0.4*11 + 0.2*10) / 6 = 86/6,
+   giving p = 6/86 exactly (the short open interval cannot win the
+   max, and at 3 packets it triggers no discounting). *)
+let test_rfc3448_weights_vector () =
+  let losses = [ 10; 20; 31; 43; 56; 70; 85; 101; 118 ] in
+  let present =
+    List.filter (fun i -> not (List.mem i losses)) (range 0 122)
+  in
+  let lh = feed ~gap:0.05 present in
+  Alcotest.(check int) "nine events" 9 (LH.loss_events lh);
+  Alcotest.(check (list (float 1e-9)))
+    "closed intervals newest-first"
+    [ 17.; 16.; 15.; 14.; 13.; 12.; 11.; 10. ]
+    (LH.closed_intervals lh);
+  Alcotest.(check (float 1e-12)) "p = 6/86" (6.0 /. 86.0)
+    (LH.loss_event_rate lh)
+
 let test_p_tracks_loss_rate_ballpark () =
   (* Periodic loss every 100 packets, spaced out in time: p ~ 1/100. *)
   let present = List.filter (fun i -> i mod 100 <> 99) (range 0 3000) in
@@ -238,6 +260,8 @@ let suite =
     Alcotest.test_case "retransmit excluded" `Quick test_retransmit_excluded;
     Alcotest.test_case "intervals closed correctly" `Quick
       test_mean_interval_weighted;
+    Alcotest.test_case "RFC 3448 \xc2\xa75.4 weights vector" `Quick
+      test_rfc3448_weights_vector;
     Alcotest.test_case "p ballpark" `Quick test_p_tracks_loss_rate_ballpark;
     Alcotest.test_case "first interval seeding" `Quick
       test_first_interval_seeding;

@@ -93,6 +93,66 @@ let test_matches_receiver_side () =
     true
     (p_r > 0.0 && Float.abs (p_s -. p_r) /. p_r < 0.05)
 
+(* The paper's central claim as a differential property: for a random
+   loss pattern, the full RFC 3448 receiver (driven through the event
+   loop, feedback timers and all) and the QTP_light sender-side
+   reconstruction (fed the same pattern as SACK cover reports, one
+   batch per RTT) must agree on the loss-event rate.  Tolerance covers
+   the one legitimate divergence — the synthetic first interval, which
+   the receiver seeds from its measured x_recv and the reconstructor
+   from the reported one. *)
+let prop_matches_full_receiver =
+  QCheck.Test.make ~name:"reconstruction tracks the full receiver's p"
+    ~count:60
+    QCheck.(pair (int_range 1 10_000) (int_range 1 12))
+    (fun (seed, loss_pct) ->
+      let n = 3000 in
+      let gap = 0.004 in
+      let rng = Engine.Rng.create ~seed in
+      let alive =
+        Array.init n (fun _ ->
+            not (Engine.Rng.chance rng (float_of_int loss_pct /. 100.0)))
+      in
+      (* Receiver side: arrivals scheduled on a real sim clock. *)
+      let sim = Engine.Sim.create ~seed:1 () in
+      let rcv =
+        Tfrc.Receiver.create ~sim ~send_feedback:(fun _ -> ()) ()
+      in
+      Array.iteri
+        (fun i ok ->
+          if ok then
+            Engine.Sim.post_at sim
+              (rtt +. (float_of_int i *. gap))
+              (fun () ->
+                Tfrc.Receiver.on_data rcv
+                  {
+                    Packet.Header.seq = S.of_int i;
+                    tstamp = float_of_int i *. gap;
+                    rtt_estimate = rtt;
+                    is_retransmit = false;
+                    fwd_point = S.zero;
+                  }
+                  ~size:1500))
+        alive;
+      (* The receiver's feedback timer re-arms itself forever, so the
+         run must be time-bounded. *)
+      Engine.Sim.run ~until:(rtt +. (float_of_int n *. gap) +. 1.0) sim;
+      (* Sender side: the same pattern as covers, one batch per RTT. *)
+      let lr = LR.create () in
+      let batch = ref [] in
+      Array.iteri
+        (fun i ok ->
+          if ok then batch := cover ~gap i :: !batch;
+          if (i + 1) mod 12 = 0 || i = n - 1 then begin
+            feed lr (List.rev !batch);
+            batch := []
+          end)
+        alive;
+      let p_r = Tfrc.Receiver.loss_event_rate rcv in
+      let p_s = LR.loss_event_rate lr in
+      if p_r = 0.0 then p_s = 0.0
+      else Float.abs (p_s -. p_r) /. p_r < 0.1)
+
 let suite =
   [
     Alcotest.test_case "no loss" `Quick test_no_loss;
@@ -104,4 +164,5 @@ let suite =
     Alcotest.test_case "batching invariant" `Quick
       test_batched_covers_equal_unbatched;
     Alcotest.test_case "matches receiver side" `Quick test_matches_receiver_side;
+    QCheck_alcotest.to_alcotest prop_matches_full_receiver;
   ]

@@ -31,6 +31,106 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "p25 interpolates" 2.0
     (Stats.Summary.percentile xs 0.25)
 
+let test_percentile_boundaries () =
+  (* Out-of-range q and empty input must raise, not clamp. *)
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty raises" true
+    (raises (fun () -> Stats.Summary.percentile [||] 0.5));
+  Alcotest.(check bool) "q < 0 raises" true
+    (raises (fun () -> Stats.Summary.percentile [| 1.0 |] (-0.01)));
+  Alcotest.(check bool) "q > 1 raises" true
+    (raises (fun () -> Stats.Summary.percentile [| 1.0 |] 1.01));
+  (* A single sample is every quantile of itself. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample p%g" (100.0 *. q))
+        7.0
+        (Stats.Summary.percentile [| 7.0 |] q))
+    [ 0.0; 0.25; 0.5; 1.0 ];
+  (* Unsorted input: percentile sorts a copy and leaves it alone. *)
+  let xs = [| 5.0; 1.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "median of unsorted" 3.0
+    (Stats.Summary.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "input untouched" 5.0 xs.(0);
+  (* Two samples: q interpolates the full span linearly. *)
+  Alcotest.(check (float 1e-9)) "p75 of a pair" 3.5
+    (Stats.Summary.percentile [| 2.0; 4.0 |] 0.75)
+
+let test_series_empty () =
+  let s = Stats.Series.create () in
+  Alcotest.(check int) "count" 0 (Stats.Series.count s);
+  Alcotest.(check int) "total" 0 (Stats.Series.total_bytes s);
+  Alcotest.(check (float 1e-9)) "rate over empty" 0.0
+    (Stats.Series.rate_bps s ~from_:0.0 ~until:10.0);
+  Alcotest.(check int) "no interarrivals" 0
+    (Array.length (Stats.Series.interarrival_times s));
+  Alcotest.(check int) "windows all zero" 0
+    (Array.fold_left
+       (fun acc r -> acc + if r > 0.0 then 1 else 0)
+       0
+       (Stats.Series.windowed_rates_bps s ~from_:0.0 ~until:4.0 ~window:1.0))
+
+let test_series_single_sample () =
+  let s = Stats.Series.create () in
+  Stats.Series.record s ~time:1.5 ~bytes:1000;
+  Alcotest.(check (float 1e-9)) "rate counts the one event" 8000.0
+    (Stats.Series.rate_bps s ~from_:1.0 ~until:2.0);
+  (* Interval edges are [from_, until): the sample sits on the closed
+     edge when from_ = its time, outside when until = its time. *)
+  Alcotest.(check (float 1e-9)) "closed lower edge" 8000.0
+    (Stats.Series.rate_bps s ~from_:1.5 ~until:2.5);
+  Alcotest.(check (float 1e-9)) "open upper edge" 0.0
+    (Stats.Series.rate_bps s ~from_:0.5 ~until:1.5);
+  Alcotest.(check int) "one event, no gaps" 0
+    (Array.length (Stats.Series.interarrival_times s));
+  (* Degenerate interval: empty, not a division by zero. *)
+  Alcotest.(check (float 1e-9)) "empty interval" 0.0
+    (Stats.Series.rate_bps s ~from_:1.5 ~until:1.5)
+
+let test_series_partial_window_discarded () =
+  let s = Stats.Series.create () in
+  List.iter
+    (fun (t, b) -> Stats.Series.record s ~time:t ~bytes:b)
+    [ (0.5, 100); (1.5, 200); (2.2, 400) ];
+  (* [0, 2.5) with window 1.0: two full bins, the trailing half bin
+     (holding the 400-byte event) is discarded. *)
+  let w = Stats.Series.windowed_rates_bps s ~from_:0.0 ~until:2.5 ~window:1.0 in
+  Alcotest.(check int) "two full bins" 2 (Array.length w);
+  Alcotest.(check (float 1e-9)) "bin 0" 800.0 w.(0);
+  Alcotest.(check (float 1e-9)) "bin 1" 1600.0 w.(1)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Alcotest.(check int) "count" 0 (Stats.Histogram.count h);
+  Alcotest.(check (array int)) "all bins zero" [| 0; 0; 0; 0 |]
+    (Stats.Histogram.bin_counts h);
+  (* Render must not divide by the (zero) fullest bin. *)
+  Alcotest.(check bool) "renders" true
+    (String.length (Stats.Histogram.render h) > 0)
+
+let test_histogram_single_sample () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  Stats.Histogram.add h 1.0;
+  Alcotest.(check (array int)) "lands in its bin" [| 0; 1; 0; 0 |]
+    (Stats.Histogram.bin_counts h);
+  let bounds = Stats.Histogram.bin_bounds h in
+  Alcotest.(check (float 1e-9)) "bin lo" 1.0 (fst bounds.(1));
+  Alcotest.(check (float 1e-9)) "bin hi" 2.0 (snd bounds.(1))
+
+let test_histogram_edge_samples () =
+  (* Bins partition [lo, hi): lo lands in bin 0, hi (out of range, as
+     is anything beyond) is folded into the last bin. *)
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  List.iter (Stats.Histogram.add h) [ 0.0; 4.0 ];
+  Alcotest.(check (array int)) "edges" [| 1; 0; 0; 1 |]
+    (Stats.Histogram.bin_counts h)
+
 let test_series_rate () =
   let s = Stats.Series.create () in
   Stats.Series.record s ~time:1.0 ~bytes:1000;
@@ -181,6 +281,18 @@ let suite =
     Alcotest.test_case "summary single" `Quick test_summary_single;
     Alcotest.test_case "cov" `Quick test_cov;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile boundaries" `Quick
+      test_percentile_boundaries;
+    Alcotest.test_case "series empty" `Quick test_series_empty;
+    Alcotest.test_case "series single sample" `Quick
+      test_series_single_sample;
+    Alcotest.test_case "series partial window" `Quick
+      test_series_partial_window_discarded;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram single sample" `Quick
+      test_histogram_single_sample;
+    Alcotest.test_case "histogram edge samples" `Quick
+      test_histogram_edge_samples;
     Alcotest.test_case "series rate" `Quick test_series_rate;
     Alcotest.test_case "series windows" `Quick test_series_windows;
     Alcotest.test_case "series interarrival" `Quick test_series_interarrival;
