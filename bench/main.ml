@@ -23,6 +23,7 @@
      dune exec bench/main.exe -- tables e1 e5        # a table subset
      dune exec bench/main.exe -- scale               # micro + scale -> BENCH_<date>.json
      dune exec bench/main.exe -- scale --json F      # ... report into F
+     dune exec bench/main.exe -- scale --jobs 8      # fan scenarios over 8 domains
      dune exec bench/main.exe -- smoke --json F      # one fast 10-flow scenario
      dune exec bench/main.exe -- overhead            # tracing on/off, 100 flows *)
 
@@ -312,15 +313,110 @@ let today () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let report ?trace_overhead ~mode ~micro ~scale_results () =
+(* ------------------------------------------------------------------ *)
+(* Pool speedup: the 200-seed fuzz soak and the pure-compute scenario
+   sweep, timed at every distinct jobs count in {1, default_jobs()}.
+   The summed delivered bytes and the failure count double as a
+   determinism check across jobs values.  On a single-core host the
+   list collapses to [1] and the recorded ratio is 1.0 — the figure is
+   measured, never extrapolated. *)
+
+type speedup_run = {
+  sp_jobs : int;
+  sp_fuzz_wall_s : float;
+  sp_fuzz_failures : int;
+  sp_sweep_wall_s : float;
+  sp_sweep_delivered : int;
+}
+
+let speedup_fuzz_seeds = 200
+let speedup_sweep_scenarios = 16
+
+let measure_speedup () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let jobs_list =
+    List.sort_uniq Int.compare [ 1; Engine.Pool.default_jobs () ]
+  in
+  List.map
+    (fun jobs ->
+      let soak, fuzz_wall =
+        time (fun () -> Fuzz.Driver.soak ~jobs ~seeds:speedup_fuzz_seeds ())
+      in
+      let delivered, sweep_wall =
+        time (fun () ->
+            Scale.sweep ~jobs ~scenarios:speedup_sweep_scenarios ())
+      in
+      {
+        sp_jobs = jobs;
+        sp_fuzz_wall_s = fuzz_wall;
+        sp_fuzz_failures = List.length soak.Fuzz.Driver.found;
+        sp_sweep_wall_s = sweep_wall;
+        sp_sweep_delivered = delivered;
+      })
+    jobs_list
+
+let json_of_speedup runs =
+  let base = List.hd runs in
+  let ratio base_w w = if w > 0.0 then base_w /. w else 0.0 in
+  Stats.Json.Obj
+    [
+      ("default_jobs", Stats.Json.Int (Engine.Pool.default_jobs ()));
+      ("fuzz_seeds", Stats.Json.Int speedup_fuzz_seeds);
+      ("sweep_scenarios", Stats.Json.Int speedup_sweep_scenarios);
+      ( "runs",
+        Stats.Json.List
+          (List.map
+             (fun r ->
+               Stats.Json.Obj
+                 [
+                   ("jobs", Stats.Json.Int r.sp_jobs);
+                   ("fuzz_wall_s", Stats.Json.Float r.sp_fuzz_wall_s);
+                   ( "fuzz_speedup",
+                     Stats.Json.Float
+                       (ratio base.sp_fuzz_wall_s r.sp_fuzz_wall_s) );
+                   ("fuzz_failures", Stats.Json.Int r.sp_fuzz_failures);
+                   ("sweep_wall_s", Stats.Json.Float r.sp_sweep_wall_s);
+                   ( "sweep_speedup",
+                     Stats.Json.Float
+                       (ratio base.sp_sweep_wall_s r.sp_sweep_wall_s) );
+                   ("sweep_delivered", Stats.Json.Int r.sp_sweep_delivered);
+                 ])
+             runs) );
+    ]
+
+let print_speedup runs =
+  let base = List.hd runs in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "pool speedup (jobs=%d): fuzz %.2fs (%.2fx), sweep %.2fs (%.2fx)\n"
+        r.sp_jobs r.sp_fuzz_wall_s
+        (if r.sp_fuzz_wall_s > 0.0 then base.sp_fuzz_wall_s /. r.sp_fuzz_wall_s
+         else 0.0)
+        r.sp_sweep_wall_s
+        (if r.sp_sweep_wall_s > 0.0 then
+           base.sp_sweep_wall_s /. r.sp_sweep_wall_s
+         else 0.0))
+    runs
+
+let report ?trace_overhead ?parallel_speedup ~mode ~micro ~scale_results () =
   let overhead_field =
     match trace_overhead with
     | None -> []
     | Some o -> [ ("trace_overhead", Scale.json_of_overhead o) ]
   in
+  let speedup_field =
+    match parallel_speedup with
+    | None -> []
+    | Some runs -> [ ("parallel_speedup", json_of_speedup runs) ]
+  in
   Stats.Json.Obj
     ([
-       ("schema", Stats.Json.String "vtp-bench-1");
+       ("schema", Stats.Json.String "vtp-bench-2");
        ("mode", Stats.Json.String mode);
        ("date", Stats.Json.String (today ()));
        ("micro", json_of_micro micro);
@@ -328,7 +424,7 @@ let report ?trace_overhead ~mode ~micro ~scale_results () =
          Stats.Json.List (List.map Scale.json_of_result scale_results) );
        ("wheel_vs_heap", Stats.Json.List (Scale.json_ratios scale_results));
      ]
-    @ overhead_field)
+    @ overhead_field @ speedup_field)
 
 let write_json path json =
   let oc = open_out path in
@@ -346,23 +442,25 @@ let print_overhead (o : Scale.overhead) =
     (100.0 *. Scale.overhead_fraction o)
     o.Scale.oh_trace_events
 
-let run_scale ~json_file () =
+let run_scale ~json_file ~jobs () =
   let micro = measure_micro () in
   print_micro micro;
-  let results = Scale.suite () in
+  let results = Scale.suite ?jobs () in
   Stats.Table.print (Scale.table results);
   let overhead =
     Scale.trace_overhead ~repeats:25 ~n_flows:100 ~sim_seconds:4.0 ()
   in
   print_overhead overhead;
+  let speedup = measure_speedup () in
+  print_speedup speedup;
   let path =
     match json_file with
     | Some f -> f
     | None -> Printf.sprintf "BENCH_%s.json" (today ())
   in
   write_json path
-    (report ~trace_overhead:overhead ~mode:"scale" ~micro
-       ~scale_results:results ())
+    (report ~trace_overhead:overhead ~parallel_speedup:speedup ~mode:"scale"
+       ~micro ~scale_results:results ())
 
 let run_smoke ~json_file () =
   let results = Scale.smoke () in
@@ -382,9 +480,15 @@ let () =
     | x :: rest -> extract_json (x :: acc) rest
     | [] -> (None, List.rev acc)
   in
+  let rec extract_jobs acc = function
+    | "--jobs" :: n :: rest -> (Some (int_of_string n), List.rev_append acc rest)
+    | x :: rest -> extract_jobs (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
   let json_file, args =
     extract_json [] (List.tl (Array.to_list Sys.argv))
   in
+  let jobs, args = extract_jobs [] args in
   match args with
   | "micro" :: _ -> (
       let micro = measure_micro () in
@@ -393,7 +497,7 @@ let () =
       | Some f ->
           write_json f (report ~mode:"micro" ~micro ~scale_results:[] ())
       | None -> ())
-  | "scale" :: _ -> run_scale ~json_file ()
+  | "scale" :: _ -> run_scale ~json_file ~jobs ()
   | "smoke" :: _ -> run_smoke ~json_file ()
   | "overhead" :: _ -> (
       let overhead =

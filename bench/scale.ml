@@ -337,19 +337,46 @@ let json_of_overhead o =
 (* The suite: growing populations under the default (wheel) scheduler,
    a heap rerun of the largest scenario for the whole-stack
    head-to-head, and the scheduler-only trace replay of the same
-   workload (the headline wheel-vs-heap number). *)
-let suite ?(seed = default_seed) () =
-  [
-    run_scenario ~name:"scale_10" ~sched:`Wheel ~seed ~n_flows:10
-      ~sim_seconds:10.0 ();
-    run_scenario ~name:"scale_100" ~sched:`Wheel ~seed ~n_flows:100
-      ~sim_seconds:4.0 ();
-    run_scenario ~name:"scale_500" ~sched:`Wheel ~seed ~n_flows:500
-      ~sim_seconds:2.0 ();
-    run_scenario ~name:"scale_500" ~sched:`Heap ~seed ~n_flows:500
-      ~sim_seconds:2.0 ();
-  ]
-  @ sched_replay ~seed ()
+   workload (the headline wheel-vs-heap number).
+
+   [jobs] defaults to 1, not {!Engine.Pool.default_jobs}: wall-clock and
+   peak-heap are the product here, and co-scheduled scenarios contend
+   for cores and share the major heap, so parallel runs are opt-in
+   (faster, but only events/delivered figures stay comparable).
+   Results come back in submission order either way. *)
+let suite ?(seed = default_seed) ?(jobs = 1) () =
+  let configs =
+    [|
+      ("scale_10", `Wheel, 10, 10.0);
+      ("scale_100", `Wheel, 100, 4.0);
+      ("scale_500", `Wheel, 500, 2.0);
+      ("scale_500", `Heap, 500, 2.0);
+    |]
+  in
+  let results =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        Engine.Pool.map pool
+          (fun (name, sched, n_flows, sim_seconds) ->
+            run_scenario ~name ~sched ~seed ~n_flows ~sim_seconds ())
+          configs)
+  in
+  Array.to_list results @ sched_replay ~seed ()
+
+(* Pure-compute scenario sweep for the pool-speedup measurement: many
+   independent 20-flow simulations, deliberately without the GC
+   instrumentation ([with_gc_metrics] samples the process-wide major
+   heap, the one metric that cannot be attributed per-task under
+   concurrency).  Returns the summed delivered bytes — a determinism
+   check, identical at any [jobs]. *)
+let sweep ?(seed = default_seed) ?jobs ?(scenarios = 16) () =
+  Engine.Pool.with_pool ?jobs (fun pool ->
+      Engine.Pool.tabulate pool scenarios (fun i ->
+          let sim, delivered =
+            setup ~sched:`Wheel ~seed:(seed + i) ~n_flows:20 ()
+          in
+          Engine.Sim.run ~until:2.0 sim;
+          delivered ()))
+  |> Array.fold_left ( + ) 0
 
 (* One fast scenario for @bench-smoke: 10 flows, 2 simulated seconds. *)
 let smoke ?(seed = default_seed) () =

@@ -1,0 +1,177 @@
+(* CLI: compare two bench reports and gate on regressions.
+
+   Reads two JSON files written by `bench/main.exe -- scale/smoke/micro
+   --json F` (schema vtp-bench-1 or vtp-bench-2) and compares every
+   benchmark present in both:
+
+     - micro rows by name: ns_per_run higher than baseline is a
+       regression;
+     - scale rows by name+sched+flows+seed: events_per_sec lower than
+       baseline is a regression.
+
+   Exit 1 if any comparison regresses by more than the threshold
+   (default 15%), 2 on malformed input.  Rows present on only one side
+   are reported but never gate — suites are allowed to grow.
+
+   Examples:
+     vtp_bench_diff BENCH_2026-08-07.json BENCH_2026-09-01.json
+     vtp_bench_diff --threshold 0.05 old.json new.json *)
+
+open Cmdliner
+
+module J = Stats.Json
+
+let threshold =
+  Arg.(
+    value & opt float 0.15
+    & info [ "threshold" ] ~docv:"FRAC"
+        ~doc:"Fractional regression that fails the comparison (0.15 = 15%).")
+
+let baseline =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+
+let candidate =
+  Arg.(
+    required & pos 1 (some file) None
+    & info [] ~docv:"CANDIDATE" ~doc:"Candidate bench JSON.")
+
+let read_report path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let json = J.of_string text in
+  (match J.member "schema" json with
+  | Some (J.String ("vtp-bench-1" | "vtp-bench-2")) -> ()
+  | Some (J.String s) ->
+      raise (J.Parse_error (Printf.sprintf "%s: unknown schema %S" path s))
+  | Some _ | None ->
+      raise (J.Parse_error (path ^ ": missing \"schema\" field")));
+  json
+
+let as_float = function
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | J.Null | J.Bool _ | J.String _ | J.List _ | J.Obj _ -> None
+
+let as_list = function Some (J.List l) -> l | _ -> []
+
+let str_member key obj =
+  match J.member key obj with Some (J.String s) -> Some s | _ -> None
+
+let num_member key obj = Option.bind (J.member key obj) as_float
+
+(* (key, metric) rows of one report section.  [metric] is None when the
+   field is missing or non-numeric — such rows are skipped. *)
+let micro_rows json =
+  List.filter_map
+    (fun row ->
+      match (str_member "name" row, num_member "ns_per_run" row) with
+      | Some name, Some ns -> Some ("micro " ^ name, ns)
+      | _ -> None)
+    (as_list (J.member "micro" json))
+
+let scale_rows json =
+  List.filter_map
+    (fun row ->
+      let key =
+        match (str_member "name" row, str_member "sched" row) with
+        | Some name, Some sched ->
+            let flows =
+              match num_member "flows" row with
+              | Some f -> string_of_int (int_of_float f)
+              | None -> "?"
+            and seed =
+              match num_member "seed" row with
+              | Some s -> string_of_int (int_of_float s)
+              | None -> "?"
+            in
+            Some
+              (Printf.sprintf "scale %s/%s flows=%s seed=%s" name sched flows
+                 seed)
+        | _ -> None
+      in
+      match (key, num_member "events_per_sec" row) with
+      | Some key, Some eps -> Some (key, eps)
+      | _ -> None)
+    (as_list (J.member "scale" json))
+
+type verdict = Regressed of float | Improved of float | Flat of float
+
+(* [higher_is_better]: events/sec.  Otherwise lower is better: ns/run. *)
+let judge ~threshold ~higher_is_better ~base ~cand =
+  if base <= 0.0 then Flat 0.0
+  else
+    let change = (cand -. base) /. base in
+    let regression = if higher_is_better then -.change else change in
+    if regression > threshold then Regressed regression
+    else if regression < 0.0 then Improved (-.regression)
+    else Flat regression
+
+let compare_section ~threshold ~higher_is_better ~label base_rows cand_rows =
+  let regressions = ref 0 in
+  List.iter
+    (fun (key, base) ->
+      match List.assoc_opt key cand_rows with
+      | None -> Printf.printf "  %-52s only in baseline\n" key
+      | Some cand -> (
+          match judge ~threshold ~higher_is_better ~base ~cand with
+          | Regressed r ->
+              incr regressions;
+              Printf.printf "  %-52s %12.1f -> %12.1f  REGRESSED %.1f%%\n" key
+                base cand (100.0 *. r)
+          | Improved i ->
+              Printf.printf "  %-52s %12.1f -> %12.1f  improved %.1f%%\n" key
+                base cand (100.0 *. i)
+          | Flat r ->
+              Printf.printf "  %-52s %12.1f -> %12.1f  within noise (%.1f%%)\n"
+                key base cand (100.0 *. r)))
+    base_rows;
+  List.iter
+    (fun (key, _) ->
+      if List.assoc_opt key base_rows = None then
+        Printf.printf "  %-52s only in candidate\n" key)
+    cand_rows;
+  if base_rows <> [] || cand_rows <> [] then
+    Printf.printf "%s: %d compared, %d regressed\n" label
+      (List.length
+         (List.filter (fun (k, _) -> List.mem_assoc k cand_rows) base_rows))
+      !regressions;
+  !regressions
+
+let run threshold baseline candidate =
+  match (read_report baseline, read_report candidate) with
+  | exception J.Parse_error msg ->
+      Printf.eprintf "vtp_bench_diff: %s\n" msg;
+      2
+  | exception Sys_error msg ->
+      Printf.eprintf "vtp_bench_diff: %s\n" msg;
+      2
+  | base, cand ->
+      Printf.printf "baseline:  %s\ncandidate: %s\nthreshold: %.0f%%\n\n"
+        baseline candidate (100.0 *. threshold);
+      let micro =
+        compare_section ~threshold ~higher_is_better:false
+          ~label:"micro (ns/run)" (micro_rows base) (micro_rows cand)
+      in
+      let scale =
+        compare_section ~threshold ~higher_is_better:true
+          ~label:"scale (events/sec)" (scale_rows base) (scale_rows cand)
+      in
+      if micro + scale = 0 then begin
+        Printf.printf "\nvtp_bench_diff: no regressions beyond %.0f%%\n"
+          (100.0 *. threshold);
+        0
+      end
+      else begin
+        Printf.printf "\nvtp_bench_diff: %d regression(s) beyond %.0f%%\n"
+          (micro + scale) (100.0 *. threshold);
+        1
+      end
+
+let cmd =
+  let doc = "Compare two vtp bench reports; fail on perf regressions." in
+  Cmd.v
+    (Cmd.info "vtp_bench_diff" ~doc)
+    Term.(const run $ threshold $ baseline $ candidate)
+
+let () = exit (Cmd.eval' cmd)

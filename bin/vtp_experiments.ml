@@ -4,7 +4,8 @@
      vtp_experiments                 # everything
      vtp_experiments e1 e5 e7        # a subset
      vtp_experiments --list          # what exists
-     vtp_experiments --seed 7 e9     # different RNG seed *)
+     vtp_experiments --seed 7 e9     # different RNG seed
+     vtp_experiments --jobs 8        # fan entries over 8 domains *)
 
 open Cmdliner
 
@@ -33,10 +34,18 @@ let trace =
           "Run every scenario with the flight recorder live and print each \
            entry's event count and canonical trace digest.")
 
+let jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the fan-out (default $(b,VTP_JOBS) if set, \
+              else the recommended domain count).  Output is identical at \
+              any value.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
-let run list_only seed csv checked trace ids =
+let run list_only seed csv checked trace jobs ids =
   if list_only then begin
     List.iter
       (fun (e : Experiments.Runner.entry) ->
@@ -56,7 +65,7 @@ let run list_only seed csv checked trace ids =
         let ids = match ids with [] -> None | l -> Some l in
         let format = if csv then `Csv else `Table in
         (try
-           Experiments.Runner.run_all ~seed ?ids ~format ~checked ~trace
+           Experiments.Runner.run_all ~seed ?ids ~format ~checked ~trace ?jobs
              ~out:Format.std_formatter ();
            `Ok ()
          with Analysis.Invariants.Violation v ->
@@ -72,6 +81,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "vtp_experiments" ~doc)
-    Term.(ret (const run $ list_flag $ seed $ csv $ checked $ trace $ ids))
+    Term.(
+      ret (const run $ list_flag $ seed $ csv $ checked $ trace $ jobs $ ids))
 
 let () = exit (Cmd.eval cmd)

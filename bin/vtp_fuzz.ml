@@ -2,13 +2,17 @@
 
    Examples:
      vtp_fuzz --seeds 200            # soak seeds 1..200
+     vtp_fuzz --seeds 200 --jobs 8   # same soak, fanned over 8 domains
      vtp_fuzz --seeds 200 --shrink   # and minimise any failure found
      vtp_fuzz --replay 1337          # re-run one seed, full report
      vtp_fuzz --matrix --seeds 60    # 10 seeds per profile/mode cell
      vtp_fuzz --smoke                # the fixed 25-seed corpus (@fuzz-smoke)
+     vtp_fuzz --smoke --digest       # one report digest per seed (@par-smoke)
 
-   Every run is a pure function of its seeds: the same invocation
-   prints the same bytes.  Exit code 0 iff no scenario failed. *)
+   Every run is a pure function of its seeds — whatever --jobs is: the
+   per-seed executions fan out over an Engine.Pool but reporting is in
+   seed order, so the same invocation prints the same bytes at --jobs 1
+   and --jobs N.  Exit code 0 iff no scenario failed. *)
 
 open Cmdliner
 
@@ -50,6 +54,21 @@ let smoke =
         ~doc:"Run the fixed 25-seed corpus (what dune's @fuzz-smoke alias \
               executes).")
 
+let digest =
+  Arg.(
+    value & flag
+    & info [ "digest" ]
+        ~doc:"Print one $(i,seed report-digest) line per scenario instead of \
+              the campaign summary; dune's @par-smoke alias diffs this \
+              output across --jobs values.")
+
+let jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the fan-out (default $(b,VTP_JOBS) if set, \
+              else the recommended domain count).")
+
 let verbose =
   Arg.(
     value & flag
@@ -67,8 +86,12 @@ let print_found (f : Fuzz.Driver.found) =
   Format.printf "replay: vtp_fuzz --replay %d@."
     f.Fuzz.Driver.report.Fuzz.Exec.scenario.Fuzz.Scenario.seed
 
-let progress_of verbose =
-  if verbose then
+let progress_of ~digest ~verbose =
+  if digest then
+    Some
+      (fun seed (r : Fuzz.Exec.report) ->
+        Format.printf "%d %s@." seed (Fuzz.Driver.digest r))
+  else if verbose then
     Some
       (fun seed (r : Fuzz.Exec.report) ->
         Format.printf "%s %s@."
@@ -77,58 +100,50 @@ let progress_of verbose =
         ignore seed)
   else None
 
-let summarise (s : Fuzz.Driver.soak) =
-  Format.printf
-    "@.%d scenario(s), %d failing, %d benign handshake timeout(s)@."
-    s.Fuzz.Driver.runs
-    (List.length s.Fuzz.Driver.found)
-    s.Fuzz.Driver.handshake_timeouts;
-  List.iter print_found s.Fuzz.Driver.found;
+let summarise ~digest (s : Fuzz.Driver.soak) =
+  if not digest then begin
+    Format.printf
+      "@.%d scenario(s), %d failing, %d benign handshake timeout(s)@."
+      s.Fuzz.Driver.runs
+      (List.length s.Fuzz.Driver.found)
+      s.Fuzz.Driver.handshake_timeouts;
+    List.iter print_found s.Fuzz.Driver.found
+  end;
   if s.Fuzz.Driver.found = [] then 0 else 1
 
-let run seeds base replay shrink matrix smoke verbose =
+let run seeds base replay shrink matrix smoke digest jobs verbose =
   match replay with
   | Some seed ->
       let f = Fuzz.Driver.run_seed ~shrink seed in
-      Format.printf "%a@." Fuzz.Exec.pp_report f.Fuzz.Driver.report;
-      (match f.Fuzz.Driver.shrunk with
-      | None -> ()
-      | Some o ->
-          Format.printf
-            "@.shrunk (%d simplification(s), %d execution(s)):@.%a@."
-            o.Fuzz.Shrink.steps o.Fuzz.Shrink.executions Fuzz.Scenario.pp
-            o.Fuzz.Shrink.shrunk);
+      if digest then
+        Format.printf "%d %s@." seed (Fuzz.Driver.digest f.Fuzz.Driver.report)
+      else begin
+        Format.printf "%a@." Fuzz.Exec.pp_report f.Fuzz.Driver.report;
+        match f.Fuzz.Driver.shrunk with
+        | None -> ()
+        | Some o ->
+            Format.printf
+              "@.shrunk (%d simplification(s), %d execution(s)):@.%a@."
+              o.Fuzz.Shrink.steps o.Fuzz.Shrink.executions Fuzz.Scenario.pp
+              o.Fuzz.Shrink.shrunk
+      end;
       if Fuzz.Exec.passed f.Fuzz.Driver.report then 0 else 1
   | None ->
-      let progress = progress_of verbose in
-      if smoke then begin
-        let found = ref [] in
-        let timeouts = ref 0 in
-        List.iter
-          (fun seed ->
-            let f = Fuzz.Driver.run_seed ~shrink seed in
-            timeouts := !timeouts + f.Fuzz.Driver.report.Fuzz.Exec.handshake_timeouts;
-            if not (Fuzz.Exec.passed f.Fuzz.Driver.report) then
-              found := f :: !found;
-            match progress with
-            | Some p -> p seed f.Fuzz.Driver.report
-            | None -> ())
-          Fuzz.Driver.smoke_corpus;
-        summarise
-          {
-            Fuzz.Driver.runs = List.length Fuzz.Driver.smoke_corpus;
-            found = List.rev !found;
-            handshake_timeouts = !timeouts;
-          }
-      end
+      let progress = progress_of ~digest ~verbose in
+      if smoke then
+        summarise ~digest
+          (Fuzz.Driver.run_seeds ~shrink ?progress ?jobs
+             Fuzz.Driver.smoke_corpus)
       else if matrix then
         let per_cell =
           max 1 (seeds / List.length Fuzz.Driver.matrix_cells)
         in
-        summarise
-          (Fuzz.Driver.matrix ~base ~shrink ?progress ~seeds_per_cell:per_cell
-             ())
-      else summarise (Fuzz.Driver.soak ~base ~shrink ?progress ~seeds ())
+        summarise ~digest
+          (Fuzz.Driver.matrix ~base ~shrink ?progress ?jobs
+             ~seeds_per_cell:per_cell ())
+      else
+        summarise ~digest
+          (Fuzz.Driver.soak ~base ~shrink ?progress ?jobs ~seeds ())
 
 let cmd =
   let doc =
@@ -137,6 +152,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vtp_fuzz" ~doc)
     Term.(
-      const run $ seeds $ base $ replay $ shrink $ matrix $ smoke $ verbose)
+      const run $ seeds $ base $ replay $ shrink $ matrix $ smoke $ digest
+      $ jobs $ verbose)
 
 let () = exit (Cmd.eval' cmd)

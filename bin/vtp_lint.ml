@@ -20,13 +20,21 @@ let warnings_only_exit =
     & info [ "warnings" ]
         ~doc:"Also fail (exit 1) on warning-severity findings.")
 
+let jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the per-file scan (default $(b,VTP_JOBS) \
+              if set, else the recommended domain count).  Output is \
+              identical at any value.")
+
 let roots =
   Arg.(
     value
     & pos_all string [ "lib"; "bin" ]
     & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
 
-let run list_only strict roots =
+let run list_only strict jobs roots =
   if list_only then begin
     List.iter
       (fun (r : Analysis.Lint.rule) ->
@@ -53,7 +61,7 @@ let run list_only strict roots =
         Format.eprintf "vtp_lint: no such directory: %s@." d;
         2
     | [] ->
-        let findings = Analysis.Lint.lint_tree ~roots in
+        let findings = Analysis.Lint.lint_tree ?jobs ~roots () in
         List.iter
           (fun f -> Format.printf "%a@." Analysis.Lint.pp_finding f)
           findings;
@@ -75,6 +83,6 @@ let cmd =
   let doc = "Protocol-source lint: determinism, comparators, interfaces." in
   Cmd.v
     (Cmd.info "vtp_lint" ~doc)
-    Term.(const run $ list_rules $ warnings_only_exit $ roots)
+    Term.(const run $ list_rules $ warnings_only_exit $ jobs $ roots)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,7 +4,8 @@
      vtp_sim --proto tfrc --loss 0.02
      vtp_sim --proto light --reliability partial --loss 0.05 --burstiness 0.7
      vtp_sim --proto af --g 3e6 --duration 30
-     vtp_sim --proto tcp --rate 5e6 --delay 0.06 *)
+     vtp_sim --proto tcp --rate 5e6 --delay 0.06
+     vtp_sim --proto tfrc --loss 0.02 --seeds 20 --jobs 8   # seed sweep *)
 
 open Cmdliner
 
@@ -65,11 +66,29 @@ let duration =
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let seeds =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Run the same scenario on N consecutive seeds (starting at \
+              $(b,--seed)) and print one line per seed, in seed order.")
+
+let jobs =
+  Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the $(b,--seeds) sweep (default \
+              $(b,VTP_JOBS) if set, else the recommended domain count).  \
+              Output is identical at any value.")
+
 let reliability =
   Arg.(value & opt rel_conv Qtp.Capabilities.R_none
        & info [ "reliability" ] ~docv:"MODE" ~doc:"none | partial | full (for --proto light).")
 
-let run proto rate delay loss burstiness g duration seed reliability =
+(* One scenario on one seed, rendered to a string so a --seeds sweep can
+   run scenarios concurrently and still print in seed order. *)
+let render_one ~proto ~rate ~delay ~loss ~burstiness ~g ~duration ~reliability
+    ~seed =
   let loss_of rng =
     if loss <= 0.0 then Netsim.Loss_model.none
     else if burstiness <= 0.0 then Netsim.Loss_model.bernoulli ~p:loss ~rng
@@ -81,7 +100,7 @@ let run proto rate delay loss burstiness g duration seed reliability =
         Experiments.Af_scenario.run ~seed ~g_mbps:(g /. 1e6)
           ~proto:Experiments.Af_scenario.Qtp_af ()
       in
-      Format.printf
+      Format.asprintf
         "QTP_AF on the AF dumbbell: achieved %.2f Mb/s (%.0f%% of g), retx %d@."
         (r.Experiments.Af_scenario.achieved_wire_bps /. 1e6)
         (100.0 *. r.Experiments.Af_scenario.achieved_wire_bps /. g)
@@ -101,7 +120,7 @@ let run proto rate delay loss burstiness g duration seed reliability =
       in
       Engine.Sim.run ~until:duration sim;
       let s = Tcp.Flow.sender flow in
-      Format.printf
+      Format.asprintf
         "TCP: goodput %.2f Mb/s over [1s,%gs); sent %d, retx %d, timeouts %d, \
          cwnd %.1f@."
         (Tcp.Flow.goodput_bps flow ~from_:1.0 ~until:duration /. 1e6)
@@ -135,7 +154,7 @@ let run proto rate delay loss burstiness g duration seed reliability =
           (Qtp.Connection.config ~initial_rtt:0.2 agreed)
       in
       Engine.Sim.run ~until:duration sim;
-      Format.printf
+      Format.asprintf
         "%a: throughput %.2f Mb/s over [1s,%gs); sent %d, retx %d, delivered \
          %d, skipped %d, p=%.4f@."
         Qtp.Capabilities.pp_agreed agreed
@@ -149,11 +168,23 @@ let run proto rate delay loss burstiness g duration seed reliability =
         (Qtp.Connection.skipped conn)
         (Qtp.Connection.sender_loss_estimate conn)
 
+let run proto rate delay loss burstiness g duration seed seeds jobs reliability
+    =
+  let render seed =
+    render_one ~proto ~rate ~delay ~loss ~burstiness ~g ~duration ~reliability
+      ~seed
+  in
+  if seeds <= 1 then print_string (render seed)
+  else
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        Engine.Pool.tabulate pool seeds (fun i -> render (seed + i)))
+    |> Array.iteri (fun i s -> Printf.printf "[seed %d] %s" (seed + i) s)
+
 let cmd =
   let doc = "Run one transport scenario on the VTP network simulator." in
   Cmd.v (Cmd.info "vtp_sim" ~doc)
     Term.(
       const run $ proto $ rate $ delay $ loss $ burstiness $ g $ duration
-      $ seed $ reliability)
+      $ seed $ seeds $ jobs $ reliability)
 
 let () = exit (Cmd.eval cmd)

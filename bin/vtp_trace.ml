@@ -12,7 +12,8 @@
      vtp_trace --seed 123 --json out.qlog
      vtp_trace --diff a.trace b.trace
      vtp_trace --regen test/golden
-     vtp_trace --check test/golden *)
+     vtp_trace --check test/golden
+     vtp_trace --check test/golden --jobs 8   # parallel replay, same output *)
 
 open Cmdliner
 
@@ -94,6 +95,15 @@ let check =
           "Replay every corpus entry and compare against DIR/<name>.trace \
            (exit 1 on any mismatch).")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--regen)/$(b,--check) replay (default \
+              $(b,VTP_JOBS) if set, else the recommended domain count).  \
+              Output is identical at any value.")
+
 let do_diff a b =
   let ta = read_file a and tb = read_file b in
   match Trace.Export.diff ta tb with
@@ -105,30 +115,47 @@ let do_diff a b =
       Format.printf "%a" Trace.Export.pp_divergence d;
       exit 1
 
-let capture_entry ~sched (e : Fuzz.Golden.entry) =
-  let report, recorder = Fuzz.Golden.capture ~sched e in
+let warn_failed (e : Fuzz.Golden.entry) report =
   if not (Fuzz.Exec.passed report) then
     Format.eprintf "warning: %s did not pass its oracles:@.%a@." e.name
-      Fuzz.Exec.pp_report report;
+      Fuzz.Exec.pp_report report
+
+let capture_entry ~sched (e : Fuzz.Golden.entry) =
+  let report, recorder = Fuzz.Golden.capture ~sched e in
+  warn_failed e report;
   recorder
 
-let do_regen ~sched dir =
-  List.iter
-    (fun (e : Fuzz.Golden.entry) ->
-      let recorder = capture_entry ~sched e in
+(* Replay the whole corpus over the pool; entries come back — and the
+   oracle warnings fire — in corpus order, so --regen/--check output is
+   identical at any --jobs. *)
+let capture_corpus ~sched ~jobs =
+  let entries = Array.of_list Fuzz.Golden.corpus in
+  let captured =
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        Engine.Pool.map pool (fun e -> Fuzz.Golden.capture ~sched e) entries)
+  in
+  Array.map2
+    (fun e (report, recorder) ->
+      warn_failed e report;
+      (e, recorder))
+    entries captured
+
+let do_regen ~sched ~jobs dir =
+  Array.iter
+    (fun ((e : Fuzz.Golden.entry), recorder) ->
       let text = Trace.Export.canonical recorder in
       let path = Filename.concat dir (e.name ^ ".trace") in
       write_file path text;
       Format.printf "%-18s %s  (%d events)@." e.name
         (Trace.Export.digest_of_string text)
         (Trace.Recorder.events recorder))
-    Fuzz.Golden.corpus;
+    (capture_corpus ~sched ~jobs);
   `Ok ()
 
-let do_check ~sched dir =
+let do_check ~sched ~jobs dir =
   let bad = ref 0 in
-  List.iter
-    (fun (e : Fuzz.Golden.entry) ->
+  Array.iter
+    (fun ((e : Fuzz.Golden.entry), recorder) ->
       let path = Filename.concat dir (e.name ^ ".trace") in
       if not (Sys.file_exists path) then begin
         incr bad;
@@ -136,7 +163,7 @@ let do_check ~sched dir =
       end
       else begin
         let want = read_file path in
-        let got = Trace.Export.canonical (capture_entry ~sched e) in
+        let got = Trace.Export.canonical recorder in
         match Trace.Export.diff want got with
         | None -> Format.printf "%-18s ok@." e.name
         | Some d ->
@@ -144,12 +171,12 @@ let do_check ~sched dir =
             Format.printf "%-18s MISMATCH@.%a" e.name
               Trace.Export.pp_divergence d
       end)
-    Fuzz.Golden.corpus;
+    (capture_corpus ~sched ~jobs);
   if !bad > 0 then exit 1;
   `Ok ()
 
 let run list_only run_name seed sched export json digest diff diff_pos regen
-    check =
+    check jobs =
   if list_only then begin
     List.iter
       (fun (e : Fuzz.Golden.entry) ->
@@ -161,8 +188,8 @@ let run list_only run_name seed sched export json digest diff diff_pos regen
     match (diff, diff_pos, regen, check) with
     | Some (a, b), _, _, _ -> do_diff a b
     | None, [ a; b ], _, _ -> do_diff a b
-    | None, _, Some dir, _ -> do_regen ~sched dir
-    | None, _, None, Some dir -> do_check ~sched dir
+    | None, _, Some dir, _ -> do_regen ~sched ~jobs dir
+    | None, _, None, Some dir -> do_check ~sched ~jobs dir
     | None, _, None, None -> (
         let entry =
           match (run_name, seed) with
@@ -208,6 +235,6 @@ let cmd =
     Term.(
       ret
         (const run $ list_flag $ run_name $ seed $ sched $ export $ json
-       $ digest $ diff $ diff_pos $ regen $ check))
+       $ digest $ diff $ diff_pos $ regen $ check $ jobs))
 
 let () = exit (Cmd.eval cmd)

@@ -322,6 +322,29 @@ let random_matcher ts =
       else None)
     ts
 
+(* [Domain.spawn] outside the engine's pool: ad-hoc domains bypass the
+   pool's determinism contract (submission-order collection, bounded
+   worker count) and its shutdown accounting — all parallelism must go
+   through [Engine.Pool]. *)
+let domain_spawn_matcher ts =
+  let is_spawn s =
+    let suffix = "Domain.spawn" in
+    let n = String.length s and m = String.length suffix in
+    n >= m && String.sub s (n - m) m = suffix
+  in
+  scan_tokens
+    (fun _ _ t ->
+      if t.kind = Ident && is_spawn t.text then
+        Some
+          {
+            hline = t.tline;
+            hmessage =
+              "Domain.spawn outside Engine.Pool; submit tasks to the \
+               work-stealing pool instead";
+          }
+      else None)
+    ts
+
 let obj_magic_matcher ts =
   scan_tokens
     (fun _ _ t ->
@@ -421,6 +444,16 @@ let rules : rule list =
       dirs = [];
       allow = [ "lib/engine/rng.ml" ];
       matcher = Token_rule random_matcher;
+    };
+    {
+      id = "domain-spawn";
+      severity = Error;
+      doc =
+        "Domain.spawn outside lib/engine/pool.ml (all parallelism goes \
+         through the work-stealing pool)";
+      dirs = [];
+      allow = [ "lib/engine/pool.ml" ];
+      matcher = Token_rule domain_spawn_matcher;
     };
     {
       id = "obj-magic";
@@ -532,11 +565,19 @@ let read_file p =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_tree ~roots =
+let lint_tree ?jobs ~roots () =
   let files = List.concat_map walk roots in
-  let ml_files = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  let ml_files =
+    Array.of_list (List.filter (fun f -> Filename.check_suffix f ".ml") files)
+  in
+  (* Per-file lint is embarrassingly parallel; the final sort makes the
+     report order independent of which worker finished first. *)
   let token_findings =
-    List.concat_map (fun p -> lint_string ~path:p (read_file p)) ml_files
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        Engine.Pool.map pool
+          (fun p -> lint_string ~path:p (read_file p))
+          ml_files)
+    |> Array.to_list |> List.concat
   in
   let tree_findings = lint_file_names files in
   List.sort

@@ -45,7 +45,8 @@ type rule = {
 
 val rules : rule list
 (** The active rule table: poly-compare, float-eq, random-call,
-    obj-magic, assert-false, failwith-empty, missing-mli. *)
+    domain-spawn, obj-magic, assert-false, failwith-empty,
+    missing-mli. *)
 
 val tokenize : string -> token list
 (** Exposed for tests. *)
@@ -58,10 +59,12 @@ val lint_file_names : string list -> finding list
 (** Run the file-set rules (missing-mli) over a list of relative
     paths — no file contents needed. *)
 
-val lint_tree : roots:string list -> finding list
+val lint_tree : ?jobs:int -> roots:string list -> unit -> finding list
 (** Walk the given directories (skipping dot- and underscore-prefixed
-    entries), lint every [.ml], and run the file-set rules.  Sorted by
-    path then line. *)
+    entries), lint every [.ml] (fanned over an {!Engine.Pool} of [jobs]
+    workers, default {!Engine.Pool.default_jobs}), and run the file-set
+    rules.  Sorted by path then line, so the report is identical at any
+    [jobs]. *)
 
 val errors : finding list -> finding list
 

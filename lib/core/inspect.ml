@@ -13,10 +13,14 @@ type rate_sample = {
 
 type hooks = { on_rate_sample : rate_sample -> unit }
 
-let current : hooks option ref = ref None
+(* Domain-local so parallel suites (Engine.Pool) can each run a checked
+   simulation with its own hooks; within a domain the "one simulation
+   at a time" discipline is unchanged. *)
+let current : hooks option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let install h = current := Some h
+let install h = Domain.DLS.get current := Some h
 
-let clear () = current := None
+let clear () = Domain.DLS.get current := None
 
-let hooks () = !current
+let hooks () = !(Domain.DLS.get current)

@@ -7,9 +7,12 @@ let frame_of ~sim ~flow_id segment =
     ~size:(Packet.Segment.size segment)
     ~born:(Engine.Sim.now sim) (Vtp segment)
 
-let next_pkt_id = ref 0
+(* Domain-local (not shared) so parallel simulations never race; the
+   id is a debugging label, unique within a domain's run. *)
+let next_pkt_id = Domain.DLS.new_key (fun () -> ref 0)
 
 let segment ~sim ~flow_id ~hdr ~payload =
-  incr next_pkt_id;
-  Packet.Segment.make ~id:!next_pkt_id ~flow_id ~hdr ~payload
+  let c = Domain.DLS.get next_pkt_id in
+  incr c;
+  Packet.Segment.make ~id:!c ~flow_id ~hdr ~payload
     ~sent_at:(Engine.Sim.now sim)

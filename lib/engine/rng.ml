@@ -1,24 +1,39 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  origin : int64;
+      (* identity of the creating seed, fixed at [create] time: the
+         base every [derive]d child is keyed from, so child streams
+         are independent of how many draws the parent has made. *)
+}
 
-(* splitmix64: expands a 64-bit seed into the 256-bit xoshiro state.
+(* splitmix64's finalizer: a bijective 64-bit mixer.
    Reference: Vigna, http://prng.di.unimi.it/splitmix64.c *)
-let splitmix64 state =
-  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
-  state := !state +% 0x9E3779B97F4A7C15L;
-  let z = !state in
+let mix64 z =
+  let ( *% ) = Int64.mul in
   let z = (Int64.logxor z (Int64.shift_right_logical z 30)) *% 0xBF58476D1CE4E5B9L in
   let z = (Int64.logxor z (Int64.shift_right_logical z 27)) *% 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed =
-  let state = ref (Int64.of_int seed) in
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64: expands a 64-bit seed into the 256-bit xoshiro state. *)
+let splitmix64 state =
+  state := Int64.add !state golden_gamma;
+  mix64 !state
+
+let of_state state =
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; origin = !state }
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let create ~seed = of_state (ref (Int64.of_int seed))
+
+let copy t = { t with s0 = t.s0 }
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
@@ -38,6 +53,12 @@ let bits64 t =
 let split t =
   let seed = Int64.to_int (bits64 t) in
   create ~seed
+
+(* The key is mixed before combining so that adjacent keys do not
+   yield splitmix walks offset by one step of each other (which would
+   make stream k's outputs a shift of stream k+1's). *)
+let derive t ~key =
+  of_state (ref (mix64 (Int64.logxor t.origin (mix64 (Int64.of_int key)))))
 
 (* Top 53 bits give a uniform float in [0,1). *)
 let uniform t =

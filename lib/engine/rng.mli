@@ -19,7 +19,18 @@ val copy : t -> t
 (** Snapshot of the current state; the copy evolves independently. *)
 
 val split : t -> t
-(** Child generator seeded from the parent (which advances). *)
+(** Child generator seeded from the parent (which advances).  The
+    child therefore depends on the parent's draw position; use
+    {!derive} when the child must not. *)
+
+val derive : t -> key:int -> t
+(** [derive t ~key] is a child generator determined {e only} by [t]'s
+    creation seed and [key]: it does not advance [t], and interleaved
+    draws on [t] (or other [derive] calls) never change the child's
+    stream.  This is the schedule-independent derivation parallel
+    fan-out needs — a task keyed by its index or seed sees the same
+    stream whatever order tasks run in.  Distinct keys give
+    statistically independent streams. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -8,10 +8,13 @@ let mbps x = x *. 1e6
    checker.  The run raises {!Analysis.Invariants.Violation} if any
    protocol invariant was broken. *)
 
-let active : Analysis.Invariants.t option ref = ref None
+(* Domain-local: Runner.run_all fans experiments over Engine.Pool, and
+   each domain's run must feed its own checker. *)
+let active : Analysis.Invariants.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let instrument (topo : Netsim.Topology.t) =
-  match !active with
+  match !(Domain.DLS.get active) with
   | None -> ()
   | Some checker -> Analysis.Observe.instrument checker topo
 
@@ -19,8 +22,9 @@ let with_checked ~checked run =
   if not checked then run ()
   else
     Analysis.Observe.with_checker (fun checker ->
-        active := Some checker;
-        Fun.protect ~finally:(fun () -> active := None) run)
+        let slot = Domain.DLS.get active in
+        slot := Some checker;
+        Fun.protect ~finally:(fun () -> slot := None) run)
 
 (* Trace mode mirrors checked mode: install the ambient flight recorder
    around the run, return it alongside the result. *)

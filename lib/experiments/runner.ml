@@ -150,35 +150,59 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* One experiment, rendered to a string.  Runs inside a pool worker:
+   the checker and the flight recorder are ambient {e per domain}, so
+   concurrent entries never share them. *)
+let render_entry ~seed ~format ~checked ~trace e =
+  let buf = Buffer.create 1024 in
+  let out = Format.formatter_of_buffer buf in
+  let table () =
+    let tbl, recorder =
+      Common.with_trace ~trace (fun () ->
+          Common.with_checked ~checked (fun () -> e.run ~seed))
+    in
+    (* The trace summary goes only to the human-readable format so
+       CSV output stays machine-parseable. *)
+    (match (recorder, format) with
+    | Some r, `Table ->
+        Format.fprintf out "   trace: %d events over %d flows, digest %s@."
+          (Trace.Recorder.events r)
+          (List.length (Trace.Recorder.flows r))
+          (Trace.Export.digest r)
+    | Some _, `Csv | None, _ -> ());
+    tbl
+  in
+  (match format with
+  | `Table ->
+      Format.fprintf out "@.== %s: %s@.   claim: %s@.@." e.id e.title e.claim;
+      Format.fprintf out "%s@." (Stats.Table.render (table ()))
+  | `Csv -> Format.fprintf out "%s@." (Stats.Table.to_csv (table ())));
+  Format.pp_print_flush out ();
+  Buffer.contents buf
+
 let run_all ?(seed = 42) ?ids ?(format = `Table) ?(checked = false)
-    ?(trace = false) ~out () =
+    ?(trace = false) ?jobs ~out () =
   let selected =
     match ids with
     | None -> all
     | Some ids -> List.filter (fun e -> List.mem e.id ids) all
   in
+  (* Fan the entries over the pool but emit in registry order; an
+     entry's exception (e.g. an invariant violation under ~checked) is
+     re-raised only after every earlier entry's output is printed, so
+     the bytes up to the failure match a sequential run's. *)
+  let rendered =
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        Engine.Pool.map_list pool
+          (fun e ->
+            try Ok (render_entry ~seed ~format ~checked ~trace e)
+            with exn -> Error exn)
+          selected)
+  in
   List.iter
-    (fun e ->
-      let table () =
-        let tbl, recorder =
-          Common.with_trace ~trace (fun () ->
-              Common.with_checked ~checked (fun () -> e.run ~seed))
-        in
-        (* The trace summary goes only to the human-readable format so
-           CSV output stays machine-parseable. *)
-        (match (recorder, format) with
-        | Some r, `Table ->
-            Format.fprintf out "   trace: %d events over %d flows, digest %s@."
-              (Trace.Recorder.events r)
-              (List.length (Trace.Recorder.flows r))
-              (Trace.Export.digest r)
-        | Some _, `Csv | None, _ -> ());
-        tbl
-      in
-      match format with
-      | `Table ->
-          Format.fprintf out "@.== %s: %s@.   claim: %s@.@." e.id e.title
-            e.claim;
-          Format.fprintf out "%s@." (Stats.Table.render (table ()))
-      | `Csv -> Format.fprintf out "%s@." (Stats.Table.to_csv (table ())))
-    selected
+    (function
+      | Ok s ->
+          Format.pp_print_string out s;
+          Format.pp_print_flush out ()
+      | Error exn -> raise exn)
+    rendered

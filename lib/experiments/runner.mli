@@ -18,6 +18,7 @@ val run_all :
   ?format:[ `Table | `Csv ] ->
   ?checked:bool ->
   ?trace:bool ->
+  ?jobs:int ->
   out:Format.formatter ->
   unit ->
   unit
@@ -26,4 +27,10 @@ val run_all :
     {!Common.with_checked}, raising {!Analysis.Invariants.Violation} on
     the first protocol-invariant violation.  With [~trace:true] each
     entry runs under {!Common.with_trace} and (in table format) a
-    per-entry event count and canonical digest is printed. *)
+    per-entry event count and canonical digest is printed.
+
+    Entries are fanned over an {!Engine.Pool} of [jobs] workers
+    (default {!Engine.Pool.default_jobs}); output is buffered per entry
+    and emitted in registry order, so the bytes printed — including the
+    prefix before a [~checked] violation is re-raised — are identical
+    at any [jobs]. *)

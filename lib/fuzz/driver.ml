@@ -22,17 +22,44 @@ let run_scenario ?(shrink = false) sc =
 
 let run_seed ?shrink seed = run_scenario ?shrink (Scenario.generate ~seed)
 
-let soak ?(base = 1) ?(shrink = false) ?progress ~seeds () =
+(* A report is a pure function of its scenario, so its rendering is a
+   stable fingerprint: the @par-smoke gate diffs these digests across
+   --jobs values to prove schedule independence. *)
+let digest (r : Exec.report) =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Exec.pp_report r))
+
+(* Shared fan-out core: execute every scenario (in parallel when the
+   pool has more than one worker), then aggregate and fire the
+   progress callback sequentially in submission order — so logs and
+   summaries are byte-identical whatever --jobs was. *)
+let run_batch ?(shrink = false) ?progress ?jobs scenarios =
+  let results =
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        Engine.Pool.map pool (fun sc -> run_scenario ~shrink sc) scenarios)
+  in
   let found = ref [] in
   let timeouts = ref 0 in
-  for i = 0 to seeds - 1 do
-    let seed = base + i in
-    let f = run_seed ~shrink seed in
-    timeouts := !timeouts + f.report.Exec.handshake_timeouts;
-    if not (Exec.passed f.report) then found := f :: !found;
-    match progress with Some p -> p seed f.report | None -> ()
-  done;
-  { runs = seeds; found = List.rev !found; handshake_timeouts = !timeouts }
+  Array.iteri
+    (fun i f ->
+      timeouts := !timeouts + f.report.Exec.handshake_timeouts;
+      if not (Exec.passed f.report) then found := f :: !found;
+      match progress with
+      | Some p -> p scenarios.(i).Scenario.seed f.report
+      | None -> ())
+    results;
+  {
+    runs = Array.length scenarios;
+    found = List.rev !found;
+    handshake_timeouts = !timeouts;
+  }
+
+let soak ?(base = 1) ?shrink ?progress ?jobs ~seeds () =
+  run_batch ?shrink ?progress ?jobs
+    (Array.init seeds (fun i -> Scenario.generate ~seed:(base + i)))
+
+let run_seeds ?shrink ?progress ?jobs seeds =
+  run_batch ?shrink ?progress ?jobs
+    (Array.of_list (List.map (fun seed -> Scenario.generate ~seed) seeds))
 
 (* ------------------------------------------------------------------ *)
 (* Profile / reliability matrix *)
@@ -47,23 +74,17 @@ let matrix_cells =
     Scenario.P_light Qtp.Capabilities.R_full;
   ]
 
-let matrix ?(base = 1) ?(shrink = false) ?progress ~seeds_per_cell () =
-  let found = ref [] in
-  let timeouts = ref 0 in
-  let runs = ref 0 in
-  List.iteri
-    (fun cell profile ->
-      for i = 0 to seeds_per_cell - 1 do
+let matrix ?(base = 1) ?shrink ?progress ?jobs ~seeds_per_cell () =
+  let cells = Array.of_list matrix_cells in
+  let scenarios =
+    Array.init
+      (Array.length cells * seeds_per_cell)
+      (fun k ->
+        let cell = k / seeds_per_cell and i = k mod seeds_per_cell in
         let seed = base + (cell * seeds_per_cell) + i in
-        let sc = { (Scenario.generate ~seed) with Scenario.profile = profile } in
-        let f = run_scenario ~shrink sc in
-        incr runs;
-        timeouts := !timeouts + f.report.Exec.handshake_timeouts;
-        if not (Exec.passed f.report) then found := f :: !found;
-        match progress with Some p -> p seed f.report | None -> ()
-      done)
-    matrix_cells;
-  { runs = !runs; found = List.rev !found; handshake_timeouts = !timeouts }
+        { (Scenario.generate ~seed) with Scenario.profile = cells.(cell) })
+  in
+  run_batch ?shrink ?progress ?jobs scenarios
 
 (* ------------------------------------------------------------------ *)
 (* Fixed smoke corpus: the seeds dune's @fuzz-smoke alias replays on

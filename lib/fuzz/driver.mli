@@ -1,5 +1,12 @@
 (** Fuzzing campaigns: seed sweeps, the profile matrix and the fixed
-    smoke corpus. *)
+    smoke corpus.
+
+    Every campaign fans its per-seed executions over an
+    {!Engine.Pool} ([jobs] workers, default {!Engine.Pool.default_jobs})
+    and then aggregates — and fires the [progress] callback — in seed
+    order, so a campaign's output is byte-identical at [jobs = 1] and
+    [jobs = N].  Each scenario is a pure function of its seed; nothing
+    crosses tasks. *)
 
 type found = {
   report : Exec.report;
@@ -26,14 +33,30 @@ val run_scenario : ?shrink:bool -> Scenario.t -> found
 val run_seed : ?shrink:bool -> int -> found
 (** [run_scenario] of [Scenario.generate ~seed]. *)
 
+val digest : Exec.report -> string
+(** Stable hex fingerprint of a report (MD5 of its rendering).  A
+    report is a pure function of its scenario, so equal digests across
+    [--jobs] values prove schedule independence — the [@par-smoke]
+    gate diffs exactly these. *)
+
 val soak :
   ?base:int ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
+  ?jobs:int ->
   seeds:int ->
   unit ->
   soak
 (** Run seeds [base .. base + seeds - 1] (default base 1). *)
+
+val run_seeds :
+  ?shrink:bool ->
+  ?progress:(int -> Exec.report -> unit) ->
+  ?jobs:int ->
+  int list ->
+  soak
+(** Run an explicit seed list (e.g. {!smoke_corpus}), same reporting
+    as {!soak}. *)
 
 val matrix_cells : Scenario.profile list
 (** The six profile/reliability compositions the paper distinguishes:
@@ -44,6 +67,7 @@ val matrix :
   ?base:int ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
+  ?jobs:int ->
   seeds_per_cell:int ->
   unit ->
   soak

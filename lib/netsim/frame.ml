@@ -17,14 +17,18 @@ type t = {
 let make ~uid ~flow_id ~size ?(mark = Mark.Best_effort) ~born body =
   { uid; flow_id; size; mark; ect = false; ce = false; body; born; hops = 0 }
 
-(* One process-wide stream keeps frame uids unique across every
-   allocator (transport frames, in-network duplicates), which the
-   packet-conservation checker relies on. *)
-let uid_counter = ref 0
+(* One stream per domain keeps frame uids unique across every
+   allocator (transport frames, in-network duplicates) of every
+   simulation that domain runs, which the packet-conservation checker
+   relies on.  A simulation never crosses domains, so domain-local
+   uniqueness is all the checker needs — and the counter carries no
+   behaviour, so parallel runs stay deterministic. *)
+let uid_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_uid () =
-  incr uid_counter;
-  !uid_counter
+  let c = Domain.DLS.get uid_counter in
+  incr c;
+  !c
 
 let copy t = { t with uid = fresh_uid () }
 

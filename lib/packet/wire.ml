@@ -137,14 +137,15 @@ let tag_of = function
   | Header.Sack_feedback _ -> tag_sack
   | Header.Handshake _ -> tag_handshake
 
-(* One shared scratch writer: the 4-byte prefix and the body are laid
-   out in place and the only per-call allocation is the returned copy.
-   The simulation is single-threaded and [write_body] cannot re-enter
-   [encode], so reuse is safe. *)
-let scratch = W.create 256
+(* One scratch writer per domain: the 4-byte prefix and the body are
+   laid out in place and the only per-call allocation is the returned
+   copy.  A simulation runs entirely on one domain and [write_body]
+   cannot re-enter [encode], so domain-local reuse is safe — and
+   parallel simulations (Engine.Pool) never share a buffer. *)
+let scratch = Domain.DLS.new_key (fun () -> W.create 256)
 
 let encode hdr =
-  let w = scratch in
+  let w = Domain.DLS.get scratch in
   w.W.len <- 0;
   W.u8 w (tag_of hdr);
   W.u8 w 0;

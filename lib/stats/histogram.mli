@@ -15,6 +15,12 @@ val of_samples : ?bins:int -> float array -> t
 
 val add : t -> float -> unit
 
+val merge : t -> t -> t
+(** Fresh histogram with bin-wise summed counts.  Both inputs must
+    share [lo], [hi] and bin count ([Invalid_argument] otherwise).
+    Associative and commutative, so per-shard histograms from a
+    parallel fan-out fold to exactly the sequential accumulation. *)
+
 val count : t -> int
 (** Total samples. *)
 

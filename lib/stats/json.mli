@@ -1,11 +1,13 @@
-(** Minimal JSON tree and serialiser for machine-readable outputs
-    (benchmark reports, tooling hand-offs).
+(** Minimal JSON tree, serialiser and reader for machine-readable
+    outputs (benchmark reports, tooling hand-offs) — no external JSON
+    dependency.
 
-    Write-only by design: the repo has no JSON dependency, and nothing
-    here needs to parse JSON — emitted files are consumed by external
-    tooling.  Serialisation is deterministic (object fields print in
-    the order given), NaN and infinities are emitted as [null] so the
-    output always parses, and strings are escaped per RFC 8259. *)
+    Serialisation is deterministic (object fields print in the order
+    given), NaN and infinities are emitted as [null] so the output
+    always parses, and strings are escaped per RFC 8259.  The reader
+    ({!of_string}) exists so in-repo tooling ([vtp_bench_diff]) can
+    load the reports this module writes back in; it accepts standard
+    JSON, not just our own output. *)
 
 type t =
   | Null
@@ -23,3 +25,16 @@ val to_channel : ?indent:int -> out_channel -> t -> unit
 (** [to_string] plus a trailing newline. *)
 
 val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+(** Raised by {!of_string} with an offset and a description. *)
+
+val of_string : string -> t
+(** Parse one JSON value (plus surrounding whitespace).  Numbers
+    without a fraction or exponent become [Int], all others [Float];
+    [\uXXXX] escapes above 0x7f decode as ['?'] (the emitter never
+    produces them).  @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    a missing key or a non-object. *)

@@ -6,11 +6,14 @@ type t = {
   goodput : Stats.Series.t;
 }
 
-let next_uid = ref 0
+(* Domain-local (not shared) so parallel simulations never race; a
+   frame uid only needs to be unique within its own simulation. *)
+let next_uid = Domain.DLS.new_key (fun () -> ref 0)
 
 let uid () =
-  incr next_uid;
-  !next_uid
+  let c = Domain.DLS.get next_uid in
+  incr c;
+  !c
 
 let create ~sim ~endpoint ?(params = Tcp_sender.default_params)
     ?(start_at = 0.0) () =

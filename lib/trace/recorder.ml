@@ -37,15 +37,22 @@ let create ?(capacity = default_capacity) () =
     total = 0;
   }
 
-let ambient : t option ref = ref None
+(* The ambient registry is domain-local: parallel fan-out (Engine.Pool)
+   runs one simulation per domain, and each must journal into its own
+   recorder — a shared ref would interleave unrelated runs' events and
+   race on the ring.  Within a domain the discipline is unchanged: one
+   installed recorder at a time. *)
+let ambient : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let install t = ambient := Some t
+let install t = Domain.DLS.get ambient := Some t
 
-let clear () = ambient := None
+let clear () = Domain.DLS.get ambient := None
 
-let installed () = !ambient
+let installed () = !(Domain.DLS.get ambient)
 
-let on () = match !ambient with Some _ -> true | None -> false
+let on () =
+  match !(Domain.DLS.get ambient) with Some _ -> true | None -> false
 
 let bump t flow =
   if flow >= 0 && flow < max_slot then t.counts.(flow) <- t.counts.(flow) + 1
@@ -61,7 +68,9 @@ let record t ~flow ~at ev =
   bump t flow
 
 let emit ~flow ~at ev =
-  match !ambient with None -> () | Some t -> record t ~flow ~at ev
+  match !(Domain.DLS.get ambient) with
+  | None -> ()
+  | Some t -> record t ~flow ~at ev
 
 (* Fast-path mirrors of {!Ring}'s zero-allocation pushes; {!Sink}'s
    wrappers check {!installed} before evaluating any argument, so an

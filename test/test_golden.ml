@@ -19,23 +19,44 @@ let pp_failure name (d : Trace.Export.divergence) =
   Alcotest.failf "%s: %a" name Trace.Export.pp_divergence d
 
 (* One replay per (entry, backend), shared across the test cases so the
-   corpus is not re-simulated for every assertion. *)
+   corpus is not re-simulated for every assertion.  All captures fan
+   over the domain pool on first use; each capture's recorder is
+   ambient per domain, so concurrent replays never share state. *)
 let captured = Hashtbl.create 16
 
+let populate () =
+  if Hashtbl.length captured = 0 then begin
+    let work =
+      List.concat_map
+        (fun (e : Fuzz.Golden.entry) -> [ (e, `Wheel); (e, `Heap) ])
+        Fuzz.Golden.corpus
+    in
+    let results =
+      Engine.Pool.with_pool (fun pool ->
+          Engine.Pool.map_list pool
+            (fun (e, sched) -> (e, sched, Fuzz.Golden.capture ~sched e))
+            work)
+    in
+    List.iter
+      (fun ((e : Fuzz.Golden.entry), sched, (report, recorder)) ->
+        (* A scenario that stops passing its oracles would silently
+           turn the golden file into a record of broken behaviour. *)
+        if not (Fuzz.Exec.passed report) then
+          Alcotest.failf "%s: scenario no longer passes:@.%a"
+            e.Fuzz.Golden.name Fuzz.Exec.pp_report report;
+        Hashtbl.replace captured
+          (e.Fuzz.Golden.name, sched)
+          (Trace.Export.canonical recorder))
+      results
+  end
+
 let canonical ~sched (e : Fuzz.Golden.entry) =
-  let key = (e.Fuzz.Golden.name, sched) in
-  match Hashtbl.find_opt captured key with
+  populate ();
+  match Hashtbl.find_opt captured (e.Fuzz.Golden.name, sched) with
   | Some text -> text
   | None ->
-      let report, recorder = Fuzz.Golden.capture ~sched e in
-      (* A scenario that stops passing its oracles would silently turn
-         the golden file into a record of broken behaviour. *)
-      if not (Fuzz.Exec.passed report) then
-        Alcotest.failf "%s: scenario no longer passes:@.%a" e.Fuzz.Golden.name
-          Fuzz.Exec.pp_report report;
-      let text = Trace.Export.canonical recorder in
-      Hashtbl.replace captured key text;
-      text
+      Alcotest.failf "%s: capture missing from corpus fan-out"
+        e.Fuzz.Golden.name
 
 let test_backends_agree () =
   List.iter

@@ -46,6 +46,20 @@ let test_random_call () =
   check_clean "random-call" ~path:"lib/engine/rng.ml" "let x = Random.int 5\n";
   check_clean "random-call" ~path:proto "let x = Engine.Rng.int rng 5\n"
 
+let test_domain_spawn () =
+  check_fires "domain-spawn" ~path:proto "let d = Domain.spawn work\n";
+  check_fires "domain-spawn" ~path:"bin/tool.ml"
+    "ignore (Stdlib.Domain.spawn f)\n";
+  (* the pool is the one allowed user *)
+  check_clean "domain-spawn" ~path:"lib/engine/pool.ml"
+    "let d = Domain.spawn work\n";
+  check_clean "domain-spawn" ~path:proto
+    "let x = Engine.Pool.with_pool run\n";
+  (* other Domain.* uses (DLS, join) stay legal everywhere *)
+  check_clean "domain-spawn" ~path:proto
+    "let k = Domain.DLS.new_key (fun () -> ref None)\n";
+  check_clean "domain-spawn" ~path:proto "Domain.join d\n"
+
 let test_obj_magic () =
   check_fires "obj-magic" ~path:"lib/workload/media.ml" "let y = Obj.magic x\n";
   check_clean "obj-magic" ~path:"lib/workload/media.ml" "let y = Obj.repr x\n"
@@ -97,7 +111,7 @@ let test_tree_is_clean () =
      project root when available (dune runs tests in a sandbox dir, so
      only assert when the tree is visible). *)
   if Sys.file_exists "lib" && Sys.file_exists "bin" then
-    let errs = L.errors (L.lint_tree ~roots:[ "lib"; "bin" ]) in
+    let errs = L.errors (L.lint_tree ~roots:[ "lib"; "bin" ] ()) in
     Alcotest.(check int) "no error findings in tree" 0 (List.length errs)
 
 let suite =
@@ -105,6 +119,7 @@ let suite =
     ("poly-compare", `Quick, test_poly_compare);
     ("float-eq", `Quick, test_float_eq);
     ("random-call", `Quick, test_random_call);
+    ("domain-spawn", `Quick, test_domain_spawn);
     ("obj-magic", `Quick, test_obj_magic);
     ("assert-false", `Quick, test_assert_false);
     ("failwith-empty", `Quick, test_failwith_empty);

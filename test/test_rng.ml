@@ -95,6 +95,64 @@ let test_split_diverges () =
   done;
   Alcotest.(check bool) "parent and child independent" true (!same < 5)
 
+let stream_prefix rng n = List.init n (fun _ -> Engine.Rng.bits64 rng)
+
+let test_derive_same_key_same_stream () =
+  let a = Engine.Rng.create ~seed:31 in
+  let b = Engine.Rng.create ~seed:31 in
+  Alcotest.(check (list int64))
+    "same seed+key, same child stream"
+    (stream_prefix (Engine.Rng.derive a ~key:5) 50)
+    (stream_prefix (Engine.Rng.derive b ~key:5) 50)
+
+let test_derive_schedule_independent () =
+  (* The whole point of derive: the parent's draw position (and other
+     derivations) must not leak into the child.  split would fail
+     this. *)
+  let fresh = Engine.Rng.create ~seed:31 in
+  let undisturbed = stream_prefix (Engine.Rng.derive fresh ~key:9) 50 in
+  let busy = Engine.Rng.create ~seed:31 in
+  ignore (stream_prefix busy 17);
+  ignore (Engine.Rng.derive busy ~key:2);
+  ignore (Engine.Rng.split busy);
+  Alcotest.(check (list int64))
+    "parent draws/splits do not move the child"
+    undisturbed
+    (stream_prefix (Engine.Rng.derive busy ~key:9) 50)
+
+let test_derive_keys_independent () =
+  let rng = Engine.Rng.create ~seed:37 in
+  let a = Engine.Rng.derive rng ~key:0 in
+  let b = Engine.Rng.derive rng ~key:1 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Engine.Rng.bits64 a) (Engine.Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "adjacent keys uncorrelated" true (!same < 5)
+
+let test_derive_does_not_advance_parent () =
+  let a = Engine.Rng.create ~seed:41 in
+  let b = Engine.Rng.create ~seed:41 in
+  ignore (Engine.Rng.derive a ~key:1234);
+  Alcotest.(check int64)
+    "parent stream untouched" (Engine.Rng.bits64 b) (Engine.Rng.bits64 a)
+
+let prop_derive_schedule_independent =
+  (* For arbitrary seeds, keys and parent perturbations, the derived
+     stream is a pure function of (seed, key). *)
+  QCheck.Test.make ~name:"derive is a pure function of (seed, key)" ~count:200
+    QCheck.(triple small_int (int_range 0 10_000) (int_range 0 64))
+    (fun (seed, key, noise) ->
+      let quiet = Engine.Rng.create ~seed in
+      let noisy = Engine.Rng.create ~seed in
+      for _ = 1 to noise do
+        ignore (Engine.Rng.bits64 noisy)
+      done;
+      if noise mod 2 = 1 then ignore (Engine.Rng.split noisy);
+      Int64.equal
+        (Engine.Rng.bits64 (Engine.Rng.derive quiet ~key))
+        (Engine.Rng.bits64 (Engine.Rng.derive noisy ~key)))
+
 let prop_int_in_range =
   QCheck.Test.make ~name:"int n always in [0,n)" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -115,5 +173,14 @@ let suite =
     Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
     Alcotest.test_case "chance rate" `Quick test_chance_rate;
     Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "derive: same key, same stream" `Quick
+      test_derive_same_key_same_stream;
+    Alcotest.test_case "derive: schedule independent" `Quick
+      test_derive_schedule_independent;
+    Alcotest.test_case "derive: keys independent" `Quick
+      test_derive_keys_independent;
+    Alcotest.test_case "derive: parent untouched" `Quick
+      test_derive_does_not_advance_parent;
+    QCheck_alcotest.to_alcotest prop_derive_schedule_independent;
     QCheck_alcotest.to_alcotest prop_int_in_range;
   ]
