@@ -107,7 +107,7 @@ let bench_reconstructor =
      Qtp.Loss_reconstructor.on_covers lr ~covers ~rtt:0.05 ~x_recv:1e6
        ~packet_size:1500)
 
-let bench_red =
+let[@vtp.ambient] bench_red =
   Test.make ~name:"netsim.red.decide"
     (let rng = Engine.Rng.create ~seed:1 in
      let red = Netsim.Red.create Netsim.Red.default_params ~rng in
@@ -116,7 +116,7 @@ let bench_red =
      incr i;
      ignore (Netsim.Red.decide red ~now:(float_of_int !i *. 1e-4) ~qlen:10))
 
-let bench_token_bucket =
+let[@vtp.ambient] bench_token_bucket =
   Test.make ~name:"netsim.token_bucket.conform"
     (let tb = Netsim.Token_bucket.create ~rate_bps:1e6 ~burst:10000 ~now:0.0 in
      let i = ref 0 in
@@ -182,7 +182,7 @@ let bench_heap =
 (* The flight recorder's zero-allocation fast path: one packed journal
    write plus the per-flow count bump, cycling over 64 flows so the tag
    word varies like a real mixed-flow run. *)
-let bench_trace_record =
+let[@vtp.ambient] bench_trace_record =
   Test.make ~name:"trace.record_seg_send"
     (let r = Trace.Recorder.create () in
      let i = ref 0 in

@@ -1,13 +1,16 @@
-(* CLI: lint the protocol sources.
+(* CLI: lint + structural analysis of the protocol sources.
 
    Examples:
-     vtp_lint lib bin          # scan (the default roots)
-     vtp_lint --list-rules     # the active rule table
-     vtp_lint --warnings lib   # include warning-severity findings
+     vtp_lint lib bin                       # scan (the default roots)
+     vtp_lint --baseline analysis/BASELINE.json lib bin bench
+     vtp_lint --json report.sarif lib       # SARIF-style JSON report
+     vtp_lint --update-baseline --baseline analysis/BASELINE.json lib bin
+     vtp_lint --rule hot-closure lib        # one rule only
+     vtp_lint --explain hashtbl-order       # rationale + offender/fix
+     vtp_lint --list-rules
 
-   Output is machine readable (file:line: [rule-id] severity: message);
-   the exit code is non-zero iff any error-severity finding exists, so
-   the dune @lint alias can gate @runtest. *)
+   Exit codes: 0 clean (no new gating findings), 1 new findings,
+   2 usage error / missing directory / malformed baseline. *)
 
 open Cmdliner
 
@@ -28,61 +31,217 @@ let jobs =
               if set, else the recommended domain count).  Output is \
               identical at any value.")
 
+let json_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a SARIF-style JSON report to $(docv) ($(b,-) for \
+              stdout, suppressing the text report).")
+
+let baseline_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Suppress (but keep tracking) the findings recorded in \
+              $(docv); only new findings gate.  A missing or malformed \
+              baseline exits 2.")
+
+let update_baseline =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:"Rewrite the $(b,--baseline) file from the current scan and \
+              exit 0.")
+
+let rule_filter =
+  Arg.(
+    value & opt_all string []
+    & info [ "rule" ] ~docv:"ID"
+        ~doc:"Restrict the scan to this rule id (repeatable).")
+
+let explain =
+  Arg.(
+    value & opt (some string) None
+    & info [ "explain" ] ~docv:"ID"
+        ~doc:"Print the rule's rationale and an offender/fix example \
+              pair, then exit.")
+
 let roots =
   Arg.(
     value
     & pos_all string [ "lib"; "bin" ]
     & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
 
-let run list_only strict jobs roots =
-  if list_only then begin
-    List.iter
-      (fun (r : Analysis.Lint.rule) ->
-        Format.printf "%-16s %-8s %s@."
-          r.Analysis.Lint.id
-          (match r.Analysis.Lint.severity with
-          | Analysis.Lint.Error -> "error"
-          | Analysis.Lint.Warning -> "warning")
-          r.Analysis.Lint.doc;
-        (match r.Analysis.Lint.dirs with
-        | [] -> ()
-        | dirs -> Format.printf "%-16s   scope: %s@." "" (String.concat " " dirs));
-        match r.Analysis.Lint.allow with
-        | [] -> ()
-        | allow ->
-            Format.printf "%-16s   allow: %s@." "" (String.concat " " allow))
-      Analysis.Lint.rules;
-    0
-  end
-  else begin
-    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-    match missing with
-    | d :: _ ->
-        Format.eprintf "vtp_lint: no such directory: %s@." d;
-        2
-    | [] ->
-        let findings = Analysis.Lint.lint_tree ?jobs ~roots () in
-        List.iter
-          (fun f -> Format.printf "%a@." Analysis.Lint.pp_finding f)
-          findings;
-        let errors = Analysis.Lint.errors findings in
-        let gate = if strict then findings else errors in
-        if gate = [] then begin
-          Format.printf "vtp_lint: clean (%d finding(s), 0 gating)@."
-            (List.length findings);
+(* ------------------------------------------------------------------ *)
+
+let print_rule_line id severity doc dirs allow =
+  Format.printf "%-18s %-8s %s@." id severity doc;
+  (match dirs with
+  | [] -> ()
+  | dirs -> Format.printf "%-18s   scope: %s@." "" (String.concat " " dirs));
+  match allow with
+  | [] -> ()
+  | allow -> Format.printf "%-18s   allow: %s@." "" (String.concat " " allow)
+
+let do_list_rules () =
+  List.iter
+    (fun (r : Analysis.Lint.rule) ->
+      print_rule_line r.Analysis.Lint.id
+        (Analysis.Lint.severity_name r.Analysis.Lint.severity)
+        r.Analysis.Lint.doc r.Analysis.Lint.dirs r.Analysis.Lint.allow)
+    Analysis.Lint.rules;
+  List.iter
+    (fun (p : Analysis.Pass.t) ->
+      print_rule_line p.Analysis.Pass.id "error"
+        (p.Analysis.Pass.family ^ ": " ^ p.Analysis.Pass.doc)
+        p.Analysis.Pass.dirs p.Analysis.Pass.allow)
+    Analysis.Check.passes;
+  0
+
+let print_explain ~id ~doc ~rationale ~bad ~good =
+  Format.printf "%s — %s@.@.%s@.@.Offender:@.  %s@.@.Fix:@.  %s@." id doc
+    rationale bad good
+
+let do_explain rid =
+  match Analysis.Check.find_pass rid with
+  | Some p ->
+      print_explain ~id:p.Analysis.Pass.id
+        ~doc:(p.Analysis.Pass.family ^ ": " ^ p.Analysis.Pass.doc)
+        ~rationale:p.Analysis.Pass.rationale ~bad:p.Analysis.Pass.bad
+        ~good:p.Analysis.Pass.good;
+      0
+  | None -> (
+      match
+        List.find_opt
+          (fun (r : Analysis.Lint.rule) -> r.Analysis.Lint.id = rid)
+          Analysis.Lint.rules
+      with
+      | Some r ->
+          print_explain ~id:r.Analysis.Lint.id
+            ~doc:("lint: " ^ r.Analysis.Lint.doc)
+            ~rationale:r.Analysis.Lint.rationale ~bad:r.Analysis.Lint.bad
+            ~good:r.Analysis.Lint.good;
           0
-        end
-        else begin
-          Format.printf "vtp_lint: %d finding(s), %d gating@."
-            (List.length findings) (List.length gate);
-          1
-        end
-  end
+      | None ->
+          Format.eprintf
+            "vtp_lint: unknown rule %s (try --list-rules)@." rid;
+          2)
+
+let rule_meta () =
+  List.map
+    (fun (r : Analysis.Lint.rule) ->
+      (r.Analysis.Lint.id, r.Analysis.Lint.doc))
+    Analysis.Lint.rules
+  @ List.map
+      (fun (p : Analysis.Pass.t) ->
+        (p.Analysis.Pass.id, p.Analysis.Pass.doc))
+      Analysis.Check.passes
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let run list_only strict jobs json_out baseline_file update_baseline
+    rule_filter explain roots =
+  match explain with
+  | Some rid -> do_explain rid
+  | None ->
+      if list_only then do_list_rules ()
+      else begin
+        let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+        match missing with
+        | d :: _ ->
+            Format.eprintf "vtp_lint: no such directory: %s@." d;
+            2
+        | [] ->
+            let lint_findings = Analysis.Lint.lint_tree ?jobs ~roots () in
+            let check_findings = Analysis.Check.run_tree ?jobs ~roots () in
+            let entries =
+              Analysis.Report.sort
+                (Analysis.Report.of_lint lint_findings
+                @ Analysis.Report.of_check check_findings)
+            in
+            let entries =
+              match rule_filter with
+              | [] -> entries
+              | rs ->
+                  List.filter
+                    (fun (e : Analysis.Report.entry) ->
+                      List.mem e.Analysis.Report.rule rs)
+                    entries
+            in
+            let gating_severity (e : Analysis.Report.entry) =
+              strict || e.Analysis.Report.severity = "error"
+            in
+            if update_baseline then begin
+              let path =
+                Option.value baseline_file ~default:"analysis/BASELINE.json"
+              in
+              let tracked = List.filter gating_severity entries in
+              Analysis.Baseline.save path tracked;
+              Format.printf "vtp_lint: baseline updated: %d finding(s) -> %s@."
+                (List.length tracked) path;
+              0
+            end
+            else begin
+              match
+                match baseline_file with
+                | None -> Ok (List.map (fun e -> (e, true)) entries)
+                | Some p -> (
+                    try
+                      Ok
+                        (Analysis.Baseline.classify
+                           (Analysis.Baseline.load p)
+                           entries)
+                    with Analysis.Baseline.Malformed m -> Error (p, m))
+              with
+              | Error (p, m) ->
+                  Format.eprintf "vtp_lint: malformed baseline %s: %s@." p m;
+                  2
+              | Ok classified ->
+                  let json_to_stdout =
+                    match json_out with Some "-" -> true | _ -> false
+                  in
+                  (match json_out with
+                  | None -> ()
+                  | Some dest ->
+                      let doc =
+                        Analysis.Report.sarif ~rules:(rule_meta ()) classified
+                      in
+                      let text = Stats.Json.to_string doc ^ "\n" in
+                      if json_to_stdout then print_string text
+                      else write_file dest text);
+                  let new_gating =
+                    List.filter
+                      (fun (e, is_new) -> is_new && gating_severity e)
+                      classified
+                  in
+                  if not json_to_stdout then begin
+                    List.iter
+                      (fun c ->
+                        Format.printf "%a@." Analysis.Report.pp_entry c)
+                      classified;
+                    Format.printf
+                      "vtp_lint: %d finding(s), %d baselined, %d gating@."
+                      (List.length classified)
+                      (List.length classified - List.length new_gating)
+                      (List.length new_gating)
+                  end;
+                  if new_gating = [] then 0 else 1
+            end
+      end
 
 let cmd =
-  let doc = "Protocol-source lint: determinism, comparators, interfaces." in
+  let doc =
+    "Protocol-source lint and structural analysis: determinism, hot-path \
+     allocation, protocol constants, API hygiene."
+  in
   Cmd.v
     (Cmd.info "vtp_lint" ~doc)
-    Term.(const run $ list_rules $ warnings_only_exit $ jobs $ roots)
+    Term.(
+      const run $ list_rules $ warnings_only_exit $ jobs $ json_out
+      $ baseline_file $ update_baseline $ rule_filter $ explain $ roots)
 
 let () = exit (Cmd.eval' cmd)

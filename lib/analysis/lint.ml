@@ -192,6 +192,9 @@ type rule = {
   id : string;
   severity : severity;
   doc : string;
+  rationale : string;  (** why the pattern is hazardous (for [--explain]) *)
+  bad : string;  (** minimal offending example *)
+  good : string;  (** the accepted fix *)
   dirs : string list;  (** path prefixes where the rule is active; [] = all *)
   allow : string list;  (** path substrings exempt from the rule *)
   matcher : matcher;
@@ -423,6 +426,12 @@ let rules : rule list =
       doc =
         "bare compare/Stdlib.compare in protocol code (floats and \
          protocol records need typed comparators)";
+      rationale =
+        "Polymorphic compare raises on functional values, orders nan \
+         inconsistently and silently depends on record field order, so \
+         protocol state comparisons drift when a type is refactored.";
+      bad = "let newer a b = compare a.seq b.seq > 0";
+      good = "let newer a b = Serial.compare a.seq b.seq > 0";
       dirs = protocol_dirs;
       allow = [];
       matcher = Token_rule poly_compare_matcher;
@@ -431,6 +440,12 @@ let rules : rule list =
       id = "float-eq";
       severity = Error;
       doc = "polymorphic =/<> applied to a float literal";
+      rationale =
+        "Structural =/<> on floats is exact bit equality through the \
+         polymorphic comparator: nan <> nan surprises, and rates that \
+         differ by one ulp take the wrong branch silently.";
+      bad = "if rtt = 0.0 then init_window t";
+      good = "if Float.equal rtt 0.0 then init_window t";
       dirs = protocol_dirs @ [ "lib/stats" ];
       allow = [];
       matcher = Token_rule float_eq_matcher;
@@ -441,6 +456,12 @@ let rules : rule list =
       doc =
         "Random.* outside lib/engine/rng.ml (experiments must be \
          reproducible from the root seed)";
+      rationale =
+        "The global Random state is shared, unseeded by default and \
+         domain-local in OCaml 5, so any draw outside the engine's \
+         splittable RNG makes runs irreproducible and schedule-dependent.";
+      bad = "let jitter () = Random.float 0.01";
+      good = "let jitter rng = Engine.Rng.float rng 0.01";
       dirs = [];
       allow = [ "lib/engine/rng.ml" ];
       matcher = Token_rule random_matcher;
@@ -451,6 +472,12 @@ let rules : rule list =
       doc =
         "Domain.spawn outside lib/engine/pool.ml (all parallelism goes \
          through the work-stealing pool)";
+      rationale =
+        "Ad-hoc domains bypass the pool's determinism contract \
+         (submission-order collection, bounded worker count) and its \
+         shutdown accounting, so results depend on the scheduler.";
+      bad = "let d = Domain.spawn (fun () -> run seed)";
+      good = "Engine.Pool.with_pool (fun p -> Engine.Pool.map p run seeds)";
       dirs = [];
       allow = [ "lib/engine/pool.ml" ];
       matcher = Token_rule domain_spawn_matcher;
@@ -459,6 +486,11 @@ let rules : rule list =
       id = "obj-magic";
       severity = Error;
       doc = "Obj.magic anywhere";
+      rationale =
+        "Obj.magic defeats the type system; a representation change \
+         anywhere upstream becomes a segfault at a distance.";
+      bad = "let id = Obj.magic handle";
+      good = "let id = Handle.to_int handle";
       dirs = [];
       allow = [];
       matcher = Token_rule obj_magic_matcher;
@@ -467,6 +499,12 @@ let rules : rule list =
       id = "assert-false";
       severity = Error;
       doc = "bare 'assert false' without an informative message";
+      rationale =
+        "assert false crashes with no context and disappears under \
+         -noassert; unreachable branches should raise an informative, \
+         always-on error.";
+      bad = "| Unknown -> assert false";
+      good = "| Unknown -> invalid_arg \"Frame.decode: unknown kind\"";
       dirs = [];
       allow = [];
       matcher = Token_rule assert_false_matcher;
@@ -475,6 +513,11 @@ let rules : rule list =
       id = "failwith-empty";
       severity = Error;
       doc = "failwith \"\" carries no diagnostic";
+      rationale =
+        "An empty Failure message turns a precise protocol violation \
+         into an unactionable stack trace.";
+      bad = "if n < 0 then failwith \"\"";
+      good = "if n < 0 then failwith \"Ring.push: negative length\"";
       dirs = [];
       allow = [];
       matcher = Token_rule failwith_empty_matcher;
@@ -483,6 +526,12 @@ let rules : rule list =
       id = "missing-mli";
       severity = Error;
       doc = "library .ml without a sibling .mli";
+      rationale =
+        "Interface-less library modules export every helper, so \
+         internal refactors break downstream code and the hygiene \
+         passes cannot reason about the intended API surface.";
+      bad = "lib/foo/util.ml with no lib/foo/util.mli";
+      good = "lib/foo/util.mli declaring the exported values";
       dirs = [ "lib" ];
       allow = [];
       matcher = File_set_rule missing_mli_rule;

@@ -38,6 +38,9 @@ type rule = {
   id : string;
   severity : severity;
   doc : string;
+  rationale : string;  (** why the pattern is hazardous (for [--explain]) *)
+  bad : string;  (** minimal offending example *)
+  good : string;  (** the accepted fix *)
   dirs : string list;
   allow : string list;
   matcher : matcher;
@@ -70,3 +73,21 @@ val errors : finding list -> finding list
 
 val pp_finding : Format.formatter -> finding -> unit
 (** [file:line: [rule-id] severity: message] — machine readable. *)
+
+(** {2 Shared plumbing}
+
+    Reused by the structural analyzer ({!Check}) so both scanners agree
+    on path normalisation, directory scoping and tree walking. *)
+
+val severity_name : severity -> string
+
+val normalise_path : string -> string
+(** Strip a leading ["./"] so directory prefixes match. *)
+
+val contains_sub : sub:string -> string -> bool
+
+val walk : string -> string list
+(** Source files ([.ml]/[.mli]) under a directory, skipping dot- and
+    underscore-prefixed entries.  Order is unspecified. *)
+
+val read_file : string -> string

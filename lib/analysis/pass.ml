@@ -1,0 +1,79 @@
+(* Shared vocabulary of the structural analyzer: the finding record,
+   the two pass shapes (per-file over tokens+structure, or once over
+   the whole scanned tree), and the token-classification helpers more
+   than one rule family needs. *)
+
+type finding = {
+  rule : string;
+  family : string;
+  path : string;
+  line : int;
+  message : string;
+  context : string;  (** enclosing binding ("Mod.name") or rule anchor *)
+}
+
+type source_ctx = {
+  sc_path : string;
+  sc_tokens : Lint.token array;
+  sc_items : Parser.item list;
+  sc_contexts : Parser.context list;
+}
+
+type tree_ctx = {
+  tc_files : string list;  (** normalised paths of every scanned file *)
+  tc_read : string -> string option;  (** contents by normalised path *)
+}
+
+type kind =
+  | File_pass of (source_ctx -> finding list)
+  | Tree_pass of (tree_ctx -> finding list)
+
+type t = {
+  id : string;
+  family : string;
+  doc : string;
+  rationale : string;
+  bad : string;
+  good : string;
+  dirs : string list;  (** path substrings where the pass is active; [] = all *)
+  allow : string list;  (** path substrings exempt from the pass *)
+  kind : kind;
+}
+
+let applies p path =
+  let path = Lint.normalise_path path in
+  (p.dirs = [] || List.exists (fun d -> Lint.contains_sub ~sub:d path) p.dirs)
+  && not (List.exists (fun a -> Lint.contains_sub ~sub:a path) p.allow)
+
+let components s = String.split_on_char '.' s
+
+let last_component s =
+  match List.rev (components s) with c :: _ -> c | [] -> s
+
+let strip_stdlib s =
+  let prefix = "Stdlib." in
+  if String.starts_with ~prefix s then
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  else s
+
+(* Pattern-vs-expression position for tokens that appear on both sides
+   of an arrow ([Some], [::], [\[]): walk left until a token that can
+   only introduce a pattern ('|', 'with') or one that restarts an
+   expression.  Heuristic — deeply nested constructor patterns inside
+   parens classify as expressions — but exact on the match/function
+   arms that make up nearly all real pattern positions. *)
+let expr_position (ts : Lint.token array) i =
+  let rec back j =
+    if j < 0 then true
+    else
+      match ts.(j).Lint.text with
+      | "|" | "with" -> false
+      | "->" | ":=" | "<-" | "=" | "in" | "then" | "else" | "begin" | "("
+      | "[" | ";" | "do" | "try" | "when" | "if" | "&&" | "||" ->
+          true
+      | _ -> back (j - 1)
+  in
+  back (i - 1)
+
+let finding ~rule ~family ~path ~line ~message ~context =
+  { rule; family; path; line; message; context }

@@ -1,0 +1,47 @@
+(** Unified report over the token lint and the structural check: entry
+    records with line-insensitive fingerprints, deterministic ordering,
+    and SARIF 2.1.0-style JSON emission. *)
+
+type entry = {
+  rule : string;
+  family : string;
+  severity : string;  (** "error" | "warning" *)
+  path : string;
+  line : int;
+  message : string;
+  context : string;
+  fingerprint : string;  (** MD5 over rule|path|context|message *)
+}
+
+val fingerprint :
+  rule:string -> path:string -> context:string -> message:string -> string
+(** Line-insensitive, so edits above a finding don't churn the
+    baseline. *)
+
+val make :
+  rule:string ->
+  family:string ->
+  severity:string ->
+  path:string ->
+  line:int ->
+  message:string ->
+  context:string ->
+  entry
+
+val of_lint : Lint.finding list -> entry list
+
+val of_check : Pass.finding list -> entry list
+
+val compare_entry : entry -> entry -> int
+
+val sort : entry list -> entry list
+(** By (path, line, rule, message) — identical at any worker count. *)
+
+val sarif : rules:(string * string) list -> (entry * bool) list -> Stats.Json.t
+(** SARIF-style report; [rules] is (id, doc) metadata for the tool
+    section, the [bool] is "is new vs the baseline" (rendered as
+    [baselineState]). *)
+
+val pp_entry : Format.formatter -> entry * bool -> unit
+(** [file:line: [rule] severity: message] with a ["(baselined)"]
+    suffix on suppressed findings. *)

@@ -1,0 +1,206 @@
+(* Protocol-constant conformance.
+
+   RFC 3448 and the paper fix a handful of magic numbers — the §5.4
+   loss-interval weight vector, the throughput-equation coefficients,
+   the nofeedback backoff, the dupack threshold.  Each is declared once
+   here as (file, anchor binding, expected numeric run) and the pass
+   re-derives the run from the source tokens, so silent drift in any
+   copy fails @lint with a pointer to the authority. *)
+
+let family = "protocol-constants"
+
+type projection =
+  | Floats_only  (** only float literals, in source order *)
+  | All_numeric  (** int and float literals, in source order *)
+
+type entry = {
+  cid : string;  (** authority, e.g. "rfc3448.s5-4.weights" *)
+  cfile : string;  (** path suffix of the owning source file *)
+  anchor : string;  (** top-level binding holding the constants *)
+  cdoc : string;
+  proj : projection;
+  expect : float list;  (** consecutive literal run that must appear *)
+}
+
+let table =
+  [
+    {
+      cid = "rfc3448.s5-4.weights";
+      cfile = "lib/tfrc/loss_history.ml";
+      anchor = "weight";
+      cdoc = "loss-interval weights 1,1,1,1,0.8,0.6,0.4,0.2 (RFC 3448 §5.4)";
+      proj = Floats_only;
+      expect = [ 0.8; 0.6; 0.4; 0.2 ];
+    };
+    {
+      cid = "rfc3448.ndup-history";
+      cfile = "lib/tfrc/loss_history.ml";
+      anchor = "create";
+      cdoc = "NDUPACK = 3, loss-interval history depth 8 (RFC 3448 §5.1)";
+      proj = All_numeric;
+      expect = [ 3.; 8. ];
+    };
+    {
+      cid = "rfc3448.p-unit-ceiling";
+      cfile = "lib/tfrc/loss_history.ml";
+      anchor = "loss_event_rate";
+      cdoc = "loss-event rate capped at 1.0 = 1/mean interval";
+      proj = Floats_only;
+      expect = [ 1.0; 1.0 ];
+    };
+    {
+      cid = "rfc3448.throughput-eq";
+      cfile = "lib/tfrc/equation.ml";
+      anchor = "rate";
+      cdoc =
+        "TCP throughput equation coefficients sqrt(2bp/3), \
+         t_rto*(3*sqrt(3bp/8))*p*(1+32p^2) (RFC 3448 §3.1)";
+      proj = Floats_only;
+      expect = [ 2.0; 3.0; 3.0; 8.0; 3.0; 1.0; 32.0 ];
+    };
+    {
+      cid = "rfc3448.rto-coefficient";
+      cfile = "lib/tfrc/equation.ml";
+      anchor = "rate";
+      cdoc = "t_RTO = max(4R, ...) default coefficient (RFC 3448 §4.3)";
+      proj = Floats_only;
+      expect = [ 1.0; 4.0 ];
+    };
+    {
+      cid = "paper.sender-defaults";
+      cfile = "lib/tfrc/sender.ml";
+      anchor = "default_params";
+      cdoc =
+        "segment 1500 B, initial RTT 0.5 s, t_mbi 64 s (RFC 3448 §4.2, \
+         §4.3)";
+      proj = All_numeric;
+      expect = [ 1500.; 0.5; 0.0; 64.0 ];
+    };
+    {
+      cid = "rfc3448.initial-window";
+      cfile = "lib/tfrc/sender.ml";
+      anchor = "create";
+      cdoc = "initial rate 2 segments per initial RTT (RFC 3448 §4.2)";
+      proj = Floats_only;
+      expect = [ 2.0 ];
+    };
+    {
+      cid = "rfc3448.nofeedback-backoff";
+      cfile = "lib/tfrc/sender.ml";
+      anchor = "nofeedback_timer";
+      cdoc =
+        "nofeedback timer: halve the rate, re-arm at max(4R, 2s/X) \
+         (RFC 3448 §4.4)";
+      proj = Floats_only;
+      expect = [ 2.0; 0.0; 0.0; 4.0; 2.0 ];
+    };
+    {
+      cid = "rfc3448.feedback-timer-floor";
+      cfile = "lib/tfrc/receiver.ml";
+      anchor = "arm_timer";
+      cdoc = "feedback timer floor 1e-4 s before the first RTT sample";
+      proj = Floats_only;
+      expect = [ 1e-4 ];
+    };
+    {
+      cid = "paper.dupack-threshold";
+      cfile = "lib/sack/scoreboard.ml";
+      anchor = "create";
+      cdoc = "SACK dupthresh 3 (fast-retransmit trigger)";
+      proj = All_numeric;
+      expect = [ 3.; 1.; 256. ];
+    };
+  ]
+
+(* [expect] must appear as a consecutive run in the literal projection. *)
+let has_run nums expect =
+  let nums = Array.of_list nums and expect = Array.of_list expect in
+  let n = Array.length nums and m = Array.length expect in
+  let rec at i j = j >= m || (Float.equal nums.(i + j) expect.(j) && at i (j + 1)) in
+  let rec search i = i + m <= n && (at i 0 || search (i + 1)) in
+  m = 0 || search 0
+
+let literal_run (sc : Pass.source_ctx) (lo, hi) proj =
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    let t = sc.Pass.sc_tokens.(i) in
+    let keep =
+      match t.Lint.kind with
+      | Lint.Float_lit -> true
+      | Lint.Int_lit -> proj = All_numeric
+      | _ -> false
+    in
+    if keep then
+      match float_of_string_opt t.Lint.text with
+      | Some v -> out := v :: !out
+      | None -> ()
+  done;
+  List.rev !out
+
+let pp_expect expect =
+  String.concat ", "
+    (List.map (fun v -> Printf.sprintf "%g" v) expect)
+
+let run (sc : Pass.source_ctx) =
+  let entries =
+    List.filter
+      (fun e -> String.ends_with ~suffix:e.cfile sc.Pass.sc_path)
+      table
+  in
+  List.filter_map
+    (fun e ->
+      match
+        List.find_opt
+          (fun (c : Parser.context) ->
+            c.Parser.cx_binding.Parser.bname = e.anchor
+            && c.Parser.cx_mods = [])
+          sc.Pass.sc_contexts
+      with
+      | None ->
+          Some
+            (Pass.finding ~rule:"proto-const" ~family ~path:sc.Pass.sc_path
+               ~line:1
+               ~message:
+                 (Printf.sprintf
+                    "declared constant anchor '%s' (%s: %s) not found; \
+                     update the table in rules/constants.ml alongside the \
+                     refactor"
+                    e.anchor e.cid e.cdoc)
+               ~context:e.cid)
+      | Some c ->
+          let nums = literal_run sc c.Parser.cx_binding.Parser.bspan e.proj in
+          if has_run nums e.expect then None
+          else
+            Some
+              (Pass.finding ~rule:"proto-const" ~family
+                 ~path:sc.Pass.sc_path
+                 ~line:c.Parser.cx_binding.Parser.bline
+                 ~message:
+                   (Printf.sprintf
+                      "constants in '%s' drifted from %s (%s): expected \
+                       the literal run [%s]"
+                      e.anchor e.cid e.cdoc (pp_expect e.expect))
+                 ~context:e.cid))
+    entries
+
+let passes : Pass.t list =
+  [
+    {
+      id = "proto-const";
+      family;
+      doc =
+        "RFC 3448 / paper constants cross-checked against the declared \
+         table";
+      rationale =
+        "The weight vector, equation coefficients and timer floors are \
+         normative: a typo'd 0.6 still converges and passes unit tests \
+         but changes fairness.  Declaring each constant run once and \
+         re-deriving it from the tokens turns silent drift into a lint \
+         failure naming the RFC section.";
+      bad = "let weight i = [| 1.0; 1.0; 1.0; 1.0; 0.8; 0.7; 0.4; 0.2 |].(i)";
+      good = "let weight i = [| 1.0; 1.0; 1.0; 1.0; 0.8; 0.6; 0.4; 0.2 |].(i)";
+      dirs = [ "lib/tfrc"; "lib/sack" ];
+      allow = [];
+      kind = File_pass run;
+    };
+  ]

@@ -1,0 +1,6 @@
+(** Protocol-constant conformance ([proto-const]): RFC 3448 / paper
+    constant runs declared once in a table and re-derived from the
+    numeric literals of their anchor bindings, so silent drift fails
+    the lint gate with a pointer to the authority. *)
+
+val passes : Pass.t list

@@ -1,0 +1,6 @@
+(** Determinism / race passes: top-level mutable state outside
+    [Domain.DLS] ([top-level-state]), [Hashtbl.iter]/[fold] feeding
+    ordered output ([hashtbl-order]), and wall-clock reads outside the
+    sim clock ([wall-clock]). *)
+
+val passes : Pass.t list

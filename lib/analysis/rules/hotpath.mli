@@ -1,0 +1,6 @@
+(** Hot-path allocation passes over [@vtp.hot] bindings and
+    [@@@vtp.hot] structures: [hot-closure], [hot-list], [hot-box],
+    [hot-format].  [@vtp.alloc_ok] on a binding acknowledges a
+    deliberate allocation and silences all four. *)
+
+val passes : Pass.t list

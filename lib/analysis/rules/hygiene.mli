@@ -1,0 +1,5 @@
+(** API hygiene passes: [test-only-escape] (test_only_* hooks
+    referenced outside test/) and [undeclared-export]
+    (cross-library value references absent from the target .mli). *)
+
+val passes : Pass.t list

@@ -25,14 +25,14 @@ let grow t =
   t.arr <- arr;
   t.head <- 0
 
-let push t x =
+let[@vtp.hot] push t x =
   if t.n = Array.length t.arr then grow t;
   let i = t.head + t.n in
   let cap = Array.length t.arr in
   t.arr.(if i >= cap then i - cap else i) <- x;
   t.n <- t.n + 1
 
-let pop t =
+let[@vtp.hot] pop t =
   if t.n = 0 then invalid_arg "Ring.pop: empty";
   let x = t.arr.(t.head) in
   t.arr.(t.head) <- t.dummy;

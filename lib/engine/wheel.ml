@@ -60,7 +60,7 @@ let create () =
 
 let length t = t.size
 
-let bucket_push t id (ev : Event.t) =
+let[@vtp.hot] bucket_push t id (ev : Event.t) =
   let b = t.buckets.(id) in
   if b.n >= Array.length b.arr then begin
     let cap = Stdlib.max 4 (2 * Array.length b.arr) in
@@ -76,16 +76,14 @@ let bucket_push t id (ev : Event.t) =
 (* The level at which [tick] parts ways with the cursor: index of the
    highest differing 5-bit slot group ([levels] = beyond the horizon).
    Equal ticks file at level 0, in the cursor's own slot. *)
-let level_of t tick =
-  let x = tick lxor t.cursor in
-  let rec find l =
-    if l >= levels then levels
-    else if x < 1 lsl (slot_bits * (l + 1)) then l
-    else find (l + 1)
-  in
-  find 0
+let[@vtp.hot] rec find_level x l =
+  if l >= levels then levels
+  else if x < 1 lsl (slot_bits * (l + 1)) then l
+  else find_level x (l + 1)
 
-let place t (ev : Event.t) =
+let[@vtp.hot] level_of t tick = find_level (tick lxor t.cursor) 0
+
+let[@vtp.hot] place t (ev : Event.t) =
   let l = level_of t ev.Event.tick in
   if l >= levels then bucket_push t overflow_id ev
   else begin
@@ -94,7 +92,7 @@ let place t (ev : Event.t) =
     t.masks.(l) <- t.masks.(l) lor (1 lsl s)
   end
 
-let add t (ev : Event.t) =
+let[@vtp.hot] add t (ev : Event.t) =
   ev.Event.tick <- tick_of_time ev.Event.time;
   t.size <- t.size + 1;
   if ev.Event.tick < t.cursor then begin
@@ -105,7 +103,7 @@ let add t (ev : Event.t) =
   end
   else place t ev
 
-let remove t (ev : Event.t) =
+let[@vtp.hot] remove t (ev : Event.t) =
   let id = ev.Event.where in
   if id >= 0 then begin
     let b = t.buckets.(id) in
@@ -131,7 +129,7 @@ let remove t (ev : Event.t) =
   end
   else false
 
-let drain_slot t s =
+let[@vtp.hot] drain_slot t s =
   let b = t.buckets.(s) in
   let n = b.n in
   for i = 0 to n - 1 do
@@ -144,7 +142,7 @@ let drain_slot t s =
   t.masks.(0) <- t.masks.(0) land lnot (1 lsl s);
   n
 
-let cascade t l s =
+let[@vtp.hot] cascade t l s =
   let id = (l * slots) + s in
   let b = t.buckets.(id) in
   let n = b.n in
@@ -173,22 +171,23 @@ let respread_overflow t =
   b.n <- 0;
   Array.iter (fun ev -> place t ev) stash
 
-let lowest_bit_index m =
-  let rec go i m = if m land 1 = 1 then i else go (i + 1) (m lsr 1) in
-  go 0 m
+let[@vtp.hot] rec lowest_bit_from i m =
+  if m land 1 = 1 then i else lowest_bit_from (i + 1) (m lsr 1)
+
+let[@vtp.hot] lowest_bit_index m = lowest_bit_from 0 m
 
 (* The cursor just carried across a window boundary (its level-0 group
    wrapped to 0).  Cascade the slot it now occupies at every level the
    carry propagated through, highest first, so no event sits parked at
    level l while the cursor is inside that very window — otherwise
    later level-0 traffic would be drained past it. *)
-let enter_window t =
-  let rec highest l =
-    if l < levels && t.cursor land ((1 lsl (slot_bits * (l + 1))) - 1) = 0
-    then highest (l + 1)
-    else l
-  in
-  let h = highest 1 in
+let[@vtp.hot] rec carry_top t l =
+  if l < levels && t.cursor land ((1 lsl (slot_bits * (l + 1))) - 1) = 0 then
+    carry_top t (l + 1)
+  else l
+
+let[@vtp.hot] enter_window t =
+  let h = carry_top t 1 in
   for l = h downto 1 do
     let s = (t.cursor lsr (slot_bits * l)) land slot_mask in
     if t.masks.(l) land (1 lsl s) <> 0 then cascade t l s
@@ -196,7 +195,7 @@ let enter_window t =
 
 (* Advance the cursor to the next occupied tick and stage that slot.
    [true] iff anything was staged. *)
-let rec refill t =
+let[@vtp.hot] rec refill t =
   let cur0 = t.cursor land slot_mask in
   let m0 = t.masks.(0) land (-1 lsl cur0) in
   if m0 <> 0 then begin
@@ -230,8 +229,9 @@ and climb t l =
       refill t
     end
   end
+[@@vtp.hot]
 
-let rec ensure t =
+let[@vtp.hot] rec ensure t =
   match Heap.min t.ready with
   | Some ev when not ev.Event.live ->
       (* cancelled while staged: drop the corpse and keep looking *)
@@ -244,7 +244,7 @@ let rec ensure t =
       else if refill t then ensure t
       else failwith "Engine.Wheel: size accounting out of sync"
 
-let min t = ensure t
+let[@vtp.hot] min t = ensure t
 
 let pop_min t =
   match ensure t with

@@ -1,12 +1,15 @@
 exception Malformed of string
 
-let fletcher16 buf ~pos ~len =
-  let sum1 = ref 0 and sum2 = ref 0 in
-  for i = pos to pos + len - 1 do
-    sum1 := (!sum1 + Char.code (Bytes.get buf i)) mod 255;
-    sum2 := (!sum2 + !sum1) mod 255
-  done;
-  (!sum2 lsl 8) lor !sum1
+(* Accumulators ride in parameters rather than two [ref] cells: the
+   checksum runs once per encode/decode, so keep it allocation-free. *)
+let[@vtp.hot] rec fletcher_pass buf i stop sum1 sum2 =
+  if i > stop then (sum2 lsl 8) lor sum1
+  else
+    let sum1 = (sum1 + Char.code (Bytes.get buf i)) mod 255 in
+    fletcher_pass buf (i + 1) stop sum1 ((sum2 + sum1) mod 255)
+
+let[@vtp.hot] fletcher16 buf ~pos ~len =
+  fletcher_pass buf pos (pos + len - 1) 0 0
 
 (* Tags for the common prefix. *)
 let tag_data = 1
@@ -15,6 +18,9 @@ let tag_sack = 3
 let tag_handshake = 4
 
 module W = struct
+  (* every writer primitive sits on the encode fast path *)
+  [@@@vtp.hot]
+
   type t = { mutable buf : Bytes.t; mutable len : int }
 
   let create n = { buf = Bytes.create n; len = 0 }
@@ -144,7 +150,7 @@ let tag_of = function
    parallel simulations (Engine.Pool) never share a buffer. *)
 let scratch = Domain.DLS.new_key (fun () -> W.create 256)
 
-let encode hdr =
+let[@vtp.hot] encode hdr =
   let w = Domain.DLS.get scratch in
   w.W.len <- 0;
   W.u8 w (tag_of hdr);

@@ -37,19 +37,26 @@ let charge t name =
 
 let cum_ack t = t.cum
 
-let received t s =
-  Serial.( < ) s t.cum
-  || List.exists (fun r -> Serial.( <= ) r.lo s && Serial.( < ) s r.hi) t.ranges
+(* Closure-free containment test: [received] runs per segment, so the
+   former [List.exists (fun r -> ...)] lambda is lifted to a plain
+   recursion that allocates nothing. *)
+let[@vtp.hot] rec ranges_cover s = function
+  | [] -> false
+  | r :: rest ->
+      (Serial.( <= ) r.lo s && Serial.( < ) s r.hi) || ranges_cover s rest
+
+let[@vtp.hot] received t s =
+  Serial.( < ) s t.cum || ranges_cover s t.ranges
 
 (* Deliberate-bug hook for the fuzz harness's negative test: with the
    duplicate check disabled, a duplicated segment re-inserts a range
    that may sit below (or inside) already-acknowledged territory, and
    the bogus block leaks into SACK reports — which the sack-wellformed
    invariant must catch.  Never set outside tests. *)
-let test_only_skip_dup_check = ref false
+let[@vtp.ambient] test_only_skip_dup_check = ref false
 
 (* Pull ranges that now touch the cumulative point into it. *)
-let rec advance_cum t =
+let[@vtp.hot] rec advance_cum t =
   match t.ranges with
   | r :: rest when Serial.( <= ) r.lo t.cum ->
       if Serial.( > ) r.hi t.cum then t.cum <- r.hi;
@@ -57,7 +64,32 @@ let rec advance_cum t =
       advance_cum t
   | _ :: _ | [] -> ()
 
-let on_data t ~seq =
+(* Insert [seq,s1) into the ascending range list, merging neighbours.
+   Lifted out of {!on_data} so the per-segment path builds no closure;
+   it allocates only the list spine it rewrites (alloc-by-design). *)
+let[@vtp.alloc_ok] rec insert_range ~stamp seq s1 = function
+  | [] -> [ { lo = seq; hi = s1; touched = stamp } ]
+  | r :: rest ->
+      if Serial.( < ) s1 r.lo then
+        { lo = seq; hi = s1; touched = stamp } :: r :: rest
+      else if Serial.equal s1 r.lo then begin
+        r.lo <- seq;
+        r.touched <- stamp;
+        r :: rest
+      end
+      else if Serial.equal seq r.hi then begin
+        r.hi <- s1;
+        r.touched <- stamp;
+        (* May now touch the next range. *)
+        match rest with
+        | next :: tail when Serial.equal next.lo r.hi ->
+            r.hi <- next.hi;
+            r :: tail
+        | _ -> r :: rest
+      end
+      else r :: insert_range ~stamp seq s1 rest
+
+let[@vtp.hot] on_data t ~seq =
   charge t "recv.light.packet";
   t.packets <- t.packets + 1;
   t.stamp <- t.stamp + 1;
@@ -67,33 +99,7 @@ let on_data t ~seq =
     t.cum <- Serial.succ t.cum;
     advance_cum t
   end
-  else begin
-    (* Insert into the ascending range list, merging neighbours. *)
-    let s1 = Serial.succ seq in
-    let rec insert = function
-      | [] -> [ { lo = seq; hi = s1; touched = t.stamp } ]
-      | r :: rest ->
-          if Serial.( < ) s1 r.lo then
-            { lo = seq; hi = s1; touched = t.stamp } :: r :: rest
-          else if Serial.equal s1 r.lo then begin
-            r.lo <- seq;
-            r.touched <- t.stamp;
-            r :: rest
-          end
-          else if Serial.equal seq r.hi then begin
-            r.hi <- s1;
-            r.touched <- t.stamp;
-            (* May now touch the next range. *)
-            match rest with
-            | next :: tail when Serial.equal next.lo r.hi ->
-                r.hi <- next.hi;
-                r :: tail
-            | _ -> r :: rest
-          end
-          else r :: insert rest
-    in
-    t.ranges <- insert t.ranges
-  end
+  else t.ranges <- insert_range ~stamp:t.stamp seq (Serial.succ seq) t.ranges
 
 let apply_fwd_point t fwd =
   if Serial.( > ) fwd t.cum then begin

@@ -54,9 +54,9 @@ let charge t ?ops name =
 
 let key s = Serial.to_int s
 
-let find t s = Hashtbl.find_opt t.tbl (key s)
+let[@vtp.hot] find t s = Hashtbl.find_opt t.tbl (key s)
 
-let on_send t ~seq ~now ~size ~is_retx =
+let[@vtp.hot] on_send t ~seq ~now ~size ~is_retx =
   charge t "send.scoreboard.send";
   if is_retx then begin
     match find t seq with

@@ -1,4 +1,4 @@
-let rate ~s ~r ~p ?(b = 1.0) ?t_rto () =
+let[@vtp.hot] rate ~s ~r ~p ?(b = 1.0) ?t_rto () =
   assert (s > 0 && r > 0.0);
   if p <= 0.0 then infinity
   else begin

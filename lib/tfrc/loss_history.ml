@@ -48,7 +48,7 @@ let watermark t =
 
 (* The weights of RFC 3448 §5.4 for n = 8; for other history depths we
    keep full weight on the newer half and taper linearly on the older. *)
-let weight ~history i =
+let[@vtp.hot] weight ~history i =
   if history = 8 then
     match i with
     | 0 | 1 | 2 | 3 -> 1.0

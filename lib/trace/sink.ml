@@ -1,8 +1,13 @@
+(* every wrapper below sits on the per-segment fast path *)
+[@@@vtp.hot]
+
 type t = { flow : int; now : unit -> float }
 
 let make ~flow ~now = { flow; now }
 
-let of_sim sim ~flow = { flow; now = (fun () -> Engine.Sim.now sim) }
+(* one closure per sink at construction time, not per event *)
+let[@vtp.alloc_ok] of_sim sim ~flow =
+  { flow; now = (fun () -> Engine.Sim.now sim) }
 
 let on sink = match sink with None -> false | Some _ -> Recorder.on ()
 
