@@ -91,6 +91,43 @@ let bench_scoreboard =
             ~blocks:[])
      done)
 
+(* The LFN window: 30000 packets in flight (ring pre-sized, as an LFN
+   sender would), then ten SACK feedbacks of the shape the 1000-packet
+   row uses — a 100-packet cumulative advance plus three fresh blocks
+   just above the ack point.  The run-length scoreboard merges each
+   feedback in O(log runs + newly-covered), never touching the other
+   ~29k in-flight packets; the per-packet representation walked the
+   whole window.  Serials and block lists are prebuilt so the measured
+   loop prices only scoreboard work. *)
+let[@vtp.ambient] bench_scoreboard_30k =
+  (* ambient: the prebuilt serial/block arrays are written once here
+     and only read by the measured closure. *)
+  Test.make ~name:"sack.scoreboard.30000pkts+fb"
+    (let n = 30_000 in
+     let seqs = Array.init n Packet.Serial.of_int in
+     let cums = Array.init 10 (fun k -> Packet.Serial.of_int (100 * (k + 1))) in
+     let blocks =
+       Array.init 10 (fun k ->
+           let base = (100 * (k + 1)) + 50 in
+           List.init 3 (fun j ->
+               {
+                 Packet.Header.block_start =
+                   Packet.Serial.of_int (base + (j * 40));
+                 block_end = Packet.Serial.of_int (base + (j * 40) + 20);
+               }))
+     in
+     Staged.stage @@ fun () ->
+     let sb = Sack.Scoreboard.create ~capacity:n () in
+     for i = 0 to n - 1 do
+       Sack.Scoreboard.on_send sb ~seq:seqs.(i)
+         ~now:(float_of_int i *. 1e-5)
+         ~size:1500 ~is_retx:false
+     done;
+     for k = 0 to 9 do
+       ignore
+         (Sack.Scoreboard.on_feedback sb ~cum_ack:cums.(k) ~blocks:blocks.(k))
+     done)
+
 let bench_reconstructor =
   Test.make ~name:"qtp.reconstruction.1000covers"
     (Staged.stage @@ fun () ->
@@ -163,6 +200,35 @@ let bench_wire_roundtrip =
      Staged.stage @@ fun () ->
      ignore (Packet.Wire.decode (Packet.Wire.encode hdr)))
 
+(* The zero-copy packed roundtrip: encode a 4-block SACK into the
+   domain-local scratch, validate in place, and fold every field with
+   the composed in-place reader — no intermediate [Header.t], no
+   allocation (the property suite asserts < 1 word/op). *)
+let bench_wire_inplace =
+  Test.make ~name:"packet.wire.inplace"
+    (let hdr =
+       Packet.Header.Sack_feedback
+         {
+           cum_ack = Packet.Serial.of_int 1000;
+           blocks =
+             List.init 4 (fun i ->
+                 {
+                   Packet.Header.block_start =
+                     Packet.Serial.of_int (1010 + (i * 10));
+                   block_end = Packet.Serial.of_int (1015 + (i * 10));
+                 });
+           sack_tstamp_echo = 1.0;
+           sack_t_delay = 0.001;
+           sack_x_recv = 1e6;
+           sack_ce_count = 2;
+         }
+     in
+     let buf = Packet.Wire.Packed.scratch () in
+     Staged.stage @@ fun () ->
+     let len = Packet.Wire.Packed.encode_into hdr buf ~pos:0 in
+     Packet.Wire.Packed.check buf ~pos:0 ~len;
+     ignore (Packet.Wire.Packed.read_digest buf ~pos:0))
+
 let bench_rng =
   Test.make ~name:"engine.rng.bits64"
     (let rng = Engine.Rng.create ~seed:7 in
@@ -226,11 +292,13 @@ let micro_tests =
     bench_loss_history;
     bench_rcv_tracker;
     bench_scoreboard;
+    bench_scoreboard_30k;
     bench_reconstructor;
     bench_red;
     bench_token_bucket;
     bench_wire_encode;
     bench_wire_roundtrip;
+    bench_wire_inplace;
     bench_trace_record;
     bench_end_to_end;
   ]
@@ -239,30 +307,58 @@ let micro_tests =
    sorted by benchmark name — [Hashtbl.iter] order is unspecified, and
    report rows must be stable across runs. *)
 let measure_micro () =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) () in
   let instances = Instance.[ monotonic_clock ] in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let ransac = Analyze.ransac ~filter_outliers:true ~predictor:Measure.run in
   let rows = ref [] in
   List.iter
     (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analysis = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let ns =
-            match Analyze.OLS.estimates ols_result with
-            | Some (x :: _) -> x
-            | Some [] | None -> nan
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> r
-            | None -> nan
-          in
-          rows := (name, ns, r2) :: !rows)
-        analysis)
+      (* One quota window on a virtualised host can be poisoned
+         wholesale by steal time, skewing the least-squares slope 2-3x
+         while the true per-run cost is unchanged.  Noise only ever
+         inflates a timing, so measure each row up to [max_reps] times
+         and keep the smallest estimate.  A sustained slowdown still
+         yields a clean fit on an inflated slope, so every rep runs —
+         there is no early exit on a good r2.  Within a rep, a poor fit
+         falls back to the outlier-filtered RANSAC slope. *)
+      let best = Hashtbl.create 4 in
+      let max_reps = 3 in
+      for _rep = 1 to max_reps do
+          (* Isolate GC state per rep: the big-window rows churn
+             hundreds of megabytes through the major heap, and the
+             pressure would otherwise bleed into later samples. *)
+          Gc.compact ();
+          let results = Benchmark.all cfg instances test in
+          let analysis = Analyze.all ols Instance.monotonic_clock results in
+          let robust = Analyze.all ransac Instance.monotonic_clock results in
+          Hashtbl.iter
+            (fun name ols_result ->
+              let ns =
+                match Analyze.OLS.estimates ols_result with
+                | Some (x :: _) -> x
+                | Some [] | None -> nan
+              in
+              let r2 =
+                match Analyze.OLS.r_square ols_result with
+                | Some r -> r
+                | None -> nan
+              in
+              let ns =
+                if r2 >= 0.9 then ns
+                else
+                  match Hashtbl.find_opt robust name with
+                  | Some rr -> Float.min ns (Analyze.RANSAC.mean rr)
+                  | None -> ns
+              in
+              match Hashtbl.find_opt best name with
+              | Some (ns', _) when ns' <= ns -> ()
+              | _ -> Hashtbl.replace best name (ns, r2))
+            analysis
+      done;
+      Hashtbl.iter (fun name (ns, r2) -> rows := (name, ns, r2) :: !rows) best)
     micro_tests;
   List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
 

@@ -53,7 +53,7 @@ let with_gc_metrics f =
    bottleneck is provisioned at 1 Mb/s per flow with 40% of it reserved
    for the AF class.  [tracer], when given, is installed before any
    transport attaches so the recorded operation stream is complete. *)
-let setup ?tracer ~sched ~seed ~n_flows () =
+let setup ?tracer ?bottleneck_delay ?capacity_pkts ~sched ~seed ~n_flows () =
   let n_af = n_flows / 3 in
   let n_light = n_flows / 3 in
   let bottleneck_mbps = float_of_int n_flows *. 1.0 in
@@ -62,8 +62,8 @@ let setup ?tracer ~sched ~seed ~n_flows () =
     Array.init n_flows (fun i -> if i < n_af then g_mbps else 0.0)
   in
   let sim, topo =
-    Common.af_dumbbell ~sched ~seed ~n_flows ~bottleneck_mbps
-      ~committed_mbps:committed ()
+    Common.af_dumbbell ~sched ?capacity_pkts ~seed ~n_flows ~bottleneck_mbps
+      ?bottleneck_delay ~committed_mbps:committed ()
   in
   Engine.Sim.set_tracer sim tracer;
   let qtp_conns = ref [] in
@@ -112,10 +112,13 @@ let setup ?tracer ~sched ~seed ~n_flows () =
   in
   (sim, delivered)
 
-let run_scenario ~name ~sched ~seed ~n_flows ~sim_seconds () =
+let run_scenario ?bottleneck_delay ?capacity_pkts ~name ~sched ~seed ~n_flows
+    ~sim_seconds () =
   let (events, delivered), wall, peak, allocated =
     with_gc_metrics (fun () ->
-        let sim, delivered = setup ~sched ~seed ~n_flows () in
+        let sim, delivered =
+          setup ?bottleneck_delay ?capacity_pkts ~sched ~seed ~n_flows ()
+        in
         Engine.Sim.run ~until:sim_seconds sim;
         (Engine.Sim.executed sim, delivered ()))
   in
@@ -345,19 +348,27 @@ let json_of_overhead o =
    (faster, but only events/delivered figures stay comparable).
    Results come back in submission order either way. *)
 let suite ?(seed = default_seed) ?(jobs = 1) () =
+  (* [scale_lfn] is the long-fat-network point: the same mixed
+     population over a 250 ms-RTT bottleneck buffered at roughly one
+     bandwidth-delay product, so every flow's scoreboard / tracker /
+     loss history carries hundreds of packets between feedbacks. *)
+  let default_path = (None, None) in
+  let lfn_path = (Some 0.125, Some 625) in
   let configs =
     [|
-      ("scale_10", `Wheel, 10, 10.0);
-      ("scale_100", `Wheel, 100, 4.0);
-      ("scale_500", `Wheel, 500, 2.0);
-      ("scale_500", `Heap, 500, 2.0);
+      ("scale_10", `Wheel, 10, 10.0, default_path);
+      ("scale_100", `Wheel, 100, 4.0, default_path);
+      ("scale_500", `Wheel, 500, 2.0, default_path);
+      ("scale_500", `Heap, 500, 2.0, default_path);
+      ("scale_lfn", `Wheel, 30, 4.0, lfn_path);
     |]
   in
   let results =
     Engine.Pool.with_pool ~jobs (fun pool ->
         Engine.Pool.map pool
-          (fun (name, sched, n_flows, sim_seconds) ->
-            run_scenario ~name ~sched ~seed ~n_flows ~sim_seconds ())
+          (fun (name, sched, n_flows, sim_seconds, (delay, capacity)) ->
+            run_scenario ?bottleneck_delay:delay ?capacity_pkts:capacity ~name
+              ~sched ~seed ~n_flows ~sim_seconds ())
           configs)
   in
   Array.to_list results @ sched_replay ~seed ()

@@ -108,7 +108,9 @@ let table =
       anchor = "create";
       cdoc = "SACK dupthresh 3 (fast-retransmit trigger)";
       proj = All_numeric;
-      expect = [ 3.; 1.; 256. ];
+      (* dupthresh 3, default ring capacity 256, the >= 1 assert, and
+         the power-of-two rounding loop's 256 floor and 2 factor. *)
+      expect = [ 3.; 256.; 1.; 256.; 2. ];
     };
   ]
 

@@ -48,13 +48,19 @@ let red_params ~min_th ~max_th ~max_p =
     idle_pkt_time = 1500.0 *. 8.0 /. 10_000_000.0;
   }
 
-let af_rio ~rng () =
-  Netsim.Qdisc.rio ~capacity_pkts:100
-    ~in_params:(red_params ~min_th:40.0 ~max_th:70.0 ~max_p:0.02)
-    ~out_params:(red_params ~min_th:10.0 ~max_th:30.0 ~max_p:0.5)
+(* RED thresholds scale with the queue: 40/70% of capacity for the
+   in-profile curve and 10/30% for out-of-profile, which reproduces the
+   historical 40/70 and 10/30-packet thresholds at the default
+   100-packet queue while letting LFN scenarios deepen the buffer to
+   match their bandwidth-delay product. *)
+let af_rio ?(capacity_pkts = 100) ~rng () =
+  let c = float_of_int capacity_pkts in
+  Netsim.Qdisc.rio ~capacity_pkts
+    ~in_params:(red_params ~min_th:(0.4 *. c) ~max_th:(0.7 *. c) ~max_p:0.02)
+    ~out_params:(red_params ~min_th:(0.1 *. c) ~max_th:(0.3 *. c) ~max_p:0.5)
     ~rng ()
 
-let af_dumbbell ?sched ~seed ~n_flows ~bottleneck_mbps
+let af_dumbbell ?sched ?capacity_pkts ~seed ~n_flows ~bottleneck_mbps
     ?(bottleneck_delay = 0.03) ~committed_mbps () =
   assert (Array.length committed_mbps = n_flows);
   let sim = Engine.Sim.create ~seed ?sched () in
@@ -63,7 +69,8 @@ let af_dumbbell ?sched ~seed ~n_flows ~bottleneck_mbps
     Netsim.Topology.spec
       ~rate_bps:(mbps bottleneck_mbps)
       ~delay:bottleneck_delay
-      ~qdisc:(fun () -> af_rio ~rng:(Engine.Rng.split qdisc_rng) ())
+      ~qdisc:(fun () ->
+        af_rio ?capacity_pkts ~rng:(Engine.Rng.split qdisc_rng) ())
       ()
   in
   let committed_rates = Array.map mbps committed_mbps in

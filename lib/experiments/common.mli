@@ -35,14 +35,17 @@ val warmup : float
 val duration : float
 (** Total simulated seconds per run (default 60). *)
 
-val af_rio : rng:Engine.Rng.t -> unit -> Netsim.Qdisc.t
+val af_rio : ?capacity_pkts:int -> rng:Engine.Rng.t -> unit -> Netsim.Qdisc.t
 (** The DiffServ/AF core queue used by all QoS experiments: RIO with a
-    lenient in-profile RED curve (min 40 / max 70 pkts, maxp 0.02) and
-    an aggressive out-of-profile curve (min 10 / max 30 pkts, maxp
-    0.5). *)
+    lenient in-profile RED curve (min 40% / max 70% of capacity, maxp
+    0.02) and an aggressive out-of-profile curve (min 10% / max 30%,
+    maxp 0.5).  The default 100-packet queue reproduces the historical
+    40/70 and 10/30-packet thresholds; LFN scenarios pass a deeper
+    [capacity_pkts] sized to their bandwidth-delay product. *)
 
 val af_dumbbell :
   ?sched:Engine.Sim.sched ->
+  ?capacity_pkts:int ->
   seed:int ->
   n_flows:int ->
   bottleneck_mbps:float ->

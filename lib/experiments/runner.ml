@@ -123,6 +123,15 @@ let all =
       run = (fun ~seed -> E16_parking_lot.run ~seed ());
     };
     {
+      id = "e17";
+      title = "Large-BDP profile mixes over long-fat networks";
+      claim =
+        "extension: the negotiated services (AF assurance, light plane, \
+         full reliability) survive 250..500 ms RTTs with thousands of \
+         packets in flight — the run-length SACK/TFRC fast path at scale";
+      run = (fun ~seed -> E17_lfn.run ~seed ());
+    };
+    {
       id = "a1";
       title = "Ablation: loss-event grouping";
       claim = "design choice: RTT-window grouping of losses";

@@ -58,8 +58,62 @@ let fuzz_seed seed =
     scenario = { sc with Scenario.duration = Float.min sc.Scenario.duration 1.5 };
   }
 
+(* Long-fat-network scenarios for the run-length SACK/TFRC fast path:
+   250..400 ms RTTs put thousands of packets in flight, so the
+   scoreboard, receiver tracker and loss history all carry wide,
+   fragmented windows — exactly the state the interval representations
+   compress.  Rates are kept moderate so the committed traces stay a
+   few hundred kilobytes. *)
+
+let lfn_af =
+  {
+    name = "lfn_af";
+    descr = "two QTP_AF flows over a 300 ms-RTT long-fat AF dumbbell";
+    scenario =
+      {
+        Scenario.seed = 9003;
+        shape = Scenario.Dumbbell 2;
+        rate_mbps = 12.0;
+        delay_ms = 150.0;
+        buffer_pkts = 600;
+        red = true;
+        loss = Scenario.Clean;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_af 0.8;
+        workload = Scenario.Greedy;
+        background = true;
+        duration = 1.8;
+      };
+  }
+
+let lfn_light =
+  {
+    name = "lfn_light";
+    descr =
+      "QTP_light (full reliability) over a 400 ms-RTT lossy long-fat path";
+    scenario =
+      {
+        Scenario.seed = 9004;
+        shape = Scenario.Dumbbell 1;
+        rate_mbps = 8.0;
+        delay_ms = 200.0;
+        buffer_pkts = 800;
+        red = false;
+        loss = Scenario.Bernoulli 0.005;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_light Qtp.Capabilities.R_full;
+        workload = Scenario.Greedy;
+        background = false;
+        duration = 8.0;
+      };
+  }
+
 let corpus =
-  [ af_headline; light_headline ] @ List.map fuzz_seed [ 101; 102; 103; 104; 105; 106 ]
+  [ af_headline; light_headline ]
+  @ List.map fuzz_seed [ 101; 102; 103; 104; 105; 106 ]
+  @ [ lfn_af; lfn_light ]
 
 let find name = List.find_opt (fun e -> e.name = name) corpus
 

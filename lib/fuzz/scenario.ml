@@ -62,10 +62,19 @@ let faulty t =
    used by {!Exec} is always sufficient: rtt is capped (rate >= 1 Mb/s,
    buffer <= 120 pkts, one-way delay <= 80 ms) and fault probabilities
    are moderate enough that handshakes and CLOSE exchanges almost
-   always complete within their retry budgets. *)
+   always complete within their retry budgets.
 
-let generate ~seed =
+   The [`Lfn] band moves only the path-parameter bounds into
+   long-fat-network territory — 125..250 ms one-way delay (250..500 ms
+   RTT), faster bottlenecks, buffers sized for the larger
+   bandwidth-delay product, and shorter durations so a run's packet
+   count stays comparable.  The draw SEQUENCE is identical in both
+   bands: every committed fuzz seed keeps its byte-identical [`Std]
+   scenario. *)
+
+let generate_in ~band ~seed =
   let rng = Engine.Rng.create ~seed in
+  let lfn = band = `Lfn in
   let shape =
     match
       Engine.Dist.weighted rng
@@ -76,9 +85,20 @@ let generate ~seed =
     | `Chain -> Chain (2 + Engine.Rng.int rng 2)
     | `Parking -> Parking_lot (2 + Engine.Rng.int rng 2)
   in
-  let rate_mbps = Engine.Dist.log_uniform_range rng ~lo:1.0 ~hi:16.0 in
-  let delay_ms = Engine.Dist.log_uniform_range rng ~lo:2.0 ~hi:80.0 in
-  let buffer_pkts = 10 + Engine.Rng.int rng 111 in
+  let rate_mbps =
+    if lfn then Engine.Dist.log_uniform_range rng ~lo:8.0 ~hi:64.0
+    else Engine.Dist.log_uniform_range rng ~lo:1.0 ~hi:16.0
+  in
+  let delay_ms =
+    if lfn then Engine.Dist.log_uniform_range rng ~lo:125.0 ~hi:250.0
+    else Engine.Dist.log_uniform_range rng ~lo:2.0 ~hi:80.0
+  in
+  let buffer_pkts =
+    (* Upper bound keeps the worst-case queueing delay (buffer drained
+       at the slowest LFN rate) small enough that {!Exec.drain_slack}
+       still covers the close driver's 200-poll horizon. *)
+    if lfn then 500 + Engine.Rng.int rng 1001 else 10 + Engine.Rng.int rng 111
+  in
   let red = Engine.Rng.chance rng 0.25 in
   let loss =
     match Engine.Dist.weighted rng [ (5.0, `C); (3.0, `B); (2.0, `G) ] with
@@ -117,7 +137,10 @@ let generate ~seed =
     | `O -> On_off (0.5 +. Engine.Rng.float rng 1.0)
   in
   let background = Engine.Rng.chance rng 0.3 in
-  let duration = 4.0 +. Engine.Rng.float rng 8.0 in
+  let duration =
+    if lfn then 2.5 +. Engine.Rng.float rng 2.5
+    else 4.0 +. Engine.Rng.float rng 8.0
+  in
   {
     seed;
     shape;
@@ -133,6 +156,8 @@ let generate ~seed =
     background;
     duration;
   }
+
+let generate ~seed = generate_in ~band:`Std ~seed
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)

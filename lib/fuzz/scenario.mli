@@ -50,7 +50,18 @@ type t = {
 }
 
 val generate : seed:int -> t
-(** The scenario is a pure function of [seed]. *)
+(** The scenario is a pure function of [seed]; shorthand for
+    {!generate_in}[ ~band:`Std] — byte-identical to what every
+    committed fuzz seed has always produced. *)
+
+val generate_in : band:[ `Std | `Lfn ] -> seed:int -> t
+(** The scenario is a pure function of [band] and [seed].  [`Std]
+    draws the classic short-path bounds; [`Lfn] draws the same
+    scenario structure over long-fat-network paths: 125..250 ms
+    one-way delay (250..500 ms RTT), 8..64 Mb/s bottlenecks,
+    500..1500-packet buffers and shorter durations.  The two bands
+    consume the generator identically, so a seed's [`Std] scenario
+    never changes as bands are added. *)
 
 val flows : t -> int
 (** Number of VTP connections the scenario runs. *)

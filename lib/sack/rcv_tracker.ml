@@ -1,23 +1,34 @@
 module Serial = Packet.Serial
 
-type range = {
-  mutable lo : Serial.t;
-  mutable hi : Serial.t;  (* half-open *)
-  mutable touched : int;  (* recency stamp *)
-}
+(* Run-length receiver tracking: the out-of-order ranges live in sorted
+   parallel int arrays (absolute positions, half-open) with a moving
+   front offset, so the per-segment paths are a binary search plus O(1)
+   amortised editing instead of a list walk.  [Rcv_tracker_ref] keeps
+   the list implementation as the differential oracle.
+
+   Absolute positions are anchored at the cumulative ack:
+   [abs = cum_abs + Serial.diff s cum]; the anchor only moves forward,
+   so positions are monotone even though serials wrap. *)
 
 type t = {
   max_blocks : int;
   cost : Stats.Cost.t option;
   mutable cum : Serial.t;
-  mutable ranges : range list;  (* ascending, disjoint, above cum *)
-  scratch : range array;  (* reused top-k buffer for {!sack_blocks} *)
+  mutable cum_abs : int;
+  (* live ranges are [fst, len) of the parallel arrays *)
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable touched : int array;  (* recency stamp *)
+  mutable fst : int;
+  mutable len : int;
+  (* reused top-k buffers for {!sack_blocks} *)
+  s_lo : int array;
+  s_hi : int array;
+  s_touch : int array;
   mutable stamp : int;
   mutable packets : int;
   mutable duplicates : int;
 }
-
-let dummy_range = { lo = Serial.zero; hi = Serial.zero; touched = -1 }
 
 let create ?(max_blocks = 4) ?cost () =
   assert (max_blocks >= 1);
@@ -25,8 +36,15 @@ let create ?(max_blocks = 4) ?cost () =
     max_blocks;
     cost;
     cum = Serial.zero;
-    ranges = [];
-    scratch = Array.make max_blocks dummy_range;
+    cum_abs = 0;
+    lo = Array.make 16 0;
+    hi = Array.make 16 0;
+    touched = Array.make 16 0;
+    fst = 0;
+    len = 0;
+    s_lo = Array.make max_blocks 0;
+    s_hi = Array.make max_blocks 0;
+    s_touch = Array.make max_blocks (-1);
     stamp = 0;
     packets = 0;
     duplicates = 0;
@@ -37,16 +55,27 @@ let charge t name =
 
 let cum_ack t = t.cum
 
-(* Closure-free containment test: [received] runs per segment, so the
-   former [List.exists (fun r -> ...)] lambda is lifted to a plain
-   recursion that allocates nothing. *)
-let[@vtp.hot] rec ranges_cover s = function
-  | [] -> false
-  | r :: rest ->
-      (Serial.( <= ) r.lo s && Serial.( < ) s r.hi) || ranges_cover s rest
+let[@vtp.hot] abs_of t s = t.cum_abs + Serial.diff s t.cum
 
-let[@vtp.hot] received t s =
-  Serial.( < ) s t.cum || ranges_cover s t.ranges
+let ser_of t a = Serial.add t.cum (a - t.cum_abs)
+
+(* Smallest live index whose range ends strictly after [a] — the only
+   range that can contain [a].  Accumulator recursion, so the
+   per-segment membership test allocates nothing. *)
+let[@vtp.hot] rec seek_from t a lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) lsr 1 in
+    if Array.unsafe_get t.hi mid > a then seek_from t a lo mid
+    else seek_from t a (mid + 1) hi
+
+let[@vtp.hot] seek t a = seek_from t a t.fst t.len
+
+let[@vtp.hot] covers t a =
+  let i = seek t a in
+  i < t.len && Array.unsafe_get t.lo i <= a
+
+let[@vtp.hot] received t s = Serial.( < ) s t.cum || covers t (abs_of t s)
 
 (* Deliberate-bug hook for the fuzz harness's negative test: with the
    duplicate check disabled, a duplicated segment re-inserts a range
@@ -57,37 +86,80 @@ let[@vtp.ambient] test_only_skip_dup_check = ref false
 
 (* Pull ranges that now touch the cumulative point into it. *)
 let[@vtp.hot] rec advance_cum t =
-  match t.ranges with
-  | r :: rest when Serial.( <= ) r.lo t.cum ->
-      if Serial.( > ) r.hi t.cum then t.cum <- r.hi;
-      t.ranges <- rest;
-      advance_cum t
-  | _ :: _ | [] -> ()
+  if t.fst < t.len && Array.unsafe_get t.lo t.fst <= t.cum_abs then begin
+    let h = Array.unsafe_get t.hi t.fst in
+    if h > t.cum_abs then begin
+      t.cum <- Serial.add t.cum (h - t.cum_abs);
+      t.cum_abs <- h
+    end;
+    t.fst <- t.fst + 1;
+    advance_cum t
+  end
 
-(* Insert [seq,s1) into the ascending range list, merging neighbours.
-   Lifted out of {!on_data} so the per-segment path builds no closure;
-   it allocates only the list spine it rewrites (alloc-by-design). *)
-let[@vtp.alloc_ok] rec insert_range ~stamp seq s1 = function
-  | [] -> [ { lo = seq; hi = s1; touched = stamp } ]
-  | r :: rest ->
-      if Serial.( < ) s1 r.lo then
-        { lo = seq; hi = s1; touched = stamp } :: r :: rest
-      else if Serial.equal s1 r.lo then begin
-        r.lo <- seq;
-        r.touched <- stamp;
-        r :: rest
-      end
-      else if Serial.equal seq r.hi then begin
-        r.hi <- s1;
-        r.touched <- stamp;
-        (* May now touch the next range. *)
-        match rest with
-        | next :: tail when Serial.equal next.lo r.hi ->
-            r.hi <- next.hi;
-            r :: tail
-        | _ -> r :: rest
-      end
-      else r :: insert_range ~stamp seq s1 rest
+(* Make room for one more range, compacting the dead front first and
+   only growing when genuinely full. *)
+let reserve t =
+  let cap = Array.length t.lo in
+  if t.len = cap then begin
+    let live = t.len - t.fst in
+    if t.fst > 0 then begin
+      Array.blit t.lo t.fst t.lo 0 live;
+      Array.blit t.hi t.fst t.hi 0 live;
+      Array.blit t.touched t.fst t.touched 0 live
+    end
+    else begin
+      let ncap = 2 * cap in
+      let nlo = Array.make ncap 0
+      and nhi = Array.make ncap 0
+      and ntouch = Array.make ncap 0 in
+      Array.blit t.lo t.fst nlo 0 live;
+      Array.blit t.hi t.fst nhi 0 live;
+      Array.blit t.touched t.fst ntouch 0 live;
+      t.lo <- nlo;
+      t.hi <- nhi;
+      t.touched <- ntouch
+    end;
+    t.fst <- 0;
+    t.len <- live
+  end
+
+(* Precondition: a free slot exists ([reserve] ran this operation). *)
+let shift_right t pos =
+  Array.blit t.lo pos t.lo (pos + 1) (t.len - pos);
+  Array.blit t.hi pos t.hi (pos + 1) (t.len - pos);
+  Array.blit t.touched pos t.touched (pos + 1) (t.len - pos);
+  t.len <- t.len + 1
+
+let delete_at t pos =
+  Array.blit t.lo (pos + 1) t.lo pos (t.len - pos - 1);
+  Array.blit t.hi (pos + 1) t.hi pos (t.len - pos - 1);
+  Array.blit t.touched (pos + 1) t.touched pos (t.len - pos - 1);
+  t.len <- t.len - 1
+
+(* Insert the fresh point [a], extending a touching neighbour (and
+   closing a one-wide gap by merging both) or opening a new range. *)
+let[@vtp.hot] insert_point t a =
+  reserve t;  (* may compact or grow: run before any index is taken *)
+  let pos = seek t a in
+  let prev = pos - 1 in
+  if prev >= t.fst && Array.unsafe_get t.hi prev = a then begin
+    t.hi.(prev) <- a + 1;
+    t.touched.(prev) <- t.stamp;
+    if pos < t.len && Array.unsafe_get t.lo pos = a + 1 then begin
+      t.hi.(prev) <- Array.unsafe_get t.hi pos;
+      delete_at t pos
+    end
+  end
+  else if pos < t.len && Array.unsafe_get t.lo pos = a + 1 then begin
+    t.lo.(pos) <- a;
+    t.touched.(pos) <- t.stamp
+  end
+  else begin
+    shift_right t pos;
+    t.lo.(pos) <- a;
+    t.hi.(pos) <- a + 1;
+    t.touched.(pos) <- t.stamp
+  end
 
 let[@vtp.hot] on_data t ~seq =
   charge t "recv.light.packet";
@@ -97,66 +169,75 @@ let[@vtp.hot] on_data t ~seq =
     t.duplicates <- t.duplicates + 1
   else if Serial.equal seq t.cum then begin
     t.cum <- Serial.succ t.cum;
+    t.cum_abs <- t.cum_abs + 1;
     advance_cum t
   end
-  else t.ranges <- insert_range ~stamp:t.stamp seq (Serial.succ seq) t.ranges
+  else insert_point t (abs_of t seq)
 
 let apply_fwd_point t fwd =
   if Serial.( > ) fwd t.cum then begin
+    let d = Serial.diff fwd t.cum in
     t.cum <- fwd;
-    (* Drop or trim ranges now below the cumulative point. *)
-    t.ranges <-
-      List.filter_map
-        (fun r ->
-          if Serial.( <= ) r.hi t.cum then None
-          else begin
-            if Serial.( < ) r.lo t.cum then r.lo <- t.cum;
-            Some r
-          end)
-        t.ranges;
+    t.cum_abs <- t.cum_abs + d;
+    (* Drop ranges now wholly below the cumulative point, trim a
+       straddler, then absorb a range touching it. *)
+    while t.fst < t.len && t.hi.(t.fst) <= t.cum_abs do
+      t.fst <- t.fst + 1
+    done;
+    if t.fst < t.len && t.lo.(t.fst) < t.cum_abs then t.lo.(t.fst) <- t.cum_abs;
     advance_cum t
   end
 
-let to_block r = { Packet.Header.block_start = r.lo; block_end = r.hi }
+let block_of t i =
+  { Packet.Header.block_start = ser_of t t.lo.(i); block_end = ser_of t t.hi.(i) }
 
-let all_ranges t = List.map to_block t.ranges
-
-let highest_expected t =
-  let rec last = function
-    | [] -> t.cum
-    | [ r ] -> r.hi
-    | _ :: rest -> last rest
+let all_ranges t =
+  let rec collect t i acc =
+    if i < t.fst then acc else collect t (i - 1) (block_of t i :: acc)
   in
-  last t.ranges
+  collect t (t.len - 1) []
+
+let highest_expected t = if t.len > t.fst then ser_of t t.hi.(t.len - 1) else t.cum
 
 (* Most-recently-touched [max_blocks] ranges, newest first (recency
    stamps are unique, so the selection is deterministic).  A bounded
-   insertion pass over a reused scratch array replaces the former
-   sort-whole-list / filter / map chain: only the returned blocks are
-   allocated. *)
+   insertion pass over reused scratch arrays: only the returned blocks
+   are allocated. *)
 let sack_blocks t =
   charge t "recv.light.feedback";
-  let top = t.scratch in
-  let k = Array.length top in
+  let k = t.max_blocks in
   let count = ref 0 in
-  List.iter
-    (fun r ->
-      if !count < k || r.touched > top.(k - 1).touched then begin
-        let i = ref (Stdlib.min !count (k - 1)) in
-        while !i > 0 && top.(!i - 1).touched < r.touched do
-          top.(!i) <- top.(!i - 1);
-          decr i
-        done;
-        top.(!i) <- r;
-        if !count < k then incr count
-      end)
-    t.ranges;
+  for idx = t.fst to t.len - 1 do
+    let tch = t.touched.(idx) in
+    if !count < k || tch > t.s_touch.(k - 1) then begin
+      let i = ref (Stdlib.min !count (k - 1)) in
+      while !i > 0 && t.s_touch.(!i - 1) < tch do
+        t.s_lo.(!i) <- t.s_lo.(!i - 1);
+        t.s_hi.(!i) <- t.s_hi.(!i - 1);
+        t.s_touch.(!i) <- t.s_touch.(!i - 1);
+        decr i
+      done;
+      t.s_lo.(!i) <- t.lo.(idx);
+      t.s_hi.(!i) <- t.hi.(idx);
+      t.s_touch.(!i) <- tch;
+      if !count < k then incr count
+    end
+  done;
   let rec build i acc =
-    if i < 0 then acc else build (i - 1) (to_block top.(i) :: acc)
+    if i < 0 then acc
+    else
+      build (i - 1)
+        ({
+           Packet.Header.block_start = ser_of t t.s_lo.(i);
+           block_end = ser_of t t.s_hi.(i);
+         }
+        :: acc)
   in
   let blocks = build (!count - 1) [] in
-  Array.fill top 0 k dummy_range;
+  Array.fill t.s_touch 0 k (-1);
   blocks
+
+let ranges_held t = t.len - t.fst
 
 let packets t = t.packets
 

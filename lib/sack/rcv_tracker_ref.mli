@@ -1,4 +1,7 @@
-(** Receiver-side reception tracking — the whole per-packet work of a
+(** Frozen per-entry reference implementation of {!Rcv_tracker}, kept as the
+    differential-testing oracle for the run-length rewrite.
+
+    Receiver-side reception tracking — the whole per-packet work of a
     QTP_light receiver.
 
     Maintains the cumulative acknowledgment point and the set of
@@ -35,12 +38,8 @@ val all_ranges : t -> Blocks.t list
 
 val highest_expected : t -> Packet.Serial.t
 (** One past the highest sequence number received: the end of the last
-    out-of-order range, or {!cum_ack} when there is none.  O(1),
+    out-of-order range, or {!cum_ack} when there is none.  O(ranges),
     allocation-free. *)
-
-val ranges_held : t -> int
-(** Out-of-order ranges currently tracked — introspection for the
-    adversarial fragmentation and duplicate-flood tests. *)
 
 val received : t -> Packet.Serial.t -> bool
 (** Has this sequence number been received (cumulative or ranged)? *)

@@ -1,14 +1,18 @@
 module Serial = Packet.Serial
 
-type entry = {
-  seq : Serial.t;
-  size : int;
-  first_sent : float;
-  mutable last_sent : float;
-  mutable retx : int;
-  mutable sacked : bool;
-  mutable lost : bool;  (* inferred lost, retransmission due *)
-}
+(* Run-length scoreboard: instead of one hashtable entry per in-flight
+   sequence number, per-packet metadata (send times, size, retransmit
+   count) lives in ring arrays indexed by an absolute position, and the
+   SACKed / inferred-lost state lives in two sorted, coalesced run
+   arrays.  Feedback for a large-BDP window (tens of thousands of
+   packets) then merges in O(log runs + newly-covered) instead of
+   iterating every sequence number.  [Scoreboard_ref] keeps the
+   per-entry implementation as the differential oracle.
+
+   Sequence numbers are mapped to monotone absolute positions through
+   an advancing anchor: [abs = una_abs + Serial.diff s snd_una].  The
+   anchor moves only forward (cumulative ack, abandon), so positions
+   never wrap even though serials do. *)
 
 type cover = {
   cov_seq : Serial.t;
@@ -23,27 +27,191 @@ type feedback_result = {
   cum_advanced : bool;
 }
 
+(* Sorted, coalesced, half-open [lo, hi) runs over absolute positions,
+   in growable parallel arrays. *)
+module Runs = struct
+  type t = { mutable lo : int array; mutable hi : int array; mutable len : int }
+
+  let create () = { lo = Array.make 8 0; hi = Array.make 8 0; len = 0 }
+
+  (* Smallest index whose run ends strictly after [x] — the only run
+     that can contain [x].  Plain accumulator recursion so the
+     per-packet membership test allocates nothing. *)
+  let[@vtp.hot] rec seek_from t x lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) lsr 1 in
+      if Array.unsafe_get t.hi mid > x then seek_from t x lo mid
+      else seek_from t x (mid + 1) hi
+
+  let[@vtp.hot] seek t x = seek_from t x 0 t.len
+
+  let[@vtp.hot] mem t x =
+    let i = seek t x in
+    i < t.len && Array.unsafe_get t.lo i <= x
+
+  let ensure t extra =
+    let cap = Array.length t.lo in
+    if t.len + extra > cap then begin
+      let ncap = Stdlib.max (t.len + extra) (2 * cap) in
+      let nlo = Array.make ncap 0 and nhi = Array.make ncap 0 in
+      Array.blit t.lo 0 nlo 0 t.len;
+      Array.blit t.hi 0 nhi 0 t.len;
+      t.lo <- nlo;
+      t.hi <- nhi
+    end
+
+  (* Replace runs [i, j) by the single run [l, h); [j = i] inserts. *)
+  let splice t i j l h =
+    if j - i = 1 then begin
+      t.lo.(i) <- l;
+      t.hi.(i) <- h
+    end
+    else if j > i then begin
+      t.lo.(i) <- l;
+      t.hi.(i) <- h;
+      Array.blit t.lo j t.lo (i + 1) (t.len - j);
+      Array.blit t.hi j t.hi (i + 1) (t.len - j);
+      t.len <- t.len - (j - i - 1)
+    end
+    else begin
+      ensure t 1;
+      Array.blit t.lo i t.lo (i + 1) (t.len - i);
+      Array.blit t.hi i t.hi (i + 1) (t.len - i);
+      t.lo.(i) <- l;
+      t.hi.(i) <- h;
+      t.len <- t.len + 1
+    end
+
+  (* Add [l, h), coalescing with every overlapping or touching run. *)
+  let add t l h =
+    if l < h then begin
+      let i = seek t (l - 1) in
+      let j = ref i in
+      while !j < t.len && t.lo.(!j) <= h do
+        incr j
+      done;
+      if i = !j then splice t i i l h
+      else splice t i !j (Stdlib.min l t.lo.(i)) (Stdlib.max h t.hi.(!j - 1))
+    end
+
+  (* Remove [l, h), trimming straddlers and splitting a container. *)
+  let remove t l h =
+    if l < h then begin
+      let i = seek t l in
+      if i < t.len && t.lo.(i) < h then begin
+        if t.lo.(i) < l && t.hi.(i) > h then begin
+          (* one run strictly contains [l, h): split it *)
+          ensure t 1;
+          Array.blit t.lo i t.lo (i + 1) (t.len - i);
+          Array.blit t.hi i t.hi (i + 1) (t.len - i);
+          t.len <- t.len + 1;
+          t.hi.(i) <- l;
+          t.lo.(i + 1) <- h
+        end
+        else begin
+          let i = if t.lo.(i) < l then begin t.hi.(i) <- l; i + 1 end else i in
+          let j = ref i in
+          while !j < t.len && t.hi.(!j) <= h do
+            incr j
+          done;
+          if !j < t.len && t.lo.(!j) < h then t.lo.(!j) <- h;
+          if !j > i then begin
+            Array.blit t.lo !j t.lo i (t.len - !j);
+            Array.blit t.hi !j t.hi i (t.len - !j);
+            t.len <- t.len - (!j - i)
+          end
+        end
+      end
+    end
+
+  (* Drop everything below [x]. *)
+  let trim_below t x =
+    let i = seek t x in
+    if i > 0 then begin
+      Array.blit t.lo i t.lo 0 (t.len - i);
+      Array.blit t.hi i t.hi 0 (t.len - i);
+      t.len <- t.len - i
+    end;
+    if t.len > 0 && t.lo.(0) < x then t.lo.(0) <- x
+
+  (* Absolute position of the [k]-th highest covered point, or
+     [min_int] when fewer than [k] points are covered. *)
+  let rec kth_from_top_at t i k =
+    if i < 0 then min_int
+    else
+      let w = t.hi.(i) - t.lo.(i) in
+      if k <= w then t.hi.(i) - k
+      else kth_from_top_at t (i - 1) (k - w)
+
+  let kth_from_top t k = kth_from_top_at t (t.len - 1) k
+
+  (* Apply [f gl gh] to every maximal uncovered gap within [l, h),
+     ascending. *)
+  let iter_gaps t l h f =
+    let a = ref l and i = ref (seek t l) in
+    while !a < h do
+      if !i >= t.len || !a < t.lo.(!i) then begin
+        let stop = if !i >= t.len then h else Stdlib.min h t.lo.(!i) in
+        f !a stop;
+        a := stop
+      end
+      else begin
+        a := Stdlib.max !a t.hi.(!i);
+        incr i
+      end
+    done
+end
+
 type t = {
   dupthresh : int;
   cost : Stats.Cost.t option;
   trace : Trace.Sink.t option;
-  tbl : (int, entry) Hashtbl.t;
+  (* ring arrays indexed by [abs land mask]; live slots are exactly
+     [una_abs, nxt_abs) *)
+  mutable first_sent : float array;
+  mutable last_sent : float array;
+  mutable meta : int array;  (* size lor (retx lsl retx_shift) *)
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable una_abs : int;
+  mutable nxt_abs : int;
   mutable snd_una : Serial.t;
   mutable snd_nxt : Serial.t;
+  sacked : Runs.t;
+  lost : Runs.t;
+  mutable unsacked_bytes : int;
   mutable sent : int;
   mutable retx : int;
   mutable acked : int;
 }
 
-let create ?(dupthresh = 3) ?cost ?trace () =
+let retx_shift = 30
+let size_mask = (1 lsl retx_shift) - 1
+
+let create ?(dupthresh = 3) ?(capacity = 256) ?cost ?trace () =
   assert (dupthresh >= 1);
+  (* Round the ring up to a power of two; large-BDP senders pass their
+     expected window so steady state never pays the doubling copies. *)
+  let cap = ref 256 in
+  while !cap < capacity do
+    cap := 2 * !cap
+  done;
+  let cap = !cap in
   {
     dupthresh;
     cost;
     trace;
-    tbl = Hashtbl.create 256;
+    first_sent = Array.make cap 0.0;
+    last_sent = Array.make cap 0.0;
+    meta = Array.make cap 0;
+    mask = cap - 1;
+    una_abs = 0;
+    nxt_abs = 0;
     snd_una = Serial.zero;
     snd_nxt = Serial.zero;
+    sacked = Runs.create ();
+    lost = Runs.create ();
+    unsacked_bytes = 0;
     sent = 0;
     retx = 0;
     acked = 0;
@@ -52,167 +220,205 @@ let create ?(dupthresh = 3) ?cost ?trace () =
 let charge t ?ops name =
   match t.cost with Some c -> Stats.Cost.charge c ?ops name | None -> ()
 
-let key s = Serial.to_int s
+let[@vtp.hot] abs_of t s = t.una_abs + Serial.diff s t.snd_una
 
-let[@vtp.hot] find t s = Hashtbl.find_opt t.tbl (key s)
+let ser_of t a = Serial.add t.snd_una (a - t.una_abs)
+
+let grow t =
+  let ncap = 2 * (t.mask + 1) in
+  let nmask = ncap - 1 in
+  let nfs = Array.make ncap 0.0
+  and nls = Array.make ncap 0.0
+  and nmeta = Array.make ncap 0 in
+  for a = t.una_abs to t.nxt_abs - 1 do
+    nfs.(a land nmask) <- t.first_sent.(a land t.mask);
+    nls.(a land nmask) <- t.last_sent.(a land t.mask);
+    nmeta.(a land nmask) <- t.meta.(a land t.mask)
+  done;
+  t.first_sent <- nfs;
+  t.last_sent <- nls;
+  t.meta <- nmeta;
+  t.mask <- nmask
 
 let[@vtp.hot] on_send t ~seq ~now ~size ~is_retx =
   charge t "send.scoreboard.send";
   if is_retx then begin
-    match find t seq with
-    | None -> invalid_arg "Scoreboard.on_send: retransmit of unknown seq"
-    | Some e ->
-        e.last_sent <- now;
-        e.retx <- e.retx + 1;
-        e.lost <- false;
-        t.retx <- t.retx + 1;
-        if Trace.Sink.on t.trace then
-          Trace.Sink.emit t.trace
-            (Trace.Event.Retransmit { seq = e.seq; count = e.retx })
+    let a = abs_of t seq in
+    if a < t.una_abs || a >= t.nxt_abs then
+      invalid_arg "Scoreboard.on_send: retransmit of unknown seq";
+    let i = a land t.mask in
+    t.last_sent.(i) <- now;
+    t.meta.(i) <- t.meta.(i) + (1 lsl retx_shift);
+    Runs.remove t.lost a (a + 1);
+    t.retx <- t.retx + 1;
+    if Trace.Sink.on t.trace then
+      Trace.Sink.emit t.trace
+        (Trace.Event.Retransmit { seq; count = t.meta.(i) lsr retx_shift })
   end
   else begin
     if not (Serial.equal seq t.snd_nxt) then
       invalid_arg "Scoreboard.on_send: new data out of order";
-    Hashtbl.replace t.tbl (key seq)
-      {
-        seq;
-        size;
-        first_sent = now;
-        last_sent = now;
-        retx = 0;
-        sacked = false;
-        lost = false;
-      };
+    if t.nxt_abs - t.una_abs > t.mask then grow t;
+    (* [i <= mask < length] by construction, so the masked ring writes
+       need no bounds checks — this is the per-packet fast path. *)
+    let i = t.nxt_abs land t.mask in
+    Array.unsafe_set t.first_sent i now;
+    Array.unsafe_set t.last_sent i now;
+    Array.unsafe_set t.meta i (size land size_mask);
+    t.nxt_abs <- t.nxt_abs + 1;
     t.snd_nxt <- Serial.succ seq;
-    t.sent <- t.sent + 1
+    t.sent <- t.sent + 1;
+    t.unsacked_bytes <- t.unsacked_bytes + size
   end;
   match t.cost with
-  | Some c -> Stats.Cost.watermark c "send.scoreboard.entries" (Hashtbl.length t.tbl)
+  | Some c ->
+      Stats.Cost.watermark c "send.scoreboard.entries" (t.nxt_abs - t.una_abs)
   | None -> ()
 
 let next_seq t = t.snd_nxt
 
 let una t = t.snd_una
 
-let cover_of (e : entry) =
-  { cov_seq = e.seq; cov_sent_at = e.first_sent; cov_was_retx = e.retx > 0 }
+let cover_at t a =
+  {
+    cov_seq = ser_of t a;
+    cov_sent_at = t.first_sent.(a land t.mask);
+    cov_was_retx = t.meta.(a land t.mask) lsr retx_shift > 0;
+  }
 
-(* Entries between una and nxt in ascending sequence order. *)
-let entries_in_order t =
-  let n = Serial.diff t.snd_nxt t.snd_una in
-  let rec collect i acc =
-    if i < 0 then acc
-    else begin
-      let s = Serial.add t.snd_una i in
-      match find t s with
-      | Some e -> collect (i - 1) (e :: acc)
-      | None -> collect (i - 1) acc
-    end
-  in
-  if n <= 0 then [] else collect (n - 1) []
+let size_at t a = t.meta.(a land t.mask) land size_mask
 
 let on_feedback t ~cum_ack ~blocks =
   charge t "send.scoreboard.feedback";
-  (* 1. Cumulative advance. *)
+  (* 1. Cumulative advance: every not-yet-SACKed position up to the
+     (clipped) ack point is a fresh cover. *)
   let newly_acked = ref [] in
   let cum_advanced = Serial.( > ) cum_ack t.snd_una in
   if cum_advanced then begin
-    Serial.iter_range
-      (fun s ->
-        match find t s with
-        | Some e ->
-            (* Entries already SACKed were reported as covered when the
-               SACK arrived; don't surface them twice. *)
-            if not e.sacked then newly_acked := cover_of e :: !newly_acked;
-            t.acked <- t.acked + 1;
-            Hashtbl.remove t.tbl (key s)
-        | None -> ())
-      t.snd_una
-      (Serial.min cum_ack t.snd_nxt);
+    let target = Stdlib.min (abs_of t cum_ack) t.nxt_abs in
+    Runs.iter_gaps t.sacked t.una_abs target (fun gl gh ->
+        for a = gl to gh - 1 do
+          newly_acked := cover_at t a :: !newly_acked;
+          t.unsacked_bytes <- t.unsacked_bytes - size_at t a
+        done);
+    t.acked <- t.acked + (target - t.una_abs);
+    Runs.trim_below t.sacked target;
+    Runs.trim_below t.lost target;
+    t.una_abs <- target;
     t.snd_una <- Serial.max t.snd_una (Serial.min cum_ack t.snd_nxt)
   end;
-  (* 2. SACK coverage. *)
+  (* 2. SACK coverage: the uncovered gaps of each (clipped) block are
+     the newly SACKed positions; then the block merges into the run
+     set in one splice. *)
   let newly_sacked = ref [] in
   List.iter
     (fun (b : Blocks.t) ->
-      Serial.iter_range
-        (fun s ->
-          match find t s with
-          | Some e when not e.sacked ->
-              e.sacked <- true;
-              e.lost <- false;
-              newly_sacked := cover_of e :: !newly_sacked
-          | Some _ | None -> ())
-        b.block_start b.block_end)
+      let l = Stdlib.max (abs_of t b.block_start) t.una_abs in
+      let h = Stdlib.min (abs_of t b.block_end) t.nxt_abs in
+      if l < h then begin
+        Runs.iter_gaps t.sacked l h (fun gl gh ->
+            for a = gl to gh - 1 do
+              newly_sacked := cover_at t a :: !newly_sacked;
+              t.unsacked_bytes <- t.unsacked_bytes - size_at t a
+            done);
+        Runs.remove t.lost l h;
+        Runs.add t.sacked l h
+      end)
     blocks;
-  (* 3. Loss inference: dupthresh SACKed numbers above an uncovered one.
-     Walk from highest to lowest sequence counting SACKed entries. *)
-  let sacked_above = ref 0 in
+  (* 3. Loss inference: a position is lost once [dupthresh] SACKed
+     positions lie above it, i.e. everything below the dupthresh-th
+     highest SACKed point that is neither SACKed nor already lost. *)
   let newly_lost = ref [] in
-  let span = Serial.diff t.snd_nxt t.snd_una in
-  for i = span - 1 downto 0 do
-    match find t (Serial.add t.snd_una i) with
-    | Some e ->
-        if e.sacked then incr sacked_above
-        else if !sacked_above >= t.dupthresh && not e.lost then begin
-          e.lost <- true;
-          newly_lost := e.seq :: !newly_lost;
-          if Trace.Sink.on t.trace then
-            Trace.Sink.emit t.trace
-              (Trace.Event.Loss_inferred
-                 { seq = e.seq; by = Trace.Event.I_dupthresh })
-        end
-    | None -> ()
-  done;
+  let fresh_runs = ref [] in
+  let p = Runs.kth_from_top t.sacked t.dupthresh in
+  if p > t.una_abs then begin
+    Runs.iter_gaps t.sacked t.una_abs p (fun gl gh ->
+        Runs.iter_gaps t.lost gl gh (fun ll lh ->
+            fresh_runs := (ll, lh) :: !fresh_runs;
+            for a = ll to lh - 1 do
+              newly_lost := a :: !newly_lost
+            done));
+    List.iter (fun (ll, lh) -> Runs.add t.lost ll lh) !fresh_runs;
+    (* The reference walk marks from the top down; emit in the same
+       descending order so traces stay byte-identical. *)
+    if Trace.Sink.on t.trace then
+      List.iter
+        (fun a ->
+          Trace.Sink.emit t.trace
+            (Trace.Event.Loss_inferred
+               { seq = ser_of t a; by = Trace.Event.I_dupthresh }))
+        !newly_lost
+  end;
   let by_seq f a b = Serial.compare (f a) (f b) in
   {
     newly_acked = List.sort (by_seq (fun c -> c.cov_seq)) !newly_acked;
     newly_sacked = List.sort (by_seq (fun c -> c.cov_seq)) !newly_sacked;
-    newly_lost = List.sort Serial.compare !newly_lost;
+    newly_lost =
+      List.fold_left (fun acc a -> ser_of t a :: acc) [] !newly_lost;
     cum_advanced;
   }
 
 let lost_pending t =
-  entries_in_order t
-  |> List.filter (fun e -> e.lost)
-  |> List.map (fun e -> e.seq)
+  let acc = ref [] in
+  for i = t.lost.Runs.len - 1 downto 0 do
+    for a = t.lost.Runs.hi.(i) - 1 downto t.lost.Runs.lo.(i) do
+      acc := ser_of t a :: !acc
+    done
+  done;
+  !acc
 
 let mark_expired t ~now ~timeout =
   let fresh = ref [] in
-  List.iter
-    (fun e ->
-      if (not e.sacked) && (not e.lost) && now -. e.last_sent > timeout then begin
-        e.lost <- true;
-        fresh := e.seq :: !fresh;
-        if Trace.Sink.on t.trace then
-          Trace.Sink.emit t.trace
-            (Trace.Event.Loss_inferred
-               { seq = e.seq; by = Trace.Event.I_timeout })
-      end)
-    (entries_in_order t);
-  List.sort Serial.compare !fresh
+  Runs.iter_gaps t.sacked t.una_abs t.nxt_abs (fun gl gh ->
+      Runs.iter_gaps t.lost gl gh (fun ll lh ->
+          for a = ll to lh - 1 do
+            if now -. t.last_sent.(a land t.mask) > timeout then begin
+              fresh := a :: !fresh;
+              if Trace.Sink.on t.trace then
+                Trace.Sink.emit t.trace
+                  (Trace.Event.Loss_inferred
+                     { seq = ser_of t a; by = Trace.Event.I_timeout })
+            end
+          done));
+  List.iter (fun a -> Runs.add t.lost a (a + 1)) !fresh;
+  List.fold_left (fun acc a -> ser_of t a :: acc) [] !fresh
 
 let abandon_below t limit =
   let limit = Serial.min limit t.snd_nxt in
   if Serial.( > ) limit t.snd_una then begin
-    Serial.iter_range (fun s -> Hashtbl.remove t.tbl (key s)) t.snd_una limit;
+    let target = Stdlib.min (abs_of t limit) t.nxt_abs in
+    Runs.iter_gaps t.sacked t.una_abs target (fun gl gh ->
+        for a = gl to gh - 1 do
+          t.unsacked_bytes <- t.unsacked_bytes - size_at t a
+        done);
+    Runs.trim_below t.sacked target;
+    Runs.trim_below t.lost target;
+    t.una_abs <- target;
     t.snd_una <- limit
   end
 
-let retx_count t s = match find t s with Some e -> e.retx | None -> 0
+let tracked t a = a >= t.una_abs && a < t.nxt_abs
+
+let retx_count t s =
+  let a = abs_of t s in
+  if tracked t a then t.meta.(a land t.mask) lsr retx_shift else 0
 
 let status t s =
-  match find t s with
-  | None -> `Untracked
-  | Some e -> if e.sacked then `Sacked else if e.lost then `Lost else `In_flight
+  let a = abs_of t s in
+  if not (tracked t a) then `Untracked
+  else if Runs.mem t.sacked a then `Sacked
+  else if Runs.mem t.lost a then `Lost
+  else `In_flight
 
 let first_sent_at t s =
-  match find t s with Some e -> Some e.first_sent | None -> None
+  let a = abs_of t s in
+  if tracked t a then Some t.first_sent.(a land t.mask) else None
 
-let outstanding t = Hashtbl.length t.tbl
+let outstanding t = t.nxt_abs - t.una_abs
 
-let in_flight_bytes t =
-  Hashtbl.fold (fun _ e acc -> if e.sacked then acc else acc + e.size) t.tbl 0
+let in_flight_bytes t = t.unsacked_bytes
+
+let runs_held t = (t.sacked.Runs.len, t.lost.Runs.len)
 
 let stats_sent t = t.sent
 let stats_retx t = t.retx

@@ -1,4 +1,7 @@
-(** Sender-side SACK scoreboard.
+(** Frozen per-entry reference implementation of {!Scoreboard}, kept as the
+    differential-testing oracle for the run-length rewrite.
+
+    Sender-side SACK scoreboard.
 
     Tracks every transmitted-but-unacknowledged sequence number with its
     send time and retransmission count; digests SACK feedback into
@@ -24,19 +27,10 @@ type feedback_result = {
 
 type t
 
-val create :
-  ?dupthresh:int ->
-  ?capacity:int ->
-  ?cost:Stats.Cost.t ->
-  ?trace:Trace.Sink.t ->
-  unit ->
-  t
+val create : ?dupthresh:int -> ?cost:Stats.Cost.t -> ?trace:Trace.Sink.t -> unit -> t
 (** [trace] makes the scoreboard record retransmissions and loss
     inferences (dupthresh and timeout) into the flight recorder; the
-    sink supplies the clock the scoreboard itself does not hold.
-    [capacity] pre-sizes the per-packet ring (rounded up to a power of
-    two, default 256); the ring grows on demand either way, so this is
-    purely a steady-state hint for large-BDP windows. *)
+    sink supplies the clock the scoreboard itself does not hold. *)
 
 val on_send :
   t -> seq:Packet.Serial.t -> now:float -> size:int -> is_retx:bool -> unit
@@ -81,10 +75,6 @@ val outstanding : t -> int
 (** Tracked, not-yet-covered sequence numbers. *)
 
 val in_flight_bytes : t -> int
-
-val runs_held : t -> int * int
-(** [(sacked_runs, lost_runs)] currently held by the run-length state —
-    introspection for the adversarial fragmentation tests and benches. *)
 
 val stats_sent : t -> int
 val stats_retx : t -> int

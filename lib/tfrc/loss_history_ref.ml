@@ -1,17 +1,6 @@
 module Serial = Packet.Serial
 
-(* Run-length hole tracking: holes live in sorted parallel int arrays
-   of half-open [lo, hi) runs over absolute positions, and the
-   per-hole "packets seen after" counter is virtualised through a
-   global epoch — every new-maximum packet bumps [epoch] once instead
-   of touching every hole, and a run born at epoch [b] has seen
-   [epoch - b + 1] later packets.  Births are non-decreasing along the
-   array, so ripe holes are always a prefix and promotion is O(ripe).
-   [Loss_history_ref] keeps the per-hole list implementation as the
-   differential oracle.
-
-   Absolute positions are anchored at the highest sequence seen:
-   [abs = max_abs + Serial.diff s max_seq]. *)
+type hole = { seq : Serial.t; mutable after : int }
 
 type event = { start_time : float; start_seq : Serial.t }
 
@@ -21,15 +10,7 @@ type t = {
   discount : bool;
   cost : Stats.Cost.t option;
   mutable max_seq : Serial.t option;
-  mutable max_abs : int;
-  (* hole runs, live in [h_fst, h_len) of the parallel arrays *)
-  mutable h_lo : int array;
-  mutable h_hi : int array;
-  mutable h_born : int array;  (* epoch at creation *)
-  mutable h_fst : int;
-  mutable h_len : int;
-  mutable epoch : int;  (* new-maximum packets accounted so far *)
-  mutable hole_count : int;  (* sum of run widths *)
+  mutable holes : hole list;  (* ascending seq *)
   mutable intervals : float list;  (* newest first, length <= history *)
   mutable current : event option;
   mutable events : int;
@@ -46,14 +27,7 @@ let create ?(ndup = 3) ?(history = 8) ?(discount = true) ?cost () =
     discount;
     cost;
     max_seq = None;
-    max_abs = 0;
-    h_lo = Array.make 8 0;
-    h_hi = Array.make 8 0;
-    h_born = Array.make 8 0;
-    h_fst = 0;
-    h_len = 0;
-    epoch = 0;
-    hole_count = 0;
+    holes = [];
     intervals = [];
     current = None;
     events = 0;
@@ -69,7 +43,7 @@ let watermark t =
   match t.cost with
   | Some c ->
       Stats.Cost.watermark c "lh.entries"
-        (t.hole_count + List.length t.intervals)
+        (List.length t.holes + List.length t.intervals)
   | None -> ()
 
 (* The weights of RFC 3448 §5.4 for n = 8; for other history depths we
@@ -124,98 +98,10 @@ let on_congestion_mark t ~seq ~arrival ~rtt =
 let set_first_interval t len =
   if t.intervals = [] && len > 0.0 then t.intervals <- [ len ]
 
-let anchor t =
-  match t.max_seq with
-  | Some m -> m
-  | None -> invalid_arg "Loss_history: holes tracked before any packet"
-
-let ser_of t a = Serial.add (anchor t) (a - t.max_abs)
-
-(* A run born at epoch [b] has [epoch - b + 1] confirming later
-   packets (the packet that created it counts as the first). *)
-let[@vtp.hot] ripe t i = t.epoch - Array.unsafe_get t.h_born i + 1 >= t.ndup
-
-(* Ripe runs are a prefix (births are non-decreasing along the array):
-   promote each of their positions to a loss, in ascending order, by
-   advancing the front offset. *)
 let promote_ripe_holes t ~arrival ~rtt =
-  while t.h_fst < t.h_len && ripe t t.h_fst do
-    let i = t.h_fst in
-    for a = t.h_lo.(i) to t.h_hi.(i) - 1 do
-      record_loss t ~seq:(ser_of t a) ~time:arrival ~rtt
-    done;
-    t.hole_count <- t.hole_count - (t.h_hi.(i) - t.h_lo.(i));
-    t.h_fst <- i + 1
-  done
-
-(* Make room for one more run at the back. *)
-let reserve t =
-  let cap = Array.length t.h_lo in
-  if t.h_len = cap then begin
-    let live = t.h_len - t.h_fst in
-    if t.h_fst > 0 then begin
-      Array.blit t.h_lo t.h_fst t.h_lo 0 live;
-      Array.blit t.h_hi t.h_fst t.h_hi 0 live;
-      Array.blit t.h_born t.h_fst t.h_born 0 live
-    end
-    else begin
-      let ncap = 2 * cap in
-      let nlo = Array.make ncap 0
-      and nhi = Array.make ncap 0
-      and nborn = Array.make ncap 0 in
-      Array.blit t.h_lo t.h_fst nlo 0 live;
-      Array.blit t.h_hi t.h_fst nhi 0 live;
-      Array.blit t.h_born t.h_fst nborn 0 live;
-      t.h_lo <- nlo;
-      t.h_hi <- nhi;
-      t.h_born <- nborn
-    end;
-    t.h_fst <- 0;
-    t.h_len <- live
-  end
-
-let append_run t l h =
-  reserve t;
-  t.h_lo.(t.h_len) <- l;
-  t.h_hi.(t.h_len) <- h;
-  t.h_born.(t.h_len) <- t.epoch;
-  t.h_len <- t.h_len + 1;
-  t.hole_count <- t.hole_count + (h - l)
-
-(* Smallest live index whose run ends strictly after [a]. *)
-let[@vtp.hot] rec seek_from t a lo hi =
-  if lo >= hi then lo
-  else
-    let mid = (lo + hi) lsr 1 in
-    if Array.unsafe_get t.h_hi mid > a then seek_from t a lo mid
-    else seek_from t a (mid + 1) hi
-
-(* A late arrival fills one hole: remove the single position [a],
-   splitting its run when it sits strictly inside. *)
-let fill_hole t a =
-  let i = seek_from t a t.h_fst t.h_len in
-  if i < t.h_len && t.h_lo.(i) <= a then begin
-    t.hole_count <- t.hole_count - 1;
-    if t.h_hi.(i) - t.h_lo.(i) = 1 then begin
-      Array.blit t.h_lo (i + 1) t.h_lo i (t.h_len - i - 1);
-      Array.blit t.h_hi (i + 1) t.h_hi i (t.h_len - i - 1);
-      Array.blit t.h_born (i + 1) t.h_born i (t.h_len - i - 1);
-      t.h_len <- t.h_len - 1
-    end
-    else if t.h_lo.(i) = a then t.h_lo.(i) <- a + 1
-    else if t.h_hi.(i) = a + 1 then t.h_hi.(i) <- a
-    else begin
-      (* split: both halves keep the birth epoch *)
-      reserve t;
-      let i = seek_from t a t.h_fst t.h_len in
-      Array.blit t.h_lo i t.h_lo (i + 1) (t.h_len - i);
-      Array.blit t.h_hi i t.h_hi (i + 1) (t.h_len - i);
-      Array.blit t.h_born i t.h_born (i + 1) (t.h_len - i);
-      t.h_len <- t.h_len + 1;
-      t.h_hi.(i) <- a;
-      t.h_lo.(i + 1) <- a + 1
-    end
-  end
+  let ripe, pending = List.partition (fun h -> h.after >= t.ndup) t.holes in
+  t.holes <- pending;
+  List.iter (fun h -> record_loss t ~seq:h.seq ~time:arrival ~rtt) ripe
 
 let on_packet t ~seq ~arrival ~rtt ~is_retx =
   if not is_retx then begin
@@ -224,23 +110,24 @@ let on_packet t ~seq ~arrival ~rtt ~is_retx =
     (match t.max_seq with
     | None -> t.max_seq <- Some seq
     | Some m when Serial.( > ) seq m ->
-        (* Every pre-existing hole saw one more subsequent packet; the
-           epoch bump accounts for all of them at once.  The skipped
-           numbers become one fresh run — the arriving packet itself
-           lies beyond it, so it counts as the first confirmation. *)
-        t.epoch <- t.epoch + 1;
-        let d = Serial.diff seq m in
-        if d > 1 then begin
-          append_run t (t.max_abs + 1) (t.max_abs + d);
-          for _ = 2 to d do
-            charge t "lh.hole"
-          done
-        end;
-        t.max_abs <- t.max_abs + d;
+        (* New holes for every skipped number; every pre-existing hole
+           saw one more subsequent packet. *)
+        List.iter (fun h -> h.after <- h.after + 1) t.holes;
+        let skipped = Serial.range (Serial.succ m) seq in
+        (* The arriving packet itself lies beyond each fresh hole, so it
+           counts as the first confirming packet (after = 1). *)
+        let fresh =
+          List.map
+            (fun s ->
+              charge t "lh.hole";
+              { seq = s; after = 1 })
+            skipped
+        in
+        t.holes <- t.holes @ fresh;
         t.max_seq <- Some seq
-    | Some m ->
+    | Some _ ->
         (* Late arrival filling a hole: it was never lost. *)
-        fill_hole t (t.max_abs + Serial.diff seq m));
+        t.holes <- List.filter (fun h -> not (Serial.equal h.seq seq)) t.holes);
     promote_ripe_holes t ~arrival ~rtt;
     watermark t
   end
@@ -307,4 +194,3 @@ let congestion_marks t = t.marks
 let packets_seen t = t.seen
 let max_seq t = t.max_seq
 let closed_intervals t = t.intervals
-let holes_held t = t.h_len - t.h_fst

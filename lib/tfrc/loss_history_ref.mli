@@ -1,4 +1,7 @@
-(** Loss-event history and loss-event-rate estimation, RFC 3448 §5.
+(** Frozen per-entry reference implementation of {!Loss_history}, kept as the
+    differential-testing oracle for the run-length rewrite.
+
+    Loss-event history and loss-event-rate estimation, RFC 3448 §5.
 
     This is the expensive half of TFRC: it watches the arrival stream
     for sequence holes, promotes holes to *losses* once enough later
@@ -82,7 +85,3 @@ val closed_intervals : t -> float list
 
 val open_interval : t -> float
 (** Packets since the start of the current loss event (0 before any). *)
-
-val holes_held : t -> int
-(** Hole runs currently tracked — introspection for the adversarial
-    fragmentation tests. *)

@@ -246,6 +246,97 @@ let prop_p_in_unit_interval =
       let p = LH.loss_event_rate lh in
       p >= 0.0 && p <= 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing against the frozen per-hole reference
+   implementation: random arrival streams — in-order runs, skips that
+   open holes, late arrivals that repair them, retransmissions — replay
+   through both histories, and every observable must match exactly:
+   loss counts, event grouping, the closed-interval list (bitwise — the
+   float pipeline is shared), and the resulting loss event rate. *)
+
+module LHR = Tfrc.Loss_history_ref
+
+let differential_history_run ~seed ~steps =
+  let rng = Engine.Rng.create ~seed in
+  let lh = LH.create ~ndup:3 () in
+  let lr = LHR.create ~ndup:3 () in
+  let ok = ref true in
+  let expect b = if not b then ok := false in
+  let next = ref 0 in
+  let pending = ref [] in
+  let clock = ref 0.0 in
+  let both seq ~is_retx =
+    LH.on_packet lh ~seq:(S.of_int seq) ~arrival:!clock ~rtt ~is_retx;
+    LHR.on_packet lr ~seq:(S.of_int seq) ~arrival:!clock ~rtt ~is_retx
+  in
+  for _ = 1 to steps do
+    clock := !clock +. 0.002 +. Engine.Rng.float rng 0.006;
+    (match Engine.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 ->
+        both !next ~is_retx:false;
+        incr next
+    | 6 | 7 ->
+        (* Skip ahead, remembering the skipped numbers as candidate
+           late arrivals. *)
+        let gap = 1 + Engine.Rng.int rng 4 in
+        for s = !next to !next + gap - 1 do
+          pending := s :: !pending
+        done;
+        next := !next + gap;
+        both !next ~is_retx:false;
+        incr next
+    | 8 -> (
+        match !pending with
+        | [] -> ()
+        | l ->
+            let i = Engine.Rng.int rng (List.length l) in
+            let s = List.nth l i in
+            pending := List.filteri (fun j _ -> j <> i) l;
+            both s ~is_retx:false)
+    | _ ->
+        (* Retransmission of an old number: excluded from accounting. *)
+        both (Engine.Rng.int rng (Stdlib.max 1 !next)) ~is_retx:true);
+    if List.length !pending > 16 then
+      pending := List.filteri (fun j _ -> j < 16) !pending;
+    expect (LH.losses lh = LHR.losses lr);
+    expect (LH.loss_events lh = LHR.loss_events lr)
+  done;
+  expect (LH.packets_seen lh = LHR.packets_seen lr);
+  expect (LH.congestion_marks lh = LHR.congestion_marks lr);
+  expect (LH.max_seq lh = LHR.max_seq lr);
+  expect (LH.closed_intervals lh = LHR.closed_intervals lr);
+  expect (Float.equal (LH.open_interval lh) (LHR.open_interval lr));
+  expect (Float.equal (LH.mean_interval lh) (LHR.mean_interval lr));
+  expect (Float.equal (LH.loss_event_rate lh) (LHR.loss_event_rate lr));
+  !ok
+
+let prop_differential_vs_reference =
+  QCheck.Test.make
+    ~name:"run-length loss history matches the frozen reference" ~count:250
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 400))
+    (fun (seed, steps) -> differential_history_run ~seed ~steps)
+
+(* Adversarial fragmentation: every second packet missing — the
+   maximally fragmented hole pattern.  The epoch-virtualised promotion
+   must keep the tracked-run tail at [ndup] or fewer (ripe holes are a
+   prefix and leave immediately), never one run per historical hole. *)
+let test_alternating_loss_holes_bounded () =
+  let n = 1000 in
+  let lh = LH.create ~ndup:3 () in
+  List.iter
+    (fun i ->
+      LH.on_packet lh ~seq:(S.of_int (2 * i))
+        ~arrival:(float_of_int i *. 0.001)
+        ~rtt ~is_retx:false)
+    (List.init n Fun.id);
+  Alcotest.(check bool)
+    (Printf.sprintf "holes held %d <= ndup" (LH.holes_held lh))
+    true
+    (LH.holes_held lh <= 3);
+  (* Each arrival confirms earlier holes; all but the youngest two of
+     the n-1 holes have ndup confirmations. *)
+  Alcotest.(check int) "promoted losses" (n - 3) (LH.losses lh)
+
 let suite =
   [
     Alcotest.test_case "no loss" `Quick test_no_loss;
@@ -270,6 +361,9 @@ let suite =
     Alcotest.test_case "history bounded" `Quick test_history_bounded;
     Alcotest.test_case "max_seq" `Quick test_max_seq;
     Alcotest.test_case "cost charged" `Quick test_cost_charged;
+    Alcotest.test_case "alternating-loss holes bounded" `Quick
+      test_alternating_loss_holes_bounded;
     QCheck_alcotest.to_alcotest prop_events_match_reference;
     QCheck_alcotest.to_alcotest prop_p_in_unit_interval;
+    QCheck_alcotest.to_alcotest prop_differential_vs_reference;
   ]

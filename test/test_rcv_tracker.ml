@@ -157,6 +157,89 @@ let prop_tracker_vs_reference =
              T.received t (S.of_int i) = Hashtbl.mem received i)
            (List.init 110 Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing against the frozen list-based reference
+   implementation: random arrival streams with gaps, reorder and
+   forward points replay through both trackers, and the cumulative ack,
+   the full range list, the bounded SACK report (recency order
+   included) and the counters must match exactly at every step. *)
+
+module TR = Sack.Rcv_tracker_ref
+
+let block_ints (b : Sack.Blocks.t) =
+  (S.to_int b.Packet.Header.block_start, S.to_int b.Packet.Header.block_end)
+
+let differential_tracker_run ~seed ~steps =
+  let rng = Engine.Rng.create ~seed in
+  let t = T.create ~max_blocks:4 () in
+  let r = TR.create ~max_blocks:4 () in
+  let ok = ref true in
+  let expect b = if not b then ok := false in
+  for _ = 1 to steps do
+    (match Engine.Rng.int rng 10 with
+    | 8 ->
+        let fwd = S.to_int (T.cum_ack t) + Engine.Rng.int rng 25 in
+        T.apply_fwd_point t (S.of_int fwd);
+        TR.apply_fwd_point r (S.of_int fwd)
+    | 9 ->
+        expect
+          (List.map block_ints (T.sack_blocks t)
+          = List.map block_ints (TR.sack_blocks r))
+    | _ ->
+        let s = S.to_int (T.cum_ack t) + Engine.Rng.int rng 50 in
+        T.on_data t ~seq:(S.of_int s);
+        TR.on_data r ~seq:(S.of_int s));
+    expect (S.equal (T.cum_ack t) (TR.cum_ack r));
+    expect
+      (List.map block_ints (T.all_ranges t)
+      = List.map block_ints (TR.all_ranges r));
+    expect (T.duplicates t = TR.duplicates r);
+    expect (T.packets t = TR.packets r)
+  done;
+  expect (S.equal (T.highest_expected t) (TR.highest_expected r));
+  expect
+    (List.map block_ints (T.sack_blocks t)
+    = List.map block_ints (TR.sack_blocks r));
+  let cum = S.to_int (T.cum_ack t) in
+  let top = S.to_int (T.highest_expected t) in
+  for i = Stdlib.max 0 (cum - 3) to top + 3 do
+    expect (T.received t (S.of_int i) = TR.received r (S.of_int i))
+  done;
+  !ok
+
+let prop_differential_vs_reference =
+  QCheck.Test.make
+    ~name:"run-length tracker matches the frozen reference" ~count:250
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 250))
+    (fun (seed, steps) -> differential_tracker_run ~seed ~steps)
+
+(* Adversarial duplicate flood: build a maximally fragmented range list
+   (every second number received), then replay the whole pattern many
+   times over.  Duplicates must be counted and change nothing — the
+   range count stays put, the SACK report stays bounded, and the
+   cumulative ack does not move. *)
+let test_duplicate_flood_bounded () =
+  let n = 500 in
+  let t = T.create () in
+  let evens = List.init n (fun i -> 2 * i) in
+  feed t evens;
+  (* 0 advanced the cum point; every later even opened a range. *)
+  Alcotest.(check int) "one range per even arrival" (n - 1)
+    (T.ranges_held t);
+  let cum = S.to_int (T.cum_ack t) in
+  let ranges = blocks_ints t in
+  for _ = 1 to 10 do
+    feed t evens
+  done;
+  Alcotest.(check int) "flood counted as duplicates" (10 * n)
+    (T.duplicates t);
+  Alcotest.(check int) "range count unchanged" (n - 1) (T.ranges_held t);
+  Alcotest.(check int) "cum unchanged" cum (S.to_int (T.cum_ack t));
+  Alcotest.(check (list (pair int int))) "ranges unchanged" ranges
+    (blocks_ints t);
+  Alcotest.(check int) "SACK report stays bounded" 4
+    (List.length (T.sack_blocks t))
+
 let suite =
   [
     Alcotest.test_case "in order" `Quick test_in_order;
@@ -176,5 +259,8 @@ let suite =
     Alcotest.test_case "fwd point backwards" `Quick
       test_fwd_point_backwards_ignored;
     Alcotest.test_case "O(1) cost per packet" `Quick test_cost_o1;
+    Alcotest.test_case "duplicate flood bounded" `Quick
+      test_duplicate_flood_bounded;
     QCheck_alcotest.to_alcotest prop_tracker_vs_reference;
+    QCheck_alcotest.to_alcotest prop_differential_vs_reference;
   ]

@@ -39,7 +39,7 @@ let test_expected_experiments_present () =
       Alcotest.(check bool) (id ^ " registered") true
         (Experiments.Runner.find id <> None))
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "e13"; "e14"; "e15"; "e16"; "a1"; "a2"; "a3"; "a4" ]
+      "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "a1"; "a2"; "a3"; "a4" ]
 
 let suite =
   [

@@ -177,6 +177,131 @@ let prop_una_monotone =
         acks;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing against the frozen per-entry reference
+   implementation: a random operation stream — send bursts, SACK
+   feedback, retransmission of every pending loss, timeout expiry and
+   abandonment — is replayed through both the run-length scoreboard and
+   [Sack.Scoreboard_ref], and every externally observable result must
+   match exactly: feedback covers, loss inferences, expiry lists,
+   per-sequence status and the aggregate counters. *)
+
+module SBR = Sack.Scoreboard_ref
+
+let cover_repr (c : SB.cover) =
+  (S.to_int c.SB.cov_seq, c.SB.cov_sent_at, c.SB.cov_was_retx)
+
+let cover_repr_ref (c : SBR.cover) =
+  (S.to_int c.SBR.cov_seq, c.SBR.cov_sent_at, c.SBR.cov_was_retx)
+
+let differential_run ~seed ~steps =
+  let rng = Engine.Rng.create ~seed in
+  let sb = SB.create ~dupthresh:3 () in
+  let sbr = SBR.create ~dupthresh:3 () in
+  let now = ref 0.0 in
+  let ok = ref true in
+  let expect _what b = if not b then ok := false in
+  let both_send seq ~is_retx =
+    SB.on_send sb ~seq ~now:!now ~size:1000 ~is_retx;
+    SBR.on_send sbr ~seq ~now:!now ~size:1000 ~is_retx
+  in
+  for _ = 1 to steps do
+    now := !now +. 0.001 +. Engine.Rng.float rng 0.01;
+    (match Engine.Rng.int rng 8 with
+    | 0 | 1 ->
+        let n = 1 + Engine.Rng.int rng 24 in
+        for _ = 1 to n do
+          both_send (SB.next_seq sb) ~is_retx:false
+        done
+    | 2 | 3 | 4 ->
+        let una = S.to_int (SB.una sb) in
+        let nxt = S.to_int (SB.next_seq sb) in
+        let window = nxt - una in
+        let cum = una + Engine.Rng.int rng (window + 1) in
+        let blocks =
+          List.init (Engine.Rng.int rng 4) (fun _ ->
+              let a = cum + 1 + Engine.Rng.int rng (Stdlib.max 1 (nxt - cum) + 2) in
+              blk a (a + 1 + Engine.Rng.int rng 6))
+        in
+        let r = SB.on_feedback sb ~cum_ack:(S.of_int cum) ~blocks in
+        let rr = SBR.on_feedback sbr ~cum_ack:(S.of_int cum) ~blocks in
+        expect "cum_advanced" (r.SB.cum_advanced = rr.SBR.cum_advanced);
+        expect "newly_acked"
+          (List.map cover_repr r.SB.newly_acked
+          = List.map cover_repr_ref rr.SBR.newly_acked);
+        expect "newly_sacked"
+          (List.map cover_repr r.SB.newly_sacked
+          = List.map cover_repr_ref rr.SBR.newly_sacked);
+        expect "newly_lost"
+          (List.map S.to_int r.SB.newly_lost
+          = List.map S.to_int rr.SBR.newly_lost)
+    | 5 ->
+        let lp = SB.lost_pending sb in
+        expect "lost_pending"
+          (List.map S.to_int lp = List.map S.to_int (SBR.lost_pending sbr));
+        List.iter (fun s -> both_send s ~is_retx:true) lp
+    | 6 ->
+        let timeout = 0.001 +. Engine.Rng.float rng 0.05 in
+        expect "mark_expired"
+          (List.map S.to_int (SB.mark_expired sb ~now:!now ~timeout)
+          = List.map S.to_int (SBR.mark_expired sbr ~now:!now ~timeout))
+    | _ ->
+        let una = S.to_int (SB.una sb) in
+        let window = S.to_int (SB.next_seq sb) - una in
+        let upto = S.of_int (una + Engine.Rng.int rng (window + 1)) in
+        SB.abandon_below sb upto;
+        SBR.abandon_below sbr upto);
+    expect "una" (S.equal (SB.una sb) (SBR.una sbr));
+    expect "next_seq" (S.equal (SB.next_seq sb) (SBR.next_seq sbr));
+    expect "outstanding" (SB.outstanding sb = SBR.outstanding sbr);
+    expect "in_flight" (SB.in_flight_bytes sb = SBR.in_flight_bytes sbr)
+  done;
+  let una = S.to_int (SB.una sb) and nxt = S.to_int (SB.next_seq sb) in
+  for i = Stdlib.max 0 (una - 2) to nxt + 2 do
+    let s = S.of_int i in
+    expect "status" (SB.status sb s = SBR.status sbr s);
+    expect "retx_count" (SB.retx_count sb s = SBR.retx_count sbr s);
+    expect "first_sent_at" (SB.first_sent_at sb s = SBR.first_sent_at sbr s)
+  done;
+  expect "stats_sent" (SB.stats_sent sb = SBR.stats_sent sbr);
+  expect "stats_retx" (SB.stats_retx sb = SBR.stats_retx sbr);
+  expect "stats_acked" (SB.stats_acked sb = SBR.stats_acked sbr);
+  !ok
+
+let prop_differential_vs_reference =
+  QCheck.Test.make
+    ~name:"run-length scoreboard matches the frozen reference" ~count:250
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 120))
+    (fun (seed, steps) -> differential_run ~seed ~steps)
+
+(* Adversarial fragmentation: SACK every second packet of a large
+   window in one feedback — the worst case for any run-length scheme.
+   The representation must hold exactly one run per reported block (no
+   super-linear blowup), infer the interleaved holes lost, and collapse
+   back to zero runs once the cumulative ack sweeps the window. *)
+let test_alternating_sack_fragmentation () =
+  let n = 2000 in
+  let sb = SB.create ~dupthresh:3 () in
+  send_n sb n;
+  let blocks = List.init (n / 2) (fun i -> blk ((2 * i) + 1) ((2 * i) + 2)) in
+  let r = SB.on_feedback sb ~cum_ack:(S.of_int 0) ~blocks in
+  Alcotest.(check int) "every block newly sacked" (n / 2)
+    (List.length r.SB.newly_sacked);
+  let sacked_runs, lost_runs = SB.runs_held sb in
+  Alcotest.(check int) "one run per disjoint block" (n / 2) sacked_runs;
+  Alcotest.(check bool) "lost runs bounded by holes" true
+    (lost_runs <= n / 2);
+  (* Holes with >= dupthresh sacked packets above them are lost: all
+     even numbers except the last two. *)
+  Alcotest.(check int) "holes inferred lost" ((n / 2) - 2)
+    (List.length r.SB.newly_lost);
+  let r2 = SB.on_feedback sb ~cum_ack:(S.of_int n) ~blocks:[] in
+  Alcotest.(check int) "cum sweep acks the holes" (n / 2)
+    (List.length r2.SB.newly_acked);
+  Alcotest.(check (pair int int)) "runs collapse to nothing" (0, 0)
+    (SB.runs_held sb);
+  Alcotest.(check int) "nothing outstanding" 0 (SB.outstanding sb)
+
 let suite =
   [
     Alcotest.test_case "sequencing" `Quick test_sequencing;
@@ -194,6 +319,9 @@ let suite =
       test_expiry_skips_sacked_and_fresh;
     Alcotest.test_case "abandon_below" `Quick test_abandon_below;
     Alcotest.test_case "in-flight bytes" `Quick test_in_flight_bytes;
+    Alcotest.test_case "alternating-loss fragmentation bounded" `Quick
+      test_alternating_sack_fragmentation;
     QCheck_alcotest.to_alcotest prop_sacked_and_lost_disjoint;
     QCheck_alcotest.to_alcotest prop_una_monotone;
+    QCheck_alcotest.to_alcotest prop_differential_vs_reference;
   ]
