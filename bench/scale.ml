@@ -136,6 +136,72 @@ let run_scenario ?bottleneck_delay ?capacity_pkts ~name ~sched ~seed ~n_flows
     delivered_bytes = delivered;
   }
 
+(* Mobility at scale: [n_flows] independent single-flow mobile
+   topologies in one simulation, each migrating across its own WiFi ->
+   cellular -> satellite triple (a drain then a hard cut) with the
+   informed rate policy.  Prices the handover machinery — link
+   severing, path re-homing, policy re-seeds — under many concurrent
+   migrations. *)
+let setup_handover ~sched ~seed ~n_flows () =
+  let sim = Engine.Sim.create ~seed ~sched () in
+  let paths = [ (8.0, 0.008); (1.5, 0.060); (2.0, 0.270) ] in
+  let conns = ref [] in
+  for i = 0 to n_flows - 1 do
+    let spec_of (rate_mbps, delay) =
+      Netsim.Topology.spec ~rate_bps:(rate_mbps *. 1e6) ~delay
+        ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:60)
+        ()
+    in
+    let m = Netsim.Topology.mobile ~sim ~paths:(List.map spec_of paths) () in
+    let topo = Netsim.Topology.mobile_net m in
+    let agreed =
+      Qtp.Profile.agreed_exn
+        (Qtp.Profile.qtp_light ~reliability:[ Qtp.Capabilities.R_full ] ())
+        (Qtp.Profile.anything ())
+    in
+    let cfg =
+      Qtp.Connection.config ~initial_rtt:0.05 ~handover:`Informed agreed
+    in
+    let conn =
+      Qtp.Connection.create ~sim
+        ~endpoint:(Netsim.Topology.endpoint topo 0)
+        ~start_at:(0.003 *. float_of_int i)
+        cfg
+    in
+    Netsim.Topology.on_migrate m (fun idx ->
+        Qtp.Connection.notify_migration conn
+          ~link:(Common.declared_link m idx));
+    let jitter = 0.01 *. float_of_int i in
+    Netsim.Topology.apply_schedule m
+      [ (0.8 +. jitter, 1, `Drain); (1.6 +. jitter, 2, `Cut) ];
+    conns := conn :: !conns
+  done;
+  let delivered () =
+    List.fold_left (fun n c -> n + Qtp.Connection.delivered c) 0 !conns
+  in
+  (sim, delivered)
+
+let run_handover ~sched ~seed ~n_flows ~sim_seconds () =
+  let (events, delivered), wall, peak, allocated =
+    with_gc_metrics (fun () ->
+        let sim, delivered = setup_handover ~sched ~seed ~n_flows () in
+        Engine.Sim.run ~until:sim_seconds sim;
+        (Engine.Sim.executed sim, delivered ()))
+  in
+  {
+    name = "scale_handover";
+    flows = n_flows;
+    sched;
+    seed;
+    sim_seconds;
+    wall_s = wall;
+    events;
+    events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    max_heap_words = peak;
+    allocated_words = allocated;
+    delivered_bytes = delivered;
+  }
+
 let default_seed = 42
 
 (* ------------------------------------------------------------------ *)
@@ -371,7 +437,9 @@ let suite ?(seed = default_seed) ?(jobs = 1) () =
               ~sched ~seed ~n_flows ~sim_seconds ())
           configs)
   in
-  Array.to_list results @ sched_replay ~seed ()
+  Array.to_list results
+  @ [ run_handover ~sched:`Wheel ~seed ~n_flows:60 ~sim_seconds:2.5 () ]
+  @ sched_replay ~seed ()
 
 (* Pure-compute scenario sweep for the pool-speedup measurement: many
    independent 20-flow simulations, deliberately without the GC

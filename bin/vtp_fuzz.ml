@@ -8,6 +8,7 @@
      vtp_fuzz --matrix --seeds 60    # 10 seeds per profile/mode cell
      vtp_fuzz --smoke                # the fixed 25-seed corpus (@fuzz-smoke)
      vtp_fuzz --smoke --digest       # one report digest per seed (@par-smoke)
+     vtp_fuzz --band handover --seeds 25   # mobility band (@handover-smoke)
 
    Every run is a pure function of its seeds — whatever --jobs is: the
    per-seed executions fan out over an Engine.Pool but reporting is in
@@ -62,6 +63,15 @@ let digest =
               the campaign summary; dune's @par-smoke alias diffs this \
               output across --jobs values.")
 
+let band =
+  Arg.(
+    value
+    & opt (enum [ ("std", `Std); ("lfn", `Lfn); ("handover", `Handover) ]) `Std
+    & info [ "band" ] ~docv:"BAND"
+        ~doc:"Generation band: $(b,std) (classic short paths), $(b,lfn) \
+              (long-fat networks) or $(b,handover) (single flow migrating \
+              across a heterogeneous WiFi/cellular/satellite path triple).")
+
 let jobs =
   Arg.(
     value & opt (some int) None
@@ -111,10 +121,13 @@ let summarise ~digest (s : Fuzz.Driver.soak) =
   end;
   if s.Fuzz.Driver.found = [] then 0 else 1
 
-let run seeds base replay shrink matrix smoke digest jobs verbose =
+let run seeds base band replay shrink matrix smoke digest jobs verbose =
   match replay with
   | Some seed ->
-      let f = Fuzz.Driver.run_seed ~shrink seed in
+      let f =
+        Fuzz.Driver.run_scenario ~shrink
+          (Fuzz.Scenario.generate_in ~band ~seed)
+      in
       if digest then
         Format.printf "%d %s@." seed (Fuzz.Driver.digest f.Fuzz.Driver.report)
       else begin
@@ -132,7 +145,7 @@ let run seeds base replay shrink matrix smoke digest jobs verbose =
       let progress = progress_of ~digest ~verbose in
       if smoke then
         summarise ~digest
-          (Fuzz.Driver.run_seeds ~shrink ?progress ?jobs
+          (Fuzz.Driver.run_seeds ~band ~shrink ?progress ?jobs
              Fuzz.Driver.smoke_corpus)
       else if matrix then
         let per_cell =
@@ -143,7 +156,7 @@ let run seeds base replay shrink matrix smoke digest jobs verbose =
              ~seeds_per_cell:per_cell ())
       else
         summarise ~digest
-          (Fuzz.Driver.soak ~base ~shrink ?progress ?jobs ~seeds ())
+          (Fuzz.Driver.soak ~base ~band ~shrink ?progress ?jobs ~seeds ())
 
 let cmd =
   let doc =
@@ -152,7 +165,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vtp_fuzz" ~doc)
     Term.(
-      const run $ seeds $ base $ replay $ shrink $ matrix $ smoke $ digest
-      $ jobs $ verbose)
+      const run $ seeds $ base $ band $ replay $ shrink $ matrix $ smoke
+      $ digest $ jobs $ verbose)
 
 let () = exit (Cmd.eval' cmd)

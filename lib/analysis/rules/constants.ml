@@ -103,6 +103,24 @@ let table =
       expect = [ 1e-4 ];
     };
     {
+      cid = "handover.informed-share";
+      cfile = "lib/tfrc/handover.ml";
+      anchor = "informed_share";
+      cdoc =
+        "informed handover starts at half the declared bandwidth \
+         (Mehani et al.)";
+      proj = Floats_only;
+      expect = [ 0.5 ];
+    };
+    {
+      cid = "handover.reset-window";
+      cfile = "lib/tfrc/handover.ml";
+      anchor = "reset_segments";
+      cdoc = "reset handover restarts at 2 segments per declared RTT";
+      proj = Floats_only;
+      expect = [ 2.0 ];
+    };
+    {
       cid = "paper.dupack-threshold";
       cfile = "lib/sack/scoreboard.ml";
       anchor = "create";

@@ -16,11 +16,12 @@ type config = {
   selfish_p_factor : float;
   sack_blocks : int;
   oscillation_damping : bool;
+  handover : Tfrc.Handover.policy;
 }
 
 let config ?(packet_size = 1500) ?(initial_rtt = 0.5) ?max_rate_bps
     ?(cadence = Per_rtt) ?(selfish_p_factor = 1.0) ?(sack_blocks = 4)
-    ?(oscillation_damping = false) agreed =
+    ?(oscillation_damping = false) ?(handover = `Keep) agreed =
   {
     agreed;
     packet_size;
@@ -30,6 +31,7 @@ let config ?(packet_size = 1500) ?(initial_rtt = 0.5) ?max_rate_bps
     selfish_p_factor;
     sack_blocks;
     oscillation_damping;
+    handover;
   }
 
 type state =
@@ -792,10 +794,11 @@ let create ~sim ~endpoint ?cost_sender ?cost_receiver ?source
     ~responder_offer:None cfg
 
 let create_negotiated ~sim ~endpoint ?cost_sender ?cost_receiver ?source
-    ?(start_at = 0.0) ?packet_size ?initial_rtt ~initiator ~responder () =
+    ?(start_at = 0.0) ?packet_size ?initial_rtt ?handover ~initiator ~responder
+    () =
   match Capabilities.negotiate ~initiator ~responder with
   | Ok agreed ->
-      let cfg = config ?packet_size ?initial_rtt agreed in
+      let cfg = config ?packet_size ?initial_rtt ?handover agreed in
       build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
         ~initial_state:Negotiating ~initiator_offer:(Some initiator)
         ~responder_offer:(Some responder) cfg
@@ -812,7 +815,7 @@ let create_negotiated ~sim ~endpoint ?cost_sender ?cost_receiver ?source
           use_ecn = false;
         }
       in
-      let cfg = config ?packet_size ?initial_rtt dummy in
+      let cfg = config ?packet_size ?initial_rtt ?handover dummy in
       let t =
         build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
           ~initial_state:Negotiating ~initiator_offer:(Some initiator)
@@ -823,6 +826,23 @@ let create_negotiated ~sim ~endpoint ?cost_sender ?cost_receiver ?source
 
 (* ------------------------------------------------------------------ *)
 (* Observation *)
+
+(* A migration notification fans the configured handover policy out to
+   every piece of TFRC state the connection owns: the sender's rate /
+   RTT machinery, the light plane's reconstructed loss history, and the
+   standard plane's receiver-side history.  With [`Keep] (the default)
+   this is a no-op end to end. *)
+let notify_migration t ~link =
+  let policy = t.cfg.handover in
+  Tfrc.Sender.apply_handover t.snd.cc ~policy ~link;
+  (match t.snd.reconstructor with
+  | Some rc ->
+      Loss_reconstructor.on_handover rc ~policy
+        ~packet_size:t.cfg.packet_size ~link
+  | None -> ());
+  match t.rcv.std_recv with
+  | Some r -> Tfrc.Receiver.on_handover r ~policy ~link
+  | None -> ()
 
 let state t = t.state
 

@@ -33,11 +33,14 @@ type config = {
           loss-free path).  The light plane has no [p] to lie about. *)
   sack_blocks : int;  (** SACK blocks carried per report (default 4) *)
   oscillation_damping : bool;  (** RFC 3448 §4.5 (default off) *)
+  handover : Tfrc.Handover.policy;
+      (** rate-policy applied on {!notify_migration} (default [`Keep]) *)
 }
 
 val config : ?packet_size:int -> ?initial_rtt:float -> ?max_rate_bps:float ->
   ?cadence:sack_cadence -> ?selfish_p_factor:float -> ?sack_blocks:int ->
-  ?oscillation_damping:bool -> Capabilities.agreed -> config
+  ?oscillation_damping:bool -> ?handover:Tfrc.Handover.policy ->
+  Capabilities.agreed -> config
 
 type state =
   | Negotiating
@@ -71,6 +74,7 @@ val create_negotiated :
   ?start_at:float ->
   ?packet_size:int ->
   ?initial_rtt:float ->
+  ?handover:Tfrc.Handover.policy ->
   initiator:Capabilities.offer ->
   responder:Capabilities.offer ->
   unit ->
@@ -79,6 +83,14 @@ val create_negotiated :
     (check {!state} after the simulation ran past the handshake). *)
 
 val state : t -> state
+
+val notify_migration : t -> link:Tfrc.Handover.link_info -> unit
+(** Tell the connection its path just migrated to a link with the given
+    declared parameters.  The configured {!Tfrc.Handover.policy} is
+    applied to the sender's rate/RTT state and to whichever loss
+    history the plane owns — the light plane's sender-side
+    reconstruction or the standard plane's receiver history.  Typically
+    registered via {!Netsim.Topology.on_migrate}. *)
 
 val close : t -> unit
 (** Graceful teardown: stop accepting application data, finish pending

@@ -71,6 +71,20 @@ let on_ce_marks t ~new_marks ~rtt ~x_recv ~packet_size =
     trace_new_events t ~before
   end
 
+(* Handover: the reconstructed history follows the same policy as a
+   standard receiver's.  After [`Reset] the §6.3.1 seeding may run
+   again on the new path's first loss event. *)
+let on_handover t ~policy ~packet_size ~(link : Tfrc.Handover.link_info) =
+  match (policy : Tfrc.Handover.policy) with
+  | `Keep -> ()
+  | `Reset ->
+      Tfrc.Loss_history.reseed t.lh 0.0;
+      t.seeded <- false
+  | `Informed ->
+      let p = Tfrc.Handover.informed_p ~s:(Stdlib.max 1 packet_size) link in
+      Tfrc.Loss_history.reseed t.lh (if p > 0.0 then 1.0 /. p else 0.0);
+      t.seeded <- true
+
 let loss_event_rate t = Tfrc.Loss_history.loss_event_rate t.lh
 
 let loss_events t = Tfrc.Loss_history.loss_events t.lh

@@ -52,6 +52,18 @@ val on_ce_marks :
     sequence position; like losses, marks within one RTT collapse into a
     single congestion event. *)
 
+val on_handover :
+  t ->
+  policy:Tfrc.Handover.policy ->
+  packet_size:int ->
+  link:Tfrc.Handover.link_info ->
+  unit
+(** Apply the loss-history component of a handover policy to the
+    reconstructed history — [`Keep] no-op, [`Reset] clear (§6.3.1
+    seeding will run again on the new path's first loss event),
+    [`Informed] re-seed to the interval matching
+    {!Tfrc.Handover.informed_rate}. *)
+
 val loss_event_rate : t -> float
 val loss_events : t -> int
 val history : t -> Tfrc.Loss_history.t

@@ -77,6 +77,11 @@ let drain_lane t b lane =
   go ()
 
 let run_batch t b ~home =
+  (* A worker's home index can exceed the lane count when the batch is
+     smaller than the pool: fold it onto a real lane.  Cursors are
+     shared atomics, so two workers draining one lane is mere
+     contention, never double execution. *)
+  let home = home mod b.lanes in
   drain_lane t b home;
   for off = 1 to b.lanes - 1 do
     drain_lane t b ((home + off) mod b.lanes)

@@ -139,3 +139,34 @@ let sink_background (ep : Netsim.Topology.endpoint) =
 
 let measured_rate series =
   Stats.Series.rate_bps series ~from_:warmup ~until:duration
+
+(* ------------------------------------------------------------------ *)
+(* Mobility: a single flow over several candidate duplex paths, for
+   the handover experiments.  Each path is (rate in Mb/s, one-way
+   delay); reverse links take the per-path default, so feedback
+   latency jumps with every migration. *)
+
+let mobile_path ~seed ~paths ?(buffer_pkts = 60)
+    ?(mangle = Netsim.Mangler.none) () =
+  let sim = Engine.Sim.create ~seed () in
+  let rng = Engine.Sim.split_rng sim in
+  let mangle_f () =
+    if Netsim.Mangler.is_active mangle then
+      Some (Netsim.Mangler.create ~sim ~rng:(Engine.Rng.split rng) mangle)
+    else None
+  in
+  let spec_of (rate_mbps, delay) =
+    Netsim.Topology.spec ~rate_bps:(mbps rate_mbps) ~delay
+      ~qdisc:(fun () -> Netsim.Qdisc.droptail ~capacity_pkts:buffer_pkts)
+      ~mangle:mangle_f ()
+  in
+  let m = Netsim.Topology.mobile ~sim ~paths:(List.map spec_of paths) () in
+  instrument (Netsim.Topology.mobile_net m);
+  (sim, m)
+
+let declared_link m i =
+  let fwd = Netsim.Topology.path_fwd m i in
+  let rev = Netsim.Topology.path_rev m i in
+  Tfrc.Handover.link_of
+    ~bandwidth_bps:(Netsim.Link.rate_bps fwd)
+    ~rtt:(Netsim.Link.delay fwd +. Netsim.Link.delay rev)

@@ -91,3 +91,19 @@ val sink_background : Netsim.Topology.endpoint -> unit
 
 val measured_rate : Stats.Series.t -> float
 (** Rate in bits/s over [warmup, duration). *)
+
+val mobile_path :
+  seed:int ->
+  paths:(float * float) list ->
+  ?buffer_pkts:int ->
+  ?mangle:Netsim.Mangler.profile ->
+  unit ->
+  Engine.Sim.t * Netsim.Topology.mobile
+(** Single-flow mobile topology over [(rate_mbps, one-way delay)]
+    duplex paths (path 0 active first; droptail queues; the mangler
+    profile, if active, applies to every forward path).  Instrumented
+    for checked mode like every other builder. *)
+
+val declared_link : Netsim.Topology.mobile -> int -> Tfrc.Handover.link_info
+(** The declared bandwidth / RTT of path [i] — what an informed
+    handover notification carries. *)

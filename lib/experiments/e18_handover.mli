@@ -1,0 +1,11 @@
+(** E18: handover rate-policy comparison.
+
+    One QTP_AF flow (g = 0.5 Mb/s) migrates mid-connection across a
+    heterogeneous WiFi / cellular / satellite path triple — downgrade
+    direction and back up — under each {!Tfrc.Handover.policy}.  Per
+    (direction, policy) the table reports the settled rate before and
+    after, the throughput recovery time and retransmission burst at
+    each handover, and the worst post-handover goodput window relative
+    to the committed g (the gTFRC floor). *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

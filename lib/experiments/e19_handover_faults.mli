@@ -1,0 +1,9 @@
+(** E19: handover composed with in-network faults.
+
+    QTP_light (full reliability) migrates WiFi -> cellular -> satellite
+    with the second migration a hard [`Cut], while a {!Netsim.Mangler}
+    reorders / duplicates / corrupts frames on every path.  For every
+    (mangler, policy) cell the connection must deliver every distinct
+    segment and close cleanly regardless of what the rate policy did. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

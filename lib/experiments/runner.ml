@@ -132,6 +132,25 @@ let all =
       run = (fun ~seed -> E17_lfn.run ~seed ());
     };
     {
+      id = "e18";
+      title = "Handover rate policies across heterogeneous paths";
+      claim =
+        "extension (Mehani et al.): an informed rate re-seed recovers the \
+         new path's throughput faster than a slow-start reset and avoids \
+         Keep's post-downgrade loss burst, while the gTFRC floor survives \
+         the move";
+      run = (fun ~seed -> E18_handover.run ~seed ());
+    };
+    {
+      id = "e19";
+      title = "Handover under in-network faults";
+      claim =
+        "extension: full reliability survives mid-connection migration — \
+         including a hard cut that drops the whole flight — under \
+         reordering, duplication and corruption";
+      run = (fun ~seed -> E19_handover_faults.run ~seed ());
+    };
+    {
       id = "a1";
       title = "Ablation: loss-event grouping";
       claim = "design choice: RTT-window grouping of losses";

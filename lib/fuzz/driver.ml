@@ -53,13 +53,14 @@ let run_batch ?(shrink = false) ?progress ?jobs scenarios =
     handshake_timeouts = !timeouts;
   }
 
-let soak ?(base = 1) ?shrink ?progress ?jobs ~seeds () =
+let soak ?(base = 1) ?(band = `Std) ?shrink ?progress ?jobs ~seeds () =
   run_batch ?shrink ?progress ?jobs
-    (Array.init seeds (fun i -> Scenario.generate ~seed:(base + i)))
+    (Array.init seeds (fun i -> Scenario.generate_in ~band ~seed:(base + i)))
 
-let run_seeds ?shrink ?progress ?jobs seeds =
+let run_seeds ?(band = `Std) ?shrink ?progress ?jobs seeds =
   run_batch ?shrink ?progress ?jobs
-    (Array.of_list (List.map (fun seed -> Scenario.generate ~seed) seeds))
+    (Array.of_list
+       (List.map (fun seed -> Scenario.generate_in ~band ~seed) seeds))
 
 (* ------------------------------------------------------------------ *)
 (* Profile / reliability matrix *)

@@ -41,15 +41,18 @@ val digest : Exec.report -> string
 
 val soak :
   ?base:int ->
+  ?band:[ `Std | `Lfn | `Handover ] ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
   ?jobs:int ->
   seeds:int ->
   unit ->
   soak
-(** Run seeds [base .. base + seeds - 1] (default base 1). *)
+(** Run seeds [base .. base + seeds - 1] (default base 1) in
+    generation [band] (default [`Std], see {!Scenario.generate_in}). *)
 
 val run_seeds :
+  ?band:[ `Std | `Lfn | `Handover ] ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
   ?jobs:int ->

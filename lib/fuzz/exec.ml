@@ -130,6 +130,38 @@ let build_topology ~sim ~rng (sc : Scenario.t) ~n_total =
       in
       Netsim.Topology.parking_lot ~sim ~hops ~paths ~reverse ()
 
+(* Mobility: one duplex link pair per candidate path, each with its own
+   declared rate / delay and optional Bernoulli loss; the scenario's
+   mangler profile (if any) applies to every forward path so handovers
+   can race reordered and duplicated frames.  Reverse paths take the
+   per-path default (mirroring rate and delay), so feedback latency
+   jumps with each migration exactly as on a real access change. *)
+let build_mobile ~sim ~rng (sc : Scenario.t) (h : Scenario.handover) =
+  let mangle () =
+    if Netsim.Mangler.is_active sc.Scenario.mangle then
+      Some
+        (Netsim.Mangler.create ~sim ~rng:(Engine.Rng.split rng)
+           sc.Scenario.mangle)
+    else None
+  in
+  let spec_of (l : Scenario.ho_link) =
+    let loss () =
+      if l.Scenario.ho_loss > 0.0 then
+        Netsim.Loss_model.bernoulli ~p:l.Scenario.ho_loss
+          ~rng:(Engine.Rng.split rng)
+      else Netsim.Loss_model.none
+    in
+    Netsim.Topology.spec
+      ~rate_bps:(l.Scenario.ho_rate_mbps *. 1e6)
+      ~delay:(l.Scenario.ho_delay_ms /. 1000.0)
+      ~qdisc:(fun () ->
+        Netsim.Qdisc.droptail ~capacity_pkts:sc.Scenario.buffer_pkts)
+      ~loss ~mangle ()
+  in
+  Netsim.Topology.mobile ~sim
+    ~paths:(List.map spec_of h.Scenario.ho_links)
+    ()
+
 let offers (sc : Scenario.t) ~fair_bps =
   match sc.Scenario.profile with
   | Scenario.P_af frac ->
@@ -151,9 +183,23 @@ let source ~sim ~rng (sc : Scenario.t) ~fair_bps =
 let run ?sched (sc : Scenario.t) : report =
   let sim = Engine.Sim.create ~seed:sc.Scenario.seed ?sched () in
   let rng = Engine.Sim.split_rng sim in
-  let n_vtp = Scenario.flows sc in
-  let n_total = n_vtp + if sc.Scenario.background then 1 else 0 in
-  let topo = build_topology ~sim ~rng sc ~n_total in
+  let n_vtp =
+    match sc.Scenario.handover with
+    | Some _ -> 1 (* the mobile topology is single-flow by construction *)
+    | None -> Scenario.flows sc
+  in
+  let background = sc.Scenario.background && sc.Scenario.handover = None in
+  let n_total = n_vtp + if background then 1 else 0 in
+  let mobile =
+    match sc.Scenario.handover with
+    | Some h -> Some (build_mobile ~sim ~rng sc h)
+    | None -> None
+  in
+  let topo =
+    match mobile with
+    | Some m -> Netsim.Topology.mobile_net m
+    | None -> build_topology ~sim ~rng sc ~n_total
+  in
   let rate = sc.Scenario.rate_mbps *. 1e6 in
   let fair_bps = rate /. float_of_int n_vtp in
   let checker = Analysis.Invariants.create () in
@@ -164,15 +210,33 @@ let run ?sched (sc : Scenario.t) : report =
   let initial_rtt =
     Float.max 0.05 (4.0 *. sc.Scenario.delay_ms /. 1000.0)
   in
+  let handover_policy =
+    match sc.Scenario.handover with
+    | Some h -> Some h.Scenario.ho_policy
+    | None -> None
+  in
   let conns =
     Array.init n_vtp (fun i ->
         Qtp.Connection.create_negotiated ~sim
           ~endpoint:(Netsim.Topology.endpoint topo i)
           ~source:(source ~sim ~rng sc ~fair_bps)
           ~start_at:(0.01 *. float_of_int i)
-          ~initial_rtt ~initiator ~responder ())
+          ~initial_rtt ?handover:handover_policy ~initiator ~responder ())
   in
-  if sc.Scenario.background then begin
+  (match (mobile, sc.Scenario.handover) with
+  | Some m, Some h ->
+      let conn = conns.(0) in
+      Netsim.Topology.on_migrate m (fun idx ->
+          let fwd = Netsim.Topology.path_fwd m idx in
+          let rev = Netsim.Topology.path_rev m idx in
+          Qtp.Connection.notify_migration conn
+            ~link:
+              (Tfrc.Handover.link_of
+                 ~bandwidth_bps:(Netsim.Link.rate_bps fwd)
+                 ~rtt:(Netsim.Link.delay fwd +. Netsim.Link.delay rev)));
+      Netsim.Topology.apply_schedule m h.Scenario.ho_schedule
+  | _ -> ());
+  if background then begin
     let ep = Netsim.Topology.endpoint topo n_vtp in
     ep.Netsim.Topology.on_receiver_rx (fun _ -> ());
     ignore

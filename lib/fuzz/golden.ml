@@ -23,6 +23,7 @@ let af_headline =
         workload = Scenario.Greedy;
         background = true;
         duration = 2.0;
+        handover = None;
       };
   }
 
@@ -45,6 +46,7 @@ let light_headline =
         workload = Scenario.Greedy;
         background = false;
         duration = 2.0;
+        handover = None;
       };
   }
 
@@ -84,6 +86,7 @@ let lfn_af =
         workload = Scenario.Greedy;
         background = true;
         duration = 1.8;
+        handover = None;
       };
   }
 
@@ -107,13 +110,77 @@ let lfn_light =
         workload = Scenario.Greedy;
         background = false;
         duration = 8.0;
+        handover = None;
       };
+  }
+
+(* Mobility scenarios: a mid-connection WiFi -> cellular -> satellite
+   migration sequence on a fixed schedule, one per feedback plane.  The
+   first migration drains in flight, the second cuts it, so the traces
+   pin both the drain and the D_cut drop paths plus the Handover event
+   codec. *)
+
+let handover_paths =
+  [
+    { Scenario.cls = Scenario.Wifi; ho_rate_mbps = 20.0; ho_delay_ms = 8.0;
+      ho_loss = 0.0 };
+    { Scenario.cls = Scenario.Cellular; ho_rate_mbps = 1.5; ho_delay_ms = 60.0;
+      ho_loss = 0.0 };
+    { Scenario.cls = Scenario.Satellite; ho_rate_mbps = 2.0;
+      ho_delay_ms = 270.0; ho_loss = 0.0 };
+  ]
+
+let handover_scenario ~seed ~profile ~policy =
+  {
+    Scenario.seed;
+    shape = Scenario.Dumbbell 1;
+    rate_mbps = 20.0;
+    delay_ms = 8.0;
+    buffer_pkts = 60;
+    red = false;
+    loss = Scenario.Clean;
+    mangle = Netsim.Mangler.none;
+    mangle_reverse = false;
+    profile;
+    workload = Scenario.Greedy;
+    background = false;
+    duration = 3.0;
+    handover =
+      Some
+        {
+          Scenario.ho_links = handover_paths;
+          ho_schedule = [ (1.0, 1, `Drain); (2.0, 2, `Cut) ];
+          ho_policy = policy;
+        };
+  }
+
+let handover_af =
+  {
+    name = "handover_af";
+    descr = "QTP_AF through a WiFi -> cellular -> satellite handover (informed)";
+    (* frac is relative to path 0 (20 Mb/s): 0.025 commits g = 0.5 Mb/s,
+       below every path in the set, so the floor is honourable after
+       both downgrades — a floor above a later path's capacity is a
+       legitimate band scenario but a poor conformance exemplar (it
+       storms and evicts the handover events from the ring window). *)
+    scenario = handover_scenario ~seed:9005 ~profile:(Scenario.P_af 0.025)
+        ~policy:`Informed;
+  }
+
+let handover_light =
+  {
+    name = "handover_light";
+    descr =
+      "QTP_light (full reliability) through the same handovers (reset policy)";
+    scenario =
+      handover_scenario ~seed:9006
+        ~profile:(Scenario.P_light Qtp.Capabilities.R_full) ~policy:`Reset;
   }
 
 let corpus =
   [ af_headline; light_headline ]
   @ List.map fuzz_seed [ 101; 102; 103; 104; 105; 106 ]
-  @ [ lfn_af; lfn_light ]
+  @ [ lfn_af; lfn_light; handover_af; handover_light ]
 
 let find name = List.find_opt (fun e -> e.name = name) corpus
 

@@ -21,6 +21,21 @@ type workload =
   | Cbr of float
   | On_off of float
 
+type link_class = Wifi | Cellular | Satellite
+
+type ho_link = {
+  cls : link_class;
+  ho_rate_mbps : float;
+  ho_delay_ms : float;
+  ho_loss : float;
+}
+
+type handover = {
+  ho_links : ho_link list;
+  ho_schedule : (float * int * [ `Drain | `Cut ]) list;
+  ho_policy : [ `Keep | `Reset | `Informed ];
+}
+
 type t = {
   seed : int;
   shape : shape;
@@ -35,6 +50,7 @@ type t = {
   workload : workload;
   background : bool;
   duration : float;
+  handover : handover option;
 }
 
 let flows t =
@@ -57,6 +73,14 @@ let expected_plane t =
 let faulty t =
   (match t.loss with Clean -> false | Bernoulli _ | Gilbert _ -> true)
   || Netsim.Mangler.is_active t.mangle
+  || (match t.handover with
+     | None -> false
+     | Some h ->
+         (* A [`Cut] handover drops everything in flight, and lossy
+            member links lose packets on their own — both excuse
+            timeouts a clean path would not. *)
+         List.exists (fun (_, _, m) -> m = `Cut) h.ho_schedule
+         || List.exists (fun l -> l.ho_loss > 0.0) h.ho_links)
 
 (* Generation bounds.  They are chosen so that the close-drain horizon
    used by {!Exec} is always sufficient: rtt is capped (rate >= 1 Mb/s,
@@ -70,7 +94,73 @@ let faulty t =
    bandwidth-delay product, and shorter durations so a run's packet
    count stays comparable.  The draw SEQUENCE is identical in both
    bands: every committed fuzz seed keeps its byte-identical [`Std]
-   scenario. *)
+   scenario.
+
+   The [`Handover] band reuses the full standard draw sequence and only
+   THEN overrides the mobility-relevant fields (single flow, no
+   background, longer run) and draws the heterogeneous path set — so
+   again no existing band's scenario moves.  The handover schedule
+   itself is drawn from a {!Engine.Rng.derive}d child stream keyed by
+   the seed: migration times are independent of how many draws precede
+   them, which a property test pins. *)
+
+let ho_schedule_key = 0x484f (* "HO" *)
+
+let ho_link_of_class hrng cls =
+  let lo, hi, dlo, dhi =
+    match cls with
+    | Wifi -> (10.0, 50.0, 3.0, 15.0)
+    | Cellular -> (0.5, 2.0, 40.0, 100.0)
+    | Satellite -> (1.0, 4.0, 250.0, 300.0)
+  in
+  {
+    cls;
+    ho_rate_mbps = Engine.Dist.log_uniform_range hrng ~lo ~hi;
+    ho_delay_ms = Engine.Dist.uniform_range hrng ~lo:dlo ~hi:dhi;
+    ho_loss =
+      (if Engine.Rng.chance hrng 0.3 then
+         Engine.Dist.log_uniform_range hrng ~lo:1e-4 ~hi:0.02
+       else 0.0);
+  }
+
+let generate_handover ~seed ~duration rng =
+  (* Path parameters come from the parent stream; migration TIMES come
+     from a derived stream so they do not depend on the number of
+     preceding draws. *)
+  let perms =
+    [|
+      [| Wifi; Cellular; Satellite |]; [| Wifi; Satellite; Cellular |];
+      [| Cellular; Wifi; Satellite |]; [| Cellular; Satellite; Wifi |];
+      [| Satellite; Wifi; Cellular |]; [| Satellite; Cellular; Wifi |];
+    |]
+  in
+  let classes = Engine.Dist.choice rng perms in
+  let ho_links = Array.to_list (Array.map (ho_link_of_class rng) classes) in
+  let n_links = Array.length classes in
+  let n_events = 2 + Engine.Rng.int rng 3 in
+  let ho_policy =
+    Engine.Dist.choice rng [| `Keep; `Reset; `Informed |]
+  in
+  let trng = Engine.Rng.derive rng ~key:(ho_schedule_key lxor seed) in
+  let times =
+    List.sort Float.compare
+      (List.init n_events (fun _ ->
+           Engine.Dist.uniform_range trng ~lo:(0.15 *. duration)
+             ~hi:(0.85 *. duration)))
+  in
+  let active = ref 0 in
+  let ho_schedule =
+    List.map
+      (fun at ->
+        (* Always migrate to a DIFFERENT path: draw an offset in
+           [1, n-1] from the current one. *)
+        let to_ = (!active + 1 + Engine.Rng.int trng (n_links - 1)) mod n_links in
+        active := to_;
+        let mode = if Engine.Rng.chance trng 0.7 then `Drain else `Cut in
+        (at, to_, mode))
+      times
+  in
+  { ho_links; ho_schedule; ho_policy }
 
 let generate_in ~band ~seed =
   let rng = Engine.Rng.create ~seed in
@@ -141,21 +231,46 @@ let generate_in ~band ~seed =
     if lfn then 2.5 +. Engine.Rng.float rng 2.5
     else 4.0 +. Engine.Rng.float rng 8.0
   in
-  {
-    seed;
-    shape;
-    rate_mbps;
-    delay_ms;
-    buffer_pkts;
-    red;
-    loss;
-    mangle;
-    mangle_reverse;
-    profile;
-    workload;
-    background;
-    duration;
-  }
+  let base =
+    {
+      seed;
+      shape;
+      rate_mbps;
+      delay_ms;
+      buffer_pkts;
+      red;
+      loss;
+      mangle;
+      mangle_reverse;
+      profile;
+      workload;
+      background;
+      duration;
+      handover = None;
+    }
+  in
+  if band <> `Handover then base
+  else begin
+    (* Mobility: one flow, no cross-traffic, a longer run so every
+       migration has time to show its rate transient, and a clean
+       bottleneck model — losses come from the member links and the
+       schedule instead.  [rate_mbps]/[delay_ms] mirror path 0 so
+       fair-share computations see the initial path. *)
+    let duration = 8.0 +. Engine.Rng.float rng 8.0 in
+    let ho = generate_handover ~seed ~duration rng in
+    let first = List.hd ho.ho_links in
+    {
+      base with
+      shape = Dumbbell 1;
+      rate_mbps = first.ho_rate_mbps;
+      delay_ms = first.ho_delay_ms;
+      red = false;
+      loss = Clean;
+      background = false;
+      duration;
+      handover = Some ho;
+    }
+  end
 
 let generate ~seed = generate_in ~band:`Std ~seed
 
@@ -184,6 +299,39 @@ let pp_workload fmt = function
   | Cbr f -> Format.fprintf fmt "cbr(%.2f of fair share)" f
   | On_off f -> Format.fprintf fmt "on-off(%.2f of fair share)" f
 
+let class_name = function
+  | Wifi -> "wifi"
+  | Cellular -> "cellular"
+  | Satellite -> "satellite"
+
+let policy_name = function
+  | `Keep -> "keep"
+  | `Reset -> "reset"
+  | `Informed -> "informed"
+
+let pp_ho_link fmt l =
+  Format.fprintf fmt "%s(%.3g Mb/s, %.3g ms%s)" (class_name l.cls)
+    l.ho_rate_mbps l.ho_delay_ms
+    (if l.ho_loss > 0.0 then Format.sprintf ", loss=%.4g" l.ho_loss else "")
+
+let pp_handover fmt h =
+  Format.fprintf fmt "policy=%s paths=[%a] schedule=[%a]"
+    (policy_name h.ho_policy)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       pp_ho_link)
+    h.ho_links
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (at, to_, mode) ->
+         Format.fprintf fmt "%.3fs->%d %s" at to_
+           (match mode with `Drain -> "drain" | `Cut -> "cut")))
+    h.ho_schedule
+
+let pp_handover_opt fmt = function
+  | None -> ()
+  | Some h -> Format.fprintf fmt "@,handover: %a" pp_handover h
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v 2>scenario seed=%d@,\
@@ -193,18 +341,23 @@ let pp fmt t =
      mangle:   %a%s@,\
      profile:  %a@,\
      workload: %a%s@,\
-     duration: %.2f s@]"
+     duration: %.2f s%a@]"
     t.seed pp_shape t.shape t.rate_mbps t.delay_ms t.buffer_pkts
     (if t.red then "(RED)" else "(droptail)")
     pp_loss t.loss Netsim.Mangler.pp_profile t.mangle
     (if t.mangle_reverse then " +reverse" else "")
     pp_profile t.profile pp_workload t.workload
     (if t.background then " +background" else "")
-    t.duration
+    t.duration pp_handover_opt t.handover
 
 let summary t =
-  Format.asprintf "seed=%d %a %a %a %.2fs" t.seed pp_shape t.shape pp_profile
+  Format.asprintf "seed=%d %a %a %a %.2fs%s" t.seed pp_shape t.shape pp_profile
     t.profile pp_loss t.loss t.duration
+    (match t.handover with
+    | None -> ""
+    | Some h ->
+        Format.sprintf " handover(%s, %d migrations)" (policy_name h.ho_policy)
+          (List.length h.ho_schedule))
 
 let equal (a : t) (b : t) =
   a.seed = b.seed && a.shape = b.shape
@@ -237,3 +390,22 @@ let equal (a : t) (b : t) =
      | _ -> false)
   && a.background = b.background
   && Float.equal a.duration b.duration
+  &&
+  let ho_link_equal (x : ho_link) (y : ho_link) =
+    x.cls = y.cls
+    && Float.equal x.ho_rate_mbps y.ho_rate_mbps
+    && Float.equal x.ho_delay_ms y.ho_delay_ms
+    && Float.equal x.ho_loss y.ho_loss
+  in
+  let sched_equal (ta, pa, ma) (tb, pb, mb) =
+    Float.equal ta tb && pa = pb && ma = mb
+  in
+  match (a.handover, b.handover) with
+  | None, None -> true
+  | Some x, Some y ->
+      x.ho_policy = y.ho_policy
+      && List.length x.ho_links = List.length y.ho_links
+      && List.for_all2 ho_link_equal x.ho_links y.ho_links
+      && List.length x.ho_schedule = List.length y.ho_schedule
+      && List.for_all2 sched_equal x.ho_schedule y.ho_schedule
+  | _ -> false

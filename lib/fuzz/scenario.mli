@@ -33,6 +33,31 @@ type workload =
   | Cbr of float  (** rate as a fraction of the fair share *)
   | On_off of float
 
+(** {2 Mobility}
+
+    A handover scenario runs one flow over a set of heterogeneous
+    paths (WiFi / cellular / satellite) and migrates it between them
+    mid-connection on a seeded schedule, exercising
+    {!Netsim.Topology.migrate_flow} and the {!Tfrc.Handover} rate
+    policies. *)
+
+type link_class = Wifi | Cellular | Satellite
+
+type ho_link = {
+  cls : link_class;
+  ho_rate_mbps : float;
+  ho_delay_ms : float;  (** one-way propagation delay *)
+  ho_loss : float;  (** Bernoulli loss on this path; 0 = clean *)
+}
+
+type handover = {
+  ho_links : ho_link list;  (** the path set; index 0 starts active *)
+  ho_schedule : (float * int * [ `Drain | `Cut ]) list;
+      (** (time, target path, mode), ascending times *)
+  ho_policy : [ `Keep | `Reset | `Informed ];
+      (** sender rate policy applied on each migration *)
+}
+
 type t = {
   seed : int;  (** replay key: seeds the generator and the simulation *)
   shape : shape;
@@ -47,6 +72,8 @@ type t = {
   workload : workload;
   background : bool;  (** unresponsive Poisson cross-traffic *)
   duration : float;  (** seconds of data transfer before close *)
+  handover : handover option;
+      (** mobility schedule; [None] outside the [`Handover] band *)
 }
 
 val generate : seed:int -> t
@@ -54,14 +81,19 @@ val generate : seed:int -> t
     {!generate_in}[ ~band:`Std] — byte-identical to what every
     committed fuzz seed has always produced. *)
 
-val generate_in : band:[ `Std | `Lfn ] -> seed:int -> t
+val generate_in : band:[ `Std | `Lfn | `Handover ] -> seed:int -> t
 (** The scenario is a pure function of [band] and [seed].  [`Std]
     draws the classic short-path bounds; [`Lfn] draws the same
     scenario structure over long-fat-network paths: 125..250 ms
     one-way delay (250..500 ms RTT), 8..64 Mb/s bottlenecks,
-    500..1500-packet buffers and shorter durations.  The two bands
-    consume the generator identically, so a seed's [`Std] scenario
-    never changes as bands are added. *)
+    500..1500-packet buffers and shorter durations.  [`Handover]
+    replays the standard draw sequence, then forces a single flow
+    with no background traffic over a heterogeneous WiFi / cellular /
+    satellite path triple and a 2–4-event migration schedule whose
+    times come from an {!Engine.Rng.derive}d stream (independent of
+    draw position).  All bands consume the base generator
+    identically, so a seed's [`Std] scenario never changes as bands
+    are added. *)
 
 val flows : t -> int
 (** Number of VTP connections the scenario runs. *)
@@ -89,3 +121,4 @@ val pp_shape : Format.formatter -> shape -> unit
 val pp_loss : Format.formatter -> loss -> unit
 val pp_profile : Format.formatter -> profile -> unit
 val pp_workload : Format.formatter -> workload -> unit
+val pp_handover : Format.formatter -> handover -> unit

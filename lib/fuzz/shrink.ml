@@ -31,6 +31,28 @@ let candidates : (Scenario.t -> Scenario.t option) list =
       if sc.Scenario.background then
         Some { sc with Scenario.background = false }
       else None);
+    (* Mobility: first try fewer migrations, then none at all (the
+       scenario still runs over its mobile topology, so path parameters
+       stay fixed while the schedule simplifies). *)
+    (fun sc ->
+      match sc.Scenario.handover with
+      | Some h when List.length h.Scenario.ho_schedule > 1 ->
+          Some
+            {
+              sc with
+              Scenario.handover =
+                Some
+                  {
+                    h with
+                    Scenario.ho_schedule =
+                      [ List.hd h.Scenario.ho_schedule ];
+                  };
+            }
+      | _ -> None);
+    (fun sc ->
+      match sc.Scenario.handover with
+      | Some _ -> Some { sc with Scenario.handover = None }
+      | None -> None);
     (fun sc ->
       if sc.Scenario.red then Some { sc with Scenario.red = false } else None);
     (fun sc ->

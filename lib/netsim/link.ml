@@ -15,6 +15,7 @@ type t = {
   name : string;
   mutable sink : (Frame.t -> unit) option;
   mutable on_drop : (Frame.t -> unit) option;
+  mutable severed : bool;  (** [`Cut] handover: discard all traffic *)
   mutable busy : bool;
   mutable tx_frame : Frame.t;  (** frame being serialized while [busy] *)
   flight : Frame.t Engine.Ring.t;  (** launched frames in propagation *)
@@ -48,9 +49,11 @@ let deliver t frame =
    and the sink (it may hold, clone or damage the frame). *)
 let arrive t =
   let frame = Engine.Ring.pop t.flight in
-  match t.mangler with
-  | Some m -> Mangler.push m ~emit:(fun f -> deliver t f) frame
-  | None -> deliver t frame
+  if t.severed then dropped t ~reason:Trace.Event.D_cut frame
+  else
+    match t.mangler with
+    | Some m -> Mangler.push m ~emit:(fun f -> deliver t f) frame
+    | None -> deliver t frame
 
 (* Serialization and propagation reuse one preallocated thunk each
    ([tx_done] / [arrival]); the frame travels via [tx_frame] and the
@@ -66,7 +69,8 @@ and complete t =
   t.tx_frame <- Frame.dummy;
   t.st.tx_frames <- t.st.tx_frames + 1;
   t.st.tx_bytes <- t.st.tx_bytes + frame.Frame.size;
-  if Loss_model.drops t.loss then begin
+  if t.severed then dropped t ~reason:Trace.Event.D_cut frame
+  else if Loss_model.drops t.loss then begin
     t.st.lost_frames <- t.st.lost_frames + 1;
     dropped t ~reason:Trace.Event.D_loss frame
   end
@@ -92,6 +96,7 @@ let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
       name;
       sink = None;
       on_drop = None;
+      severed = false;
       busy = false;
       tx_frame = Frame.dummy;
       flight = Engine.Ring.create ~dummy:Frame.dummy;
@@ -105,7 +110,8 @@ let create ~sim ~rate_bps ~delay ~qdisc ?(loss = Loss_model.none) ?mangler
   t
 
 let send t frame =
-  if t.busy then begin
+  if t.severed then dropped t ~reason:Trace.Event.D_cut frame
+  else if t.busy then begin
     if not (Qdisc.enqueue t.qdisc ~now:(Engine.Sim.now t.sim) frame) then
       dropped t ~reason:Trace.Event.D_queue frame
   end
@@ -118,6 +124,27 @@ let send t frame =
       | None ->
           failwith (t.name ^ ": qdisc accepted a frame but dequeued none")
   end
+
+(* Severing keeps event timing intact — the busy transmitter and the
+   frames already in propagation still fire their timers, but every
+   frame is routed through [dropped] (reason [D_cut]) instead of the
+   sink, so the invariant checker's conservation accounting stays
+   exact.  Queued frames are discarded right away. *)
+let sever t =
+  if not t.severed then begin
+    t.severed <- true;
+    let rec drain () =
+      match Qdisc.dequeue t.qdisc ~now:(Engine.Sim.now t.sim) with
+      | Some frame ->
+          dropped t ~reason:Trace.Event.D_cut frame;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+
+let restore t = t.severed <- false
+let severed t = t.severed
 
 let stats t = t.st
 let qdisc t = t.qdisc

@@ -39,6 +39,18 @@ val on_drop : t -> (Frame.t -> unit) -> unit
 val send : t -> Frame.t -> unit
 (** Offer a frame at the transmitter. *)
 
+val sever : t -> unit
+(** Sever the link ([`Cut]-mode handover): queued frames are dropped
+    immediately and every frame still serialising or in propagation is
+    dropped when its timer fires — all through the {!on_drop} hook with
+    reason [D_cut], so conservation accounting stays exact.  Idempotent. *)
+
+val restore : t -> unit
+(** Undo {!sever}: subsequent traffic flows normally.  Frames dropped
+    while severed stay dropped. *)
+
+val severed : t -> bool
+
 val stats : t -> stats
 val qdisc : t -> Qdisc.t
 

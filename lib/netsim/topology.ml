@@ -228,3 +228,116 @@ let chain ~sim ~n_flows ~hops ?reverse () =
   }
 
 let endpoint t i = t.endpoints.(i)
+
+(* ---- Mobility: a single flow re-homed between heterogeneous paths ---- *)
+
+type handover_mode = [ `Drain | `Cut ]
+
+type path = { fwd : Link.t; rev : Link.t }
+
+type mobile = {
+  net : t;
+  paths : path array;
+  active : int ref;
+  migrate_hook : (int -> unit) ref;
+}
+
+type handover_schedule = (float * int * handover_mode) list
+
+let ignore_migrate (_ : int) = ()
+
+let mobile ~sim ~paths:specs ?reverse () =
+  if specs = [] then invalid_arg "Topology.mobile: no paths";
+  let specs = Array.of_list specs in
+  let rev_specs =
+    match reverse with
+    | Some rs ->
+        if List.length rs <> Array.length specs then
+          invalid_arg "Topology.mobile: reverse/paths length mismatch";
+        Array.of_list rs
+    | None -> Array.map default_reverse_of specs
+  in
+  let fwd_router = Router.create ~name:"fwd-router" () in
+  let rev_router = Router.create ~name:"rev-router" () in
+  let paths =
+    Array.init (Array.length specs) (fun i ->
+        let fwd =
+          link_of_spec ~sim ~name:(Printf.sprintf "path-%d" i) specs.(i)
+        in
+        let rev =
+          link_of_spec ~sim
+            ~name:(Printf.sprintf "path-%d-rev" i)
+            rev_specs.(i)
+        in
+        Link.connect fwd (Router.forward fwd_router);
+        Link.connect rev (Router.forward rev_router);
+        { fwd; rev })
+  in
+  let active = ref 0 in
+  let ep =
+    {
+      flow_id = 0;
+      to_receiver = (fun frame -> Link.send paths.(!active).fwd frame);
+      to_sender = (fun frame -> Link.send paths.(!active).rev frame);
+      on_receiver_rx =
+        (fun sink -> Router.add_route fwd_router ~flow_id:0 sink);
+      on_sender_rx = (fun sink -> Router.add_route rev_router ~flow_id:0 sink);
+      marker = None;
+    }
+  in
+  let links =
+    Array.to_list paths |> List.concat_map (fun p -> [ p.fwd; p.rev ])
+  in
+  let net =
+    {
+      sim;
+      bottleneck = paths.(0).fwd;
+      reverse = paths.(0).rev;
+      endpoints = [| ep |];
+      links;
+    }
+  in
+  { net; paths; active; migrate_hook = ref ignore_migrate }
+
+let mobile_net m = m.net
+let active_path m = !(m.active)
+let n_paths m = Array.length m.paths
+let path_fwd m i = m.paths.(i).fwd
+let path_rev m i = m.paths.(i).rev
+let on_migrate m f = m.migrate_hook := f
+
+(* Self-migration is a complete no-op — no trace event, no severing, no
+   hook — so a schedule of degenerate handovers is observationally
+   identical to no schedule at all (the byte-identical differential
+   test pins this). *)
+let migrate_flow m ~to_ ~mode =
+  if to_ < 0 || to_ >= Array.length m.paths then
+    invalid_arg "Topology.migrate_flow: path index out of range";
+  let from = !(m.active) in
+  if to_ <> from then begin
+    let old_p = m.paths.(from) and new_p = m.paths.(to_) in
+    let cut = match mode with `Cut -> true | `Drain -> false in
+    if cut then begin
+      Link.sever old_p.fwd;
+      Link.sever old_p.rev
+    end;
+    Link.restore new_p.fwd;
+    Link.restore new_p.rev;
+    if Trace.Recorder.on () then
+      Trace.Recorder.emit ~flow:0
+        ~at:(Engine.Sim.now m.net.sim)
+        (Trace.Event.Handover
+           {
+             from_path = Link.name old_p.fwd;
+             to_path = Link.name new_p.fwd;
+             cut;
+           });
+    m.active := to_;
+    !(m.migrate_hook) to_
+  end
+
+let apply_schedule m schedule =
+  List.iter
+    (fun (at, to_, mode) ->
+      Engine.Sim.post_at m.net.sim at (fun () -> migrate_flow m ~to_ ~mode))
+    schedule

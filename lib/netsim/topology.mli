@@ -95,3 +95,60 @@ val chain :
     list. *)
 
 val endpoint : t -> int -> endpoint
+
+(** {1 Mobility} *)
+
+type handover_mode = [ `Drain | `Cut ]
+(** What happens to traffic still on the old path at migration time:
+    [`Drain] lets it propagate and deliver normally (make-before-break);
+    [`Cut] severs both directions — queued and in-flight frames drop
+    with reason [D_cut] (break-before-make). *)
+
+type mobile
+(** A single-flow topology over several candidate duplex paths
+    ("path-0", "path-1", …), exactly one active at a time.  Built for
+    the heterogeneous-handover scenarios: each path has its own rate,
+    delay, queue, loss and fault models (WiFi / 3G / satellite). *)
+
+type handover_schedule = (float * int * handover_mode) list
+(** Time-triggered switches: [(at, target path index, mode)]. *)
+
+val mobile :
+  sim:Engine.Sim.t -> paths:spec list -> ?reverse:spec list -> unit -> mobile
+(** One flow (flow 0) over [List.length paths] duplex paths; path 0 is
+    active initially.  [reverse] gives per-path reverse specs (same
+    length); by default each path's reverse mirrors its forward rate and
+    delay with an ample buffer, so feedback latency tracks the path.
+    Raises [Invalid_argument] on an empty path list or a length
+    mismatch. *)
+
+val mobile_net : mobile -> t
+(** The underlying topology view: one endpoint (flow 0), [links] lists
+    every path's forward and reverse links so observers can register
+    drop hooks on all of them.  [bottleneck]/[reverse] are path 0. *)
+
+val migrate_flow : mobile -> to_:int -> mode:handover_mode -> unit
+(** Atomically re-home the flow onto path [to_]: the old path is
+    severed iff [mode = `Cut], the target path is restored (it may have
+    been severed by an earlier cut), a [Handover] trace event is
+    emitted and the migration hook runs.  Migrating to the already
+    active path is a complete no-op — no severing, no trace event, no
+    hook — so degenerate schedules are observationally identical to no
+    schedule. *)
+
+val apply_schedule : mobile -> handover_schedule -> unit
+(** Post one simulation event per entry invoking {!migrate_flow}. *)
+
+val on_migrate : mobile -> (int -> unit) -> unit
+(** Register the hook called with the new path index after each actual
+    migration — the connection layer uses it to apply its handover rate
+    policy.  One hook; later registrations replace earlier ones. *)
+
+val active_path : mobile -> int
+val n_paths : mobile -> int
+
+val path_fwd : mobile -> int -> Link.t
+(** Forward link of path [i] — its {!Link.rate_bps}/{!Link.delay} are
+    the "declared" parameters an informed handover policy consumes. *)
+
+val path_rev : mobile -> int -> Link.t

@@ -124,6 +124,18 @@ let on_congestion_mark t ~seq ~arrival ~rtt =
 let set_first_interval t len =
   if t.intervals = [] && len > 0.0 then t.intervals <- [ len ]
 
+(* Handover discontinuity: outstanding holes and the open event belong
+   to the old path, so they are forgotten wholesale; the closed history
+   collapses to the single synthetic interval [len].  Sequence tracking
+   ([max_seq]/[max_abs]) is untouched — numbering continues across the
+   migration. *)
+let reseed t len =
+  t.h_fst <- 0;
+  t.h_len <- 0;
+  t.hole_count <- 0;
+  t.current <- None;
+  t.intervals <- (if len > 0.0 then [ len ] else [])
+
 let anchor t =
   match t.max_seq with
   | Some m -> m

@@ -54,6 +54,15 @@ val set_first_interval : t -> float -> unit
     throughput equation).  Only effective while no closed interval
     exists. *)
 
+val reseed : t -> float -> unit
+(** Handover re-seed: outstanding holes and the open loss event are
+    forgotten (they belong to the old path) and the closed-interval
+    history is replaced by the single synthetic interval [len]
+    (packets), so {!loss_event_rate} becomes [1/len].  [len <= 0.0]
+    clears the history entirely ([p] returns to 0 until the next loss
+    event).  Sequence tracking is unaffected: the flow's numbering
+    continues across the migration. *)
+
 val loss_event_rate : t -> float
 (** Current loss event rate [p]; 0.0 until the first loss event. *)
 

@@ -98,6 +98,13 @@ let on_congestion_mark t ~seq ~arrival ~rtt =
 let set_first_interval t len =
   if t.intervals = [] && len > 0.0 then t.intervals <- [ len ]
 
+(* Handover discontinuity — must mirror [Loss_history.reseed] exactly
+   (the differential suites drive both through migrations). *)
+let reseed t len =
+  t.holes <- [];
+  t.current <- None;
+  t.intervals <- (if len > 0.0 then [ len ] else [])
+
 let promote_ripe_holes t ~arrival ~rtt =
   let ripe, pending = List.partition (fun h -> h.after >= t.ndup) t.holes in
   t.holes <- pending;

@@ -57,6 +57,11 @@ val set_first_interval : t -> float -> unit
     throughput equation).  Only effective while no closed interval
     exists. *)
 
+val reseed : t -> float -> unit
+(** Handover re-seed, mirroring {!Loss_history.reseed}: forget holes
+    and the open event, replace the closed history with the single
+    synthetic interval [len] ([<= 0.0] clears it). *)
+
 val loss_event_rate : t -> float
 (** Current loss event rate [p]; 0.0 until the first loss event. *)
 

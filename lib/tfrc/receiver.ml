@@ -134,6 +134,19 @@ let on_data t ?(ce = false) (d : Packet.Header.data) ~size =
   end
   else if first then arm_timer t
 
+(* Migration notification: the standard plane's loss history lives
+   here, so the policy's history component applies receiver-side. *)
+let on_handover t ~policy ~(link : Handover.link_info) =
+  match (policy : Handover.policy) with
+  | `Keep -> ()
+  | `Reset ->
+      t.last_rtt <- link.Handover.rtt;
+      Loss_history.reseed t.lh 0.0
+  | `Informed ->
+      t.last_rtt <- link.Handover.rtt;
+      let p = Handover.informed_p ~s:t.pkt_size link in
+      Loss_history.reseed t.lh (if p > 0.0 then 1.0 /. p else 0.0)
+
 let x_recv t = t.x_recv
 let loss_event_rate t = Loss_history.loss_event_rate t.lh
 let loss_events t = Loss_history.loss_events t.lh

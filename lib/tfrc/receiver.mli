@@ -28,6 +28,14 @@ val on_data : t -> ?ce:bool -> Packet.Header.data -> size:int -> unit
     accounted as a congestion event (RFC 3168) though nothing was
     lost. *)
 
+val on_handover : t -> policy:Handover.policy -> link:Handover.link_info -> unit
+(** Apply the loss-history component of a handover policy (the standard
+    plane keeps the history receiver-side): [`Keep] does nothing,
+    [`Reset] clears it, [`Informed] re-seeds it to the interval that
+    matches {!Handover.informed_rate} on the new link.  Also adopts the
+    declared RTT for loss-event grouping until the sender's estimate
+    arrives in-band. *)
+
 val x_recv : t -> float
 (** Receive rate (bytes/s) over the last feedback interval. *)
 

@@ -14,6 +14,11 @@ let sample t r =
   else t.estimate <- (t.q *. t.estimate) +. ((1.0 -. t.q) *. r);
   t.count <- t.count + 1
 
+let reseed t r =
+  assert (r > 0.0);
+  t.estimate <- r;
+  t.count <- 0
+
 let smoothed t = t.estimate
 
 let has_sample t = t.count > 0

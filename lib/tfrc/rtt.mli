@@ -14,6 +14,11 @@ val sample : t -> float -> unit
 (** Feed one measurement (seconds, must be positive). The first sample
     replaces the seed entirely. *)
 
+val reseed : t -> float -> unit
+(** Replace the estimate with a fresh seed (handover onto a link with a
+    declared latency) and forget the sample count, so the next
+    measurement replaces the seed entirely as at creation. *)
+
 val smoothed : t -> float
 (** Current estimate (the seed if no sample yet). *)
 

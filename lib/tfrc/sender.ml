@@ -219,6 +219,44 @@ let on_feedback t ~tstamp_echo ~t_delay ~x_recv ~p =
   end;
   restart_nofeedback t
 
+(* Migration notification.  [`Keep] is deliberately a no-op — the whole
+   point of the policy comparison is that keeping a WiFi-sized X on a
+   3G link overshoots until the feedback loop catches up. *)
+let apply_handover t ~policy ~(link : Handover.link_info) =
+  (match (policy : Handover.policy) with
+  | `Keep -> ()
+  | `Reset ->
+      Rtt.reseed t.rtt link.Handover.rtt;
+      t.slow_start <- true;
+      t.last_p <- 0.0;
+      t.r_sqmean <- 0.0;
+      t.r_sample_last <- 0.0;
+      t.x <- clamp t (Handover.reset_rate ~s:(s_float t) ~rtt:link.Handover.rtt);
+      trace_rate t ~x_calc:0.0 ~x_recv:0.0 ~p:0.0
+  | `Informed ->
+      Rtt.reseed t.rtt link.Handover.rtt;
+      t.slow_start <- false;
+      t.r_sqmean <- 0.0;
+      t.r_sample_last <- 0.0;
+      let target = Handover.informed_rate link in
+      let p = Handover.informed_p ~s:t.p.packet_size link in
+      t.last_p <- p;
+      t.x <- clamp t target;
+      trace_rate t ~x_calc:target ~x_recv:0.0 ~p);
+  match (policy : Handover.policy) with
+  | `Keep -> ()
+  | `Reset | `Informed ->
+      (* Take a rate increase immediately (cf. [on_feedback]); a
+         decrease naturally stretches the next gap. *)
+      if t.running && not t.idle then begin
+        let gap = inter_packet_interval t in
+        let now = Engine.Sim.now t.sim in
+        match t.tick with
+        | Some _ when now +. gap < t.next_at -> schedule_tick t ~after:gap
+        | Some _ | None -> ()
+      end;
+      restart_nofeedback t
+
 let rtt t = Rtt.smoothed t.rtt
 let has_rtt_sample t = Rtt.has_sample t.rtt
 let in_slow_start t = t.slow_start

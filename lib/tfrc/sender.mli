@@ -62,6 +62,15 @@ val on_feedback :
 val notify_data : t -> unit
 (** Wake an idle sender: the application has data again. *)
 
+val apply_handover : t -> policy:Handover.policy -> link:Handover.link_info -> unit
+(** React to a path migration per the chosen {!Handover.policy}:
+    [`Keep] does nothing; [`Reset] returns to slow start at
+    {!Handover.reset_rate} with the RTT estimator re-seeded to the
+    declared latency; [`Informed] jumps to {!Handover.informed_rate}
+    with the RTT re-seeded and [p] set to {!Handover.informed_p}.  The
+    non-trivial policies re-arm the nofeedback timer and, when the rate
+    rose, bring the next send opportunity forward. *)
+
 val rate_bps : t -> float
 (** Current allowed sending rate. *)
 

@@ -4,7 +4,7 @@ type side = S_sender | S_receiver
 
 type infer = I_dupthresh | I_timeout
 
-type drop_reason = D_loss | D_queue
+type drop_reason = D_loss | D_queue | D_cut
 
 type t =
   | Seg_send of { seq : Serial.t; size : int; retx : bool }
@@ -37,6 +37,7 @@ type t =
   | Drop of { link : string; reason : drop_reason; size : int }
   | Tcp_send of { seq : Serial.t; retx : bool }
   | Tcp_ack_rcvd of { cum_ack : Serial.t; cwnd : float; ssthresh : float }
+  | Handover of { from_path : string; to_path : string; cut : bool }
 
 let dummy = Conn_state { state = "" }
 
@@ -59,12 +60,13 @@ let name = function
   | Drop _ -> "drop"
   | Tcp_send _ -> "tcp_segment_sent"
   | Tcp_ack_rcvd _ -> "tcp_ack_received"
+  | Handover _ -> "handover"
 
 let side_str = function S_sender -> "sender" | S_receiver -> "receiver"
 
 let infer_str = function I_dupthresh -> "dupthresh" | I_timeout -> "timeout"
 
-let drop_str = function D_loss -> "loss" | D_queue -> "queue"
+let drop_str = function D_loss -> "loss" | D_queue -> "queue" | D_cut -> "cut"
 
 let bool01 b = if b then 1 else 0
 
@@ -118,6 +120,9 @@ let pp_canonical fmt ev =
   | Tcp_ack_rcvd { cum_ack; cwnd; ssthresh } ->
       Format.fprintf fmt "tcp-ack cum=%d cwnd=%h ssthresh=%h"
         (Serial.to_int cum_ack) cwnd ssthresh
+  | Handover { from_path; to_path; cut } ->
+      Format.fprintf fmt "handover from=%s to=%s cut=%d" from_path to_path
+        (bool01 cut)
 
 let to_json ev =
   let module J = Stats.Json in
@@ -184,6 +189,12 @@ let to_json ev =
           ("cum_ack", J.Int (Serial.to_int cum_ack));
           ("cwnd", J.Float cwnd);
           ("ssthresh", J.Float ssthresh);
+        ]
+    | Handover { from_path; to_path; cut } ->
+        [
+          ("from", J.String from_path);
+          ("to", J.String to_path);
+          ("cut", J.Bool cut);
         ]
   in
   (name ev, J.Obj data)

@@ -28,9 +28,10 @@ type infer = I_dupthresh | I_timeout
 (** How the scoreboard inferred a loss: SACK coverage above the hole, or
     retransmission-timeout expiry. *)
 
-type drop_reason = D_loss | D_queue
-(** Why a link dropped a frame: its non-congestion loss model, or the
-    qdisc refusing the enqueue. *)
+type drop_reason = D_loss | D_queue | D_cut
+(** Why a link dropped a frame: its non-congestion loss model, the
+    qdisc refusing the enqueue, or a severed link discarding traffic
+    during a [`Cut]-mode handover. *)
 
 type t =
   | Seg_send of { seq : Packet.Serial.t; size : int; retx : bool }
@@ -71,6 +72,9 @@ type t =
   | Drop of { link : string; reason : drop_reason; size : int }
   | Tcp_send of { seq : Packet.Serial.t; retx : bool }
   | Tcp_ack_rcvd of { cum_ack : Packet.Serial.t; cwnd : float; ssthresh : float }
+  | Handover of { from_path : string; to_path : string; cut : bool }
+      (** the flow's path migrated between named link pairs; [cut]
+          distinguishes [`Cut] (old path severed) from [`Drain] *)
 
 val dummy : t
 (** Inert placeholder for preallocated ring slots. *)

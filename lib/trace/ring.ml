@@ -181,7 +181,9 @@ let encode t slot ~flow ~at ev =
       w.(b + 1) <- fi (tag ~flow 14);
       w.(b + 2) <- fi (intern t state)
   | Event.Drop { link; reason; size } ->
-      w.(b + 1) <- fi (tag ~flow 15 lor b1 (match reason with Event.D_queue -> true | Event.D_loss -> false));
+      (* Two aux bits; values 0/1 predate [D_cut], keeping old traces
+         decodable. *)
+      w.(b + 1) <- fi (tag ~flow 15 lor ((match reason with Event.D_loss -> 0 | Event.D_queue -> 1 | Event.D_cut -> 2) lsl aux0));
       w.(b + 2) <- fi (intern t link);
       w.(b + 3) <- fi size
   | Event.Tcp_send { seq; retx } ->
@@ -192,6 +194,10 @@ let encode t slot ~flow ~at ev =
       w.(b + 2) <- serial cum_ack;
       w.(b + 3) <- cwnd;
       w.(b + 4) <- ssthresh
+  | Event.Handover { from_path; to_path; cut } ->
+      w.(b + 1) <- fi (tag ~flow 18 lor b1 cut);
+      w.(b + 2) <- fi (intern t from_path);
+      w.(b + 3) <- fi (intern t to_path)
 
 let decode t slot =
   let w = chunk_for t slot in
@@ -251,11 +257,17 @@ let decode t slot =
         Event.Drop
           {
             link = str 2;
-            reason = (if abit 0 then Event.D_queue else Event.D_loss);
+            reason =
+              (match aux land 3 with
+              | 0 -> Event.D_loss
+              | 1 -> Event.D_queue
+              | _ -> Event.D_cut);
             size = i 3;
           }
     | 16 -> Event.Tcp_send { seq = seq 2; retx = abit 0 }
     | 17 -> Event.Tcp_ack_rcvd { cum_ack = seq 2; cwnd = f 3; ssthresh = f 4 }
+    | 18 ->
+        Event.Handover { from_path = str 2; to_path = str 3; cut = abit 0 }
     | tag -> Printf.ksprintf failwith "Trace.Ring: corrupt tag %d" tag
   in
   ((tagw lsr 6) land max_flow, { at = f 0; ev })

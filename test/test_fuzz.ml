@@ -145,6 +145,7 @@ let buggy_scenario =
     workload = S.Greedy;
     background = true;
     duration = 4.0;
+    handover = None;
   }
 
 let with_bug f =

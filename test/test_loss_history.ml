@@ -271,7 +271,21 @@ let differential_history_run ~seed ~steps =
   in
   for _ = 1 to steps do
     clock := !clock +. 0.002 +. Engine.Rng.float rng 0.006;
-    (match Engine.Rng.int rng 10 with
+    (match Engine.Rng.int rng 11 with
+    | 10 ->
+        (* Mid-stream handover: both histories re-seed through the same
+           discontinuity — 0 models the [`Reset] policy (clear), a
+           positive interval models [`Informed] (declared-rate seed).
+           Sequence numbering continues across the migration; pending
+           skipped numbers stay eligible as post-reseed late arrivals,
+           so both implementations must agree on how a pre-handover
+           straggler lands in the reset window. *)
+        let len =
+          if Engine.Rng.bool rng then 0.0
+          else 10.0 +. Engine.Rng.float rng 500.0
+        in
+        LH.reseed lh len;
+        LHR.reseed lr len
     | 0 | 1 | 2 | 3 | 4 | 5 ->
         both !next ~is_retx:false;
         incr next
@@ -312,7 +326,9 @@ let differential_history_run ~seed ~steps =
 
 let prop_differential_vs_reference =
   QCheck.Test.make
-    ~name:"run-length loss history matches the frozen reference" ~count:250
+    ~name:
+      "run-length loss history matches the frozen reference (with handovers)"
+    ~count:250
     QCheck.(pair (int_range 1 1_000_000) (int_range 1 400))
     (fun (seed, steps) -> differential_history_run ~seed ~steps)
 

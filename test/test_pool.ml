@@ -37,6 +37,29 @@ let test_more_jobs_than_tasks () =
       let r = Pool.map p (fun x -> 2 * x) [| 1; 2; 3 |] in
       Alcotest.(check (array int)) "all tasks ran once" [| 2; 4; 6 |] r)
 
+(* Regression: when the batch is smaller than the pool, a worker's home
+   index exceeds the batch's lane count and must fold onto a real lane
+   instead of indexing out of bounds.  The tasks are slow enough that
+   the spare domains wake while the batch is still live — the crash was
+   a race, so several rounds tighten the repro. *)
+let test_small_batch_busy_tasks () =
+  Pool.with_pool ~jobs:8 (fun p ->
+      for round = 1 to 5 do
+        let r =
+          Pool.map p
+            (fun x ->
+              let s = ref 0 in
+              for i = 1 to 2_000_000 do
+                s := !s + (i land x)
+              done;
+              !s)
+            [| 1; 3; 7 |]
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d: three results" round)
+          3 (Array.length r)
+      done)
+
 let test_tabulate_and_map_list () =
   Pool.with_pool ~jobs:3 (fun p ->
       Alcotest.(check (array int))
@@ -120,6 +143,8 @@ let suite =
     Alcotest.test_case "jobs=1 runs inline sequentially" `Quick
       test_jobs_one_is_sequential;
     Alcotest.test_case "more jobs than tasks" `Quick test_more_jobs_than_tasks;
+    Alcotest.test_case "small batch under a big pool" `Quick
+      test_small_batch_busy_tasks;
     Alcotest.test_case "tabulate and map_list" `Quick
       test_tabulate_and_map_list;
     Alcotest.test_case "pool survives multiple batches" `Quick

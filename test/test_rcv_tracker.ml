@@ -176,7 +176,17 @@ let differential_tracker_run ~seed ~steps =
   let ok = ref true in
   let expect b = if not b then ok := false in
   for _ = 1 to steps do
-    (match Engine.Rng.int rng 10 with
+    (match Engine.Rng.int rng 11 with
+    | 10 ->
+        (* Handover discontinuity: a [`Cut] migration drops the whole
+           flight, so the next arrival lands hundreds of numbers beyond
+           the highest seen — one giant hole opened in a single step,
+           then filled (or forwarded past) by the later ops. *)
+        let s =
+          S.to_int (T.highest_expected t) + 200 + Engine.Rng.int rng 800
+        in
+        T.on_data t ~seq:(S.of_int s);
+        TR.on_data r ~seq:(S.of_int s)
     | 8 ->
         let fwd = S.to_int (T.cum_ack t) + Engine.Rng.int rng 25 in
         T.apply_fwd_point t (S.of_int fwd);
@@ -209,7 +219,9 @@ let differential_tracker_run ~seed ~steps =
 
 let prop_differential_vs_reference =
   QCheck.Test.make
-    ~name:"run-length tracker matches the frozen reference" ~count:250
+    ~name:
+      "run-length tracker matches the frozen reference (with handover jumps)"
+    ~count:250
     QCheck.(pair (int_range 1 1_000_000) (int_range 1 250))
     (fun (seed, steps) -> differential_tracker_run ~seed ~steps)
 

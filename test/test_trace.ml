@@ -82,6 +82,40 @@ let test_sink_gating () =
           Alcotest.(check (float 0.0)) "sink stamped t2" 6.5 b.Trace.Ring.at
       | l -> Alcotest.failf "expected 2 sink events, got %d" (List.length l))
 
+(* The packed codec round-trips the handover vocabulary: tag-18
+   [Handover] with interned path names, and the 2-bit drop-reason aux
+   including [D_cut]. *)
+let test_codec_handover_roundtrip () =
+  let evs =
+    [
+      Trace.Event.Handover
+        { from_path = "wifi"; to_path = "cellular"; cut = false };
+      Trace.Event.Handover
+        { from_path = "cellular"; to_path = "sat"; cut = true };
+      (* repeat an interned name to exercise the string table *)
+      Trace.Event.Handover { from_path = "sat"; to_path = "wifi"; cut = false };
+      Trace.Event.Drop { link = "l0"; reason = Trace.Event.D_loss; size = 1500 };
+      Trace.Event.Drop { link = "l0"; reason = Trace.Event.D_queue; size = 576 };
+      Trace.Event.Drop { link = "l1"; reason = Trace.Event.D_cut; size = 1500 };
+    ]
+  in
+  let r = Trace.Ring.create ~capacity:16 in
+  List.iteri (fun i ev -> Trace.Ring.push r ~at:(float_of_int i) ev) evs;
+  let back = List.map (fun e -> e.Trace.Ring.ev) (Trace.Ring.to_list r) in
+  Alcotest.(check int) "all entries survive" (List.length evs)
+    (List.length back);
+  List.iteri
+    (fun i (orig, dec) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d round-trips" i)
+        true (orig = dec))
+    (List.combine evs back);
+  (* Canonical bodies are injective over the new fields. *)
+  let line ev = Format.asprintf "%a" Trace.Event.pp_canonical ev in
+  let lines = List.map line back in
+  Alcotest.(check int) "canonical lines distinct" (List.length evs)
+    (List.length (List.sort_uniq compare lines))
+
 let test_canonical_shape () =
   let (), rec_ =
     Trace.Recorder.with_recorder (fun () ->
@@ -174,6 +208,8 @@ let suite =
     Alcotest.test_case "recorder clears on exception" `Quick
       test_recorder_clear_on_exception;
     Alcotest.test_case "sink gating and stamping" `Quick test_sink_gating;
+    Alcotest.test_case "handover/D_cut codec round-trip" `Quick
+      test_codec_handover_roundtrip;
     Alcotest.test_case "canonical shape" `Quick test_canonical_shape;
     Alcotest.test_case "diff pinpoints first divergence" `Quick test_diff;
     Alcotest.test_case "qlog JSON export" `Quick test_json_export;
