@@ -202,6 +202,119 @@ let run_handover ~sched ~seed ~n_flows ~sim_seconds () =
     delivered_bytes = delivered;
   }
 
+(* Trunking at scale: the same user population carried two ways over
+   one 50 Mb/s AF bottleneck.  [run_trunk] multiplexes [users]
+   micro-flows into ONE gTFRC connection through a {!Trunk.Mux} (one
+   TFRC estimator, one scoreboard, one timer set for everyone);
+   [run_trunk_flat] opens a QTP_AF connection per user with the same
+   aggregate reservation split into per-user crumbs.  The events/sec
+   ratio prices the per-connection machinery the trunk amortises. *)
+let trunk_g_mbps = 20.0
+
+let trunk_bottleneck_mbps = 50.0
+
+let setup_trunk ~sched ~seed ~users ~sim_seconds () =
+  let sim, topo =
+    Common.af_dumbbell ~sched ~seed ~n_flows:1
+      ~bottleneck_mbps:trunk_bottleneck_mbps
+      ~committed_mbps:[| trunk_g_mbps |] ()
+  in
+  (* audit:false — the conservation digests are the trunk auditing
+     itself (tests and the fuzz band keep them on); the per-flow arm
+     moves no payload bytes at all, so pricing the audit into the
+     events/sec ratio would measure the instrument, not the trunk. *)
+  let mux = Trunk.Mux.create (Trunk.Mux.config ~audit:false ~users ()) in
+  let agreed =
+    Qtp.Profile.agreed_exn
+      (Qtp.Profile.qtp_af ~g_bps:(Common.mbps trunk_g_mbps) ())
+      (Qtp.Profile.anything ())
+  in
+  let conn =
+    Qtp.Connection.create ~sim
+      ~endpoint:(Netsim.Topology.endpoint topo 0)
+      ~source:(Trunk.Mux.source mux)
+      (Qtp.Connection.config ~initial_rtt:0.2 agreed)
+  in
+  Trunk.Mux.attach mux ~conn
+    ~seg_payload:(1500 - Packet.Header.data_header_bytes);
+  (* Size the offered load to keep the trunk backlogged without
+     admitting far more than the reservation can carry — admission
+     accounting is per-byte work that would otherwise dominate the
+     wall clock and price the feed harness instead of the trunk. *)
+  let per_user =
+    int_of_float (Common.mbps trunk_g_mbps *. sim_seconds /. 8.0)
+    * 5 / 4 / users
+  in
+  ignore
+    (Trunk.Mux.feed mux ~sim ~workloads:(Array.make users per_user)
+       ~stop_at:sim_seconds ());
+  let delivered () =
+    let total = ref 0 in
+    for u = 0 to users - 1 do
+      total := !total + Trunk.Mux.delivered_bytes mux ~user:u
+    done;
+    !total
+  in
+  (sim, delivered)
+
+let setup_trunk_flat ~sched ~seed ~users () =
+  let per_user = trunk_g_mbps /. float_of_int users in
+  let sim, topo =
+    Common.af_dumbbell ~sched ~seed ~n_flows:users
+      ~bottleneck_mbps:trunk_bottleneck_mbps
+      ~committed_mbps:(Array.make users per_user) ()
+  in
+  let conns =
+    Array.init users (fun i ->
+        let agreed =
+          Qtp.Profile.agreed_exn
+            (Qtp.Profile.qtp_af ~g_bps:(Common.mbps per_user) ())
+            (Qtp.Profile.anything ())
+        in
+        (* Stagger the handshakes: a thousand simultaneous SYNs into
+           one bottleneck all drop and back off together, leaving the
+           population stuck instead of transferring. *)
+        Qtp.Connection.create ~sim
+          ~endpoint:(Netsim.Topology.endpoint topo i)
+          ~start_at:(0.001 *. float_of_int i)
+          (Qtp.Connection.config ~initial_rtt:0.2 agreed))
+  in
+  let delivered () =
+    Array.fold_left (fun n c -> n + Qtp.Connection.delivered c) 0 conns
+  in
+  (sim, delivered)
+
+let run_trunk_arm ~name ~setup ~sched ~seed ~users ~sim_seconds () =
+  let (events, delivered), wall, peak, allocated =
+    with_gc_metrics (fun () ->
+        let sim, delivered = setup () in
+        Engine.Sim.run ~until:sim_seconds sim;
+        (Engine.Sim.executed sim, delivered ()))
+  in
+  {
+    name;
+    flows = users;
+    sched;
+    seed;
+    sim_seconds;
+    wall_s = wall;
+    events;
+    events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    max_heap_words = peak;
+    allocated_words = allocated;
+    delivered_bytes = delivered;
+  }
+
+let run_trunk ~sched ~seed ~users ~sim_seconds () =
+  run_trunk_arm ~name:"scale_trunk"
+    ~setup:(fun () -> setup_trunk ~sched ~seed ~users ~sim_seconds ())
+    ~sched ~seed ~users ~sim_seconds ()
+
+let run_trunk_flat ~sched ~seed ~users ~sim_seconds () =
+  run_trunk_arm ~name:"scale_trunk_flat"
+    ~setup:(fun () -> setup_trunk_flat ~sched ~seed ~users ())
+    ~sched ~seed ~users ~sim_seconds ()
+
 let default_seed = 42
 
 (* ------------------------------------------------------------------ *)
@@ -438,7 +551,11 @@ let suite ?(seed = default_seed) ?(jobs = 1) () =
           configs)
   in
   Array.to_list results
-  @ [ run_handover ~sched:`Wheel ~seed ~n_flows:60 ~sim_seconds:2.5 () ]
+  @ [
+      run_handover ~sched:`Wheel ~seed ~n_flows:60 ~sim_seconds:2.5 ();
+      run_trunk ~sched:`Wheel ~seed ~users:1000 ~sim_seconds:3.0 ();
+      run_trunk_flat ~sched:`Wheel ~seed ~users:1000 ~sim_seconds:3.0 ();
+    ]
   @ sched_replay ~seed ()
 
 (* Pure-compute scenario sweep for the pool-speedup measurement: many

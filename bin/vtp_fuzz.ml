@@ -66,11 +66,19 @@ let digest =
 let band =
   Arg.(
     value
-    & opt (enum [ ("std", `Std); ("lfn", `Lfn); ("handover", `Handover) ]) `Std
+    & opt
+        (enum
+           [
+             ("std", `Std); ("lfn", `Lfn); ("handover", `Handover);
+             ("trunk", `Trunk);
+           ])
+        `Std
     & info [ "band" ] ~docv:"BAND"
         ~doc:"Generation band: $(b,std) (classic short paths), $(b,lfn) \
-              (long-fat networks) or $(b,handover) (single flow migrating \
-              across a heterogeneous WiFi/cellular/satellite path triple).")
+              (long-fat networks), $(b,handover) (single flow migrating \
+              across a heterogeneous WiFi/cellular/satellite path triple) or \
+              $(b,trunk) (10..1000 user micro-flows multiplexed over one \
+              gTFRC connection).")
 
 let jobs =
   Arg.(

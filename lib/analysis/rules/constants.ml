@@ -130,6 +130,24 @@ let table =
          the power-of-two rounding loop's 256 floor and 2 factor. *)
       expect = [ 3.; 256.; 1.; 256.; 2. ];
     };
+    {
+      cid = "trunk.drr-quantum";
+      cfile = "lib/trunk/sched.ml";
+      anchor = "default_quantum";
+      cdoc =
+        "DRR quantum 1500 B = one MTU per unit weight per round \
+         (Shreedhar & Varghese)";
+      proj = All_numeric;
+      expect = [ 1500. ];
+    };
+    {
+      cid = "trunk.frame-cap";
+      cfile = "lib/trunk/frame.ml";
+      anchor = "default_frame_cap";
+      cdoc = "sub-frame payload cap 512 B (>= 3 frames per 1500 B segment)";
+      proj = All_numeric;
+      expect = [ 512. ];
+    };
   ]
 
 (* [expect] must appear as a consecutive run in the literal projection. *)
@@ -219,7 +237,7 @@ let passes : Pass.t list =
          failure naming the RFC section.";
       bad = "let weight i = [| 1.0; 1.0; 1.0; 1.0; 0.8; 0.7; 0.4; 0.2 |].(i)";
       good = "let weight i = [| 1.0; 1.0; 1.0; 1.0; 0.8; 0.6; 0.4; 0.2 |].(i)";
-      dirs = [ "lib/tfrc"; "lib/sack" ];
+      dirs = [ "lib/tfrc"; "lib/sack"; "lib/trunk" ];
       allow = [];
       kind = File_pass run;
     };

@@ -91,6 +91,9 @@ type t = {
   mutable close_timer : Engine.Timer.t option;  (* CLOSE retransmission *)
   mutable close_tries : int;
   mutable close_ticks : int;
+  (* Per-segment in-order delivery tap (the trunk layer's demultiplex
+     point); [None] costs one branch per delivery. *)
+  mutable on_deliver : (seq:Serial.t -> size:int -> unit) option;
 }
 
 let uses_sack cfg =
@@ -227,46 +230,55 @@ let inspect_sample t ~x_recv ~p =
           slow_start = Tfrc.Sender.in_slow_start cc;
         }
 
-let merge_covers (a : Sack.Scoreboard.cover list)
-    (b : Sack.Scoreboard.cover list) =
-  List.sort
-    (fun (x : Sack.Scoreboard.cover) (y : Sack.Scoreboard.cover) ->
-      Serial.compare x.cov_seq y.cov_seq)
-    (a @ b)
-
 let sender_on_sack t (sf : Header.sack_feedback) =
   match t.snd.scoreboard with
   | None -> ()
   | Some sb ->
       let now = Engine.Sim.now t.sim in
-      let res =
-        Sack.Scoreboard.on_feedback sb ~cum_ack:sf.cum_ack ~blocks:sf.blocks
+      let rtt = Tfrc.Sender.rtt t.snd.cc in
+      (* Streaming digest: covers flow straight from the scoreboard into
+         the light plane's loss-history replay (ascending acks then
+         ascending sacks = merged ascending order) without per-cover
+         list materialisation — the trunk/LFN bulk-advance fast path.
+         Losses stay a list; they are rare and the reliability plane
+         takes them in one call. *)
+      let batch =
+        Option.map Loss_reconstructor.begin_batch t.snd.reconstructor
+      in
+      let on_cover ~seq ~sent_at ~was_retx =
+        match t.snd.reconstructor with
+        | Some lr ->
+            Loss_reconstructor.push_cover lr ~seq ~sent_at ~was_retx ~rtt
+              ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size
+        | None -> ()
+      in
+      let losses = ref [] in
+      let summary =
+        Sack.Scoreboard.iter_feedback sb ~cum_ack:sf.cum_ack ~blocks:sf.blocks
+          ~on_ack:on_cover ~on_sack:on_cover
+          ~on_lost:(fun seq -> losses := seq :: !losses)
       in
       if Trace.Sink.on t.trace then
         Trace.Sink.sack_rcvd t.trace ~cum_ack:sf.cum_ack
           ~blocks:(List.length sf.blocks)
-          ~acked:(List.length res.newly_acked)
-          ~sacked:(List.length res.newly_sacked)
-          ~lost:(List.length res.newly_lost);
-      feed_losses t ~now res.newly_lost;
-      (match t.snd.reconstructor with
-      | Some lr ->
-          Loss_reconstructor.on_covers lr
-            ~covers:(merge_covers res.newly_acked res.newly_sacked)
-            ~rtt:(Tfrc.Sender.rtt t.snd.cc)
-            ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size;
+          ~acked:summary.Sack.Scoreboard.fb_acked
+          ~sacked:summary.Sack.Scoreboard.fb_sacked
+          ~lost:summary.Sack.Scoreboard.fb_lost;
+      feed_losses t ~now (List.rev !losses);
+      (match (t.snd.reconstructor, batch) with
+      | Some lr, Some b ->
+          Loss_reconstructor.end_batch lr b;
           if sf.sack_ce_count > t.snd.known_ce then begin
             Loss_reconstructor.on_ce_marks lr
               ~new_marks:(sf.sack_ce_count - t.snd.known_ce)
-              ~rtt:(Tfrc.Sender.rtt t.snd.cc)
-              ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size;
+              ~rtt ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size;
             t.snd.known_ce <- sf.sack_ce_count
           end;
           let p = Loss_reconstructor.loss_event_rate lr in
           Tfrc.Sender.on_feedback t.snd.cc ~tstamp_echo:sf.sack_tstamp_echo
             ~t_delay:sf.sack_t_delay ~x_recv:sf.sack_x_recv ~p;
           inspect_sample t ~x_recv:sf.sack_x_recv ~p
-      | None -> ())
+      | _ -> ())
 
 let sender_on_std_feedback t (f : Header.feedback) =
   if Trace.Sink.on t.trace then
@@ -654,10 +666,13 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
         with_t (fun t ->
             let now = Engine.Sim.now sim in
             Stats.Series.record t.goodput ~time:now ~bytes:size;
-            match Hashtbl.find_opt t.first_sent (Serial.to_int seq) with
+            (match Hashtbl.find_opt t.first_sent (Serial.to_int seq) with
             | Some sent ->
                 t.delays <- (now -. sent) :: t.delays;
                 Hashtbl.remove t.first_sent (Serial.to_int seq)
+            | None -> ());
+            match t.on_deliver with
+            | Some f -> f ~seq ~size
             | None -> ()))
       ~on_gap:(fun ~skipped:_ -> ())
       ()
@@ -728,6 +743,7 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
       close_timer = None;
       close_tries = 0;
       close_ticks = 0;
+      on_deliver = None;
     }
   in
   t_ref := Some t;
@@ -845,6 +861,8 @@ let notify_migration t ~link =
   | None -> ()
 
 let state t = t.state
+
+let set_on_deliver t f = t.on_deliver <- Some f
 
 let goodput t = t.goodput
 

@@ -84,6 +84,13 @@ val create_negotiated :
 
 val state : t -> state
 
+val set_on_deliver :
+  t -> (seq:Packet.Serial.t -> size:int -> unit) -> unit
+(** Install a per-segment in-order delivery tap on the receiving side:
+    called for every payload the reassembly hands to the application, in
+    sequence order, exactly once per sequence number.  The trunk layer's
+    demultiplex point. *)
+
 val notify_migration : t -> link:Tfrc.Handover.link_info -> unit
 (** Tell the connection its path just migrated to a link with the given
     declared parameters.  The configured {!Tfrc.Handover.policy} is

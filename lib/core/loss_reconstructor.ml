@@ -41,19 +41,28 @@ let maybe_seed t ~rtt ~x_recv ~packet_size =
       Tfrc.Loss_history.set_first_interval t.lh (1.0 /. p_seed)
   end
 
+type batch = int
+
+let begin_batch t = Tfrc.Loss_history.loss_events t.lh
+
+let push_cover t ~seq ~sent_at ~was_retx ~rtt ~x_recv ~packet_size =
+  (* Clamp to keep the virtual clock monotone even when covers from
+     reordered feedback interleave. *)
+  let arrival = Float.max t.last_arrival (sent_at +. rtt) in
+  t.last_arrival <- arrival;
+  Tfrc.Loss_history.on_packet t.lh ~seq ~arrival ~rtt ~is_retx:was_retx;
+  maybe_seed t ~rtt ~x_recv ~packet_size
+
+let end_batch t before = trace_new_events t ~before
+
 let on_covers t ~covers ~rtt ~x_recv ~packet_size =
-  let before = Tfrc.Loss_history.loss_events t.lh in
+  let before = begin_batch t in
   List.iter
     (fun (c : Sack.Scoreboard.cover) ->
-      (* Clamp to keep the virtual clock monotone even when covers from
-         reordered feedback interleave. *)
-      let arrival = Float.max t.last_arrival (c.cov_sent_at +. rtt) in
-      t.last_arrival <- arrival;
-      Tfrc.Loss_history.on_packet t.lh ~seq:c.cov_seq ~arrival ~rtt
-        ~is_retx:c.cov_was_retx;
-      maybe_seed t ~rtt ~x_recv ~packet_size)
+      push_cover t ~seq:c.cov_seq ~sent_at:c.cov_sent_at
+        ~was_retx:c.cov_was_retx ~rtt ~x_recv ~packet_size)
     covers;
-  trace_new_events t ~before
+  end_batch t before
 
 let on_ce_marks t ~new_marks ~rtt ~x_recv ~packet_size =
   if new_marks > 0 then begin

@@ -39,6 +39,31 @@ val on_covers :
     seed the synthetic first interval exactly as an RFC 3448 receiver
     would (§6.3.1). *)
 
+(** {2 Streaming replay}
+
+    The list-free twin of {!on_covers}, fed directly from
+    {!Sack.Scoreboard.iter_feedback}: open a batch, push each cover in
+    ascending sequence order, close the batch.  Closing performs the
+    once-per-feedback trace accounting {!on_covers} does at its end;
+    seeding (§6.3.1) still happens immediately at the first loss event,
+    mid-batch, exactly as the list path did. *)
+
+type batch
+
+val begin_batch : t -> batch
+
+val push_cover :
+  t ->
+  seq:Packet.Serial.t ->
+  sent_at:float ->
+  was_retx:bool ->
+  rtt:float ->
+  x_recv:float ->
+  packet_size:int ->
+  unit
+
+val end_batch : t -> batch -> unit
+
 val on_ce_marks :
   t ->
   new_marks:int ->

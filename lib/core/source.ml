@@ -16,6 +16,10 @@ let offered_packets t = t.offered
 let greedy () =
   { take_impl = (fun _ -> true); notify = ignore; offered = 0 }
 
+let pull ~take () = { take_impl = (fun _ -> take ()); notify = ignore; offered = 0 }
+
+let wake t = t.notify ()
+
 let finite ~packets =
   let remaining = ref packets in
   {

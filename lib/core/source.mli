@@ -19,6 +19,16 @@ val offered_packets : t -> int
 val greedy : unit -> t
 (** Always has data (bulk transfer). *)
 
+val pull : take:(unit -> bool) -> unit -> t
+(** A source owned by an external multiplexer (the trunk layer): [take]
+    is consulted at each transmission opportunity and must commit one
+    packet's worth of data when it answers [true].  The owner calls
+    {!wake} when data becomes available after a [false] answer. *)
+
+val wake : t -> unit
+(** Invoke the connection-installed notifier: data became available
+    again.  Safe to call before the connection attaches (no-op). *)
+
 val finite : packets:int -> t
 (** Greedy for exactly [packets] packets, then dry forever. *)
 

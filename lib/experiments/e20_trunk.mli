@@ -1,0 +1,14 @@
+(** E20: trunked flow aggregation vs per-flow TCP in one AF class.
+
+    A 10 Mb/s RIO bottleneck carries 8 Mb/s of unresponsive excess
+    load plus a reserved g = 4 Mb/s aggregate shared by 24 user
+    micro-flows.  Two ways to carry them: ONE gTFRC connection with
+    the whole g committed, fronted by a {!Trunk.Mux} (DRR and FIFO
+    intra-trunk scheduling), or 24 per-flow TCP connections each
+    committed g/24.  The table reports the aggregate achieved rate
+    against g and the Jain fairness index across the 24 users'
+    delivered bytes — the trunk holds the floor the fragmented TCP
+    reservations cannot, and DRR keeps the users near-equal while
+    they share it. *)
+
+val run : ?seed:int -> unit -> Stats.Table.t

@@ -151,6 +151,15 @@ let all =
       run = (fun ~seed -> E19_handover_faults.run ~seed ());
     };
     {
+      id = "e20";
+      title = "Trunked flow aggregation vs per-flow TCP";
+      claim =
+        "extension (TCP-trunking): one gTFRC connection fronting N user \
+         micro-flows holds the negotiated aggregate g that N per-flow TCP \
+         reservations cannot, and DRR keeps the users' shares near-equal";
+      run = (fun ~seed -> E20_trunk.run ~seed ());
+    };
+    {
       id = "a1";
       title = "Ablation: loss-event grouping";
       claim = "design choice: RTT-window grouping of losses";

@@ -41,7 +41,7 @@ val digest : Exec.report -> string
 
 val soak :
   ?base:int ->
-  ?band:[ `Std | `Lfn | `Handover ] ->
+  ?band:[ `Std | `Lfn | `Handover | `Trunk ] ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
   ?jobs:int ->
@@ -52,7 +52,7 @@ val soak :
     generation [band] (default [`Std], see {!Scenario.generate_in}). *)
 
 val run_seeds :
-  ?band:[ `Std | `Lfn | `Handover ] ->
+  ?band:[ `Std | `Lfn | `Handover | `Trunk ] ->
   ?shrink:bool ->
   ?progress:(int -> Exec.report -> unit) ->
   ?jobs:int ->

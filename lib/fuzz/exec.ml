@@ -16,11 +16,24 @@ type flow_stats = {
   abandoned : int;
 }
 
+type trunk_stats = {
+  tk_users : int;
+  tk_admitted : int;
+  tk_shipped : int;
+  tk_delivered : int;
+  tk_segments : int;
+  tk_frames : int;
+  tk_rejected : int;
+  tk_junk : int;
+  tk_jain : float;
+}
+
 type report = {
   scenario : Scenario.t;
   failures : failure list;
   flows : flow_stats list;
   mangled : Netsim.Mangler.stats;  (** summed over every mangled link *)
+  trunk : trunk_stats option;
   handshake_timeouts : int;
   checker_events : int;
 }
@@ -171,6 +184,35 @@ let offers (sc : Scenario.t) ~fair_bps =
   | Scenario.P_tfrc -> (Qtp.Profile.qtp_tfrc (), Qtp.Profile.anything ())
   | Scenario.P_full -> (Qtp.Profile.qtp_full (), Qtp.Profile.anything ())
 
+(* Trunk workloads and DRR weights come from a stream derived purely
+   from the scenario seed: heavy-tailed sizes spanning three decades
+   (most users are mice, a few are elephants), and a minority of users
+   with elevated weights so the differential's weighted bound is
+   exercised end to end. *)
+let trunk_exec_key = 0x54524b (* "TRK" *)
+
+let build_trunk (sc : Scenario.t) (tr : Scenario.trunk) =
+  let wrng = Engine.Rng.create ~seed:(sc.Scenario.seed lxor trunk_exec_key) in
+  let weights =
+    Array.init tr.Scenario.tr_users (fun _ ->
+        if Engine.Rng.chance wrng 0.2 then 1 + Engine.Rng.int wrng 7 else 1)
+  in
+  let workloads =
+    Array.init tr.Scenario.tr_users (fun _ ->
+        int_of_float
+          (Engine.Dist.log_uniform_range wrng ~lo:64.0 ~hi:65536.0))
+  in
+  let discipline =
+    match tr.Scenario.tr_sched with
+    | `Fifo -> Trunk.Sched.Fifo
+    | `Drr -> Trunk.Sched.Drr
+  in
+  let cfg =
+    Trunk.Mux.config ~discipline ~quantum:tr.Scenario.tr_quantum
+      ~frame_cap:tr.Scenario.tr_frame_cap ~users:tr.Scenario.tr_users ()
+  in
+  (Trunk.Mux.create ~weights cfg, workloads)
+
 let source ~sim ~rng (sc : Scenario.t) ~fair_bps =
   match sc.Scenario.workload with
   | Scenario.Greedy -> Qtp.Source.greedy ()
@@ -215,14 +257,29 @@ let run ?sched (sc : Scenario.t) : report =
     | Some h -> Some h.Scenario.ho_policy
     | None -> None
   in
+  let trunk_mux =
+    match sc.Scenario.trunk with
+    | Some tr -> Some (build_trunk sc tr)
+    | None -> None
+  in
   let conns =
     Array.init n_vtp (fun i ->
         Qtp.Connection.create_negotiated ~sim
           ~endpoint:(Netsim.Topology.endpoint topo i)
-          ~source:(source ~sim ~rng sc ~fair_bps)
+          ~source:
+            (match trunk_mux with
+            | Some (mux, _) when i = 0 -> Trunk.Mux.source mux
+            | _ -> source ~sim ~rng sc ~fair_bps)
           ~start_at:(0.01 *. float_of_int i)
           ~initial_rtt ?handover:handover_policy ~initiator ~responder ())
   in
+  (match trunk_mux with
+  | Some (mux, workloads) ->
+      Trunk.Mux.attach mux ~conn:conns.(0)
+        ~seg_payload:(1500 - Packet.Header.data_header_bytes);
+      ignore
+        (Trunk.Mux.feed mux ~sim ~workloads ~stop_at:sc.Scenario.duration ())
+  | None -> ());
   (match (mobile, sc.Scenario.handover) with
   | Some m, Some h ->
       let conn = conns.(0) in
@@ -349,6 +406,47 @@ let run ?sched (sc : Scenario.t) : report =
            })
          conns)
   in
+  (* Trunk conservation oracle: once the trunk connection agreed full
+     reliability and closed cleanly, every byte every user shipped was
+     delivered exactly once, byte-identical (digests), and every user
+     whose admission queue drained had all admitted bytes shipped. *)
+  let trunk_stats =
+    match trunk_mux with
+    | None -> None
+    | Some (mux, _) ->
+        (match (crash, agreed_at_close.(0), Qtp.Connection.state conns.(0)) with
+        | None, Some a, Qtp.Connection.Closed when a.Caps.mode = Caps.R_full
+          -> (
+            match Trunk.Mux.check_conservation mux with
+            | Ok () -> ()
+            | Error what -> fail 0 ("trunk conservation: " ^ what))
+        | _ -> ());
+        let n = Trunk.Mux.users mux in
+        let sum get =
+          let s = ref 0 in
+          for u = 0 to n - 1 do
+            s := !s + get ~user:u
+          done;
+          !s
+        in
+        let dlv = Trunk.Mux.delivered_per_user mux in
+        let jain =
+          if Array.exists (fun x -> x > 0.0) dlv then Stats.Fairness.jain dlv
+          else 1.0
+        in
+        Some
+          {
+            tk_users = n;
+            tk_admitted = sum (Trunk.Mux.admitted_bytes mux);
+            tk_shipped = sum (Trunk.Mux.shipped_bytes mux);
+            tk_delivered = sum (Trunk.Mux.delivered_bytes mux);
+            tk_segments = Trunk.Mux.segments_packed mux;
+            tk_frames = Trunk.Mux.frames_packed mux;
+            tk_rejected = Trunk.Mux.rejected mux;
+            tk_junk = Trunk.Mux.junk_bytes mux;
+            tk_jain = jain;
+          }
+  in
   let mangled =
     List.fold_left
       (fun (acc : Netsim.Mangler.stats) link ->
@@ -376,6 +474,7 @@ let run ?sched (sc : Scenario.t) : report =
     failures = crash_failures @ invariant_failures @ List.rev !oracle_failures;
     flows;
     mangled;
+    trunk = trunk_stats;
     handshake_timeouts = !handshake_timeouts;
     checker_events = Analysis.Invariants.events_seen checker;
   }
@@ -397,6 +496,14 @@ let pp_report fmt r =
     "mangled: %d passed, %d reordered, %d duplicated, %d corrupted@,"
     r.mangled.Netsim.Mangler.passed r.mangled.Netsim.Mangler.reordered
     r.mangled.Netsim.Mangler.duplicated r.mangled.Netsim.Mangler.corrupted;
+  (match r.trunk with
+  | None -> ()
+  | Some tk ->
+      Format.fprintf fmt
+        "trunk: %d users admitted=%d shipped=%d delivered=%d segs=%d \
+         frames=%d rejected=%d junk=%d jain=%.4f@,"
+        tk.tk_users tk.tk_admitted tk.tk_shipped tk.tk_delivered
+        tk.tk_segments tk.tk_frames tk.tk_rejected tk.tk_junk tk.tk_jain);
   Format.fprintf fmt "checker events: %d@," r.checker_events;
   (match r.failures with
   | [] -> Format.fprintf fmt "verdict: PASS"

@@ -14,7 +14,11 @@
       dictate;
     - {b full reliability}: a connection that agreed [R_full] and
       closed cleanly delivered exactly the prefix of distinct segments
-      it sent — nothing skipped, nothing abandoned.
+      it sent — nothing skipped, nothing abandoned;
+    - {b trunk conservation} (trunk scenarios): every user byte shipped
+      through the trunk was delivered exactly once, byte-identical
+      (running digests compared per user), and drained users shipped
+      everything they admitted — see {!Trunk.Mux.check_conservation}.
 
     Everything is a pure function of the scenario (globally allocated
     frame uids aside, which carry no behaviour), so a report reproduces
@@ -37,11 +41,24 @@ type flow_stats = {
   abandoned : int;
 }
 
+type trunk_stats = {
+  tk_users : int;
+  tk_admitted : int;  (** user bytes accepted into admission queues *)
+  tk_shipped : int;  (** user bytes packed into trunk segments *)
+  tk_delivered : int;  (** user bytes handed back, demultiplexed *)
+  tk_segments : int;
+  tk_frames : int;
+  tk_rejected : int;  (** offered bytes refused by admission control *)
+  tk_junk : int;  (** parser resync bytes — nonzero is a codec bug *)
+  tk_jain : float;  (** Jain fairness over per-user delivered bytes *)
+}
+
 type report = {
   scenario : Scenario.t;
   failures : failure list;  (** empty = scenario passed *)
   flows : flow_stats list;
   mangled : Netsim.Mangler.stats;  (** summed over every mangled link *)
+  trunk : trunk_stats option;  (** present on [`Trunk]-band scenarios *)
   handshake_timeouts : int;
   checker_events : int;
 }

@@ -24,6 +24,7 @@ let af_headline =
         background = true;
         duration = 2.0;
         handover = None;
+        trunk = None;
       };
   }
 
@@ -47,6 +48,7 @@ let light_headline =
         background = false;
         duration = 2.0;
         handover = None;
+        trunk = None;
       };
   }
 
@@ -87,6 +89,7 @@ let lfn_af =
         background = true;
         duration = 1.8;
         handover = None;
+        trunk = None;
       };
   }
 
@@ -111,6 +114,7 @@ let lfn_light =
         background = false;
         duration = 8.0;
         handover = None;
+        trunk = None;
       };
   }
 
@@ -152,6 +156,7 @@ let handover_scenario ~seed ~profile ~policy =
           ho_schedule = [ (1.0, 1, `Drain); (2.0, 2, `Cut) ];
           ho_policy = policy;
         };
+    trunk = None;
   }
 
 let handover_af =
@@ -177,10 +182,79 @@ let handover_light =
         ~profile:(Scenario.P_light Qtp.Capabilities.R_full) ~policy:`Reset;
   }
 
+(* Trunking scenarios: one gTFRC connection fronting dozens of user
+   micro-flows, one per scheduling discipline.  [trunk_af] pins the
+   DRR packing order and per-user framing under an AF floor; [trunk_light]
+   pins the FIFO path with sender-side loss reconstruction over a lossy
+   link, so retransmitted trunk segments demultiplex too. *)
+
+let trunk_af =
+  {
+    name = "trunk_af";
+    descr = "40-user DRR trunk over one QTP_AF connection (80% committed)";
+    scenario =
+      {
+        Scenario.seed = 9007;
+        shape = Scenario.Dumbbell 1;
+        rate_mbps = 10.0;
+        delay_ms = 30.0;
+        buffer_pkts = 85;
+        red = false;
+        loss = Scenario.Clean;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_af 0.8;
+        workload = Scenario.Greedy;
+        background = false;
+        duration = 2.0;
+        handover = None;
+        trunk =
+          Some
+            {
+              Scenario.tr_users = 40;
+              tr_sched = `Drr;
+              tr_quantum = 1500;
+              tr_frame_cap = 512;
+            };
+      };
+  }
+
+let trunk_light =
+  {
+    name = "trunk_light";
+    descr =
+      "25-user FIFO trunk over QTP_light (full reliability), 1% lossy path";
+    scenario =
+      {
+        Scenario.seed = 9008;
+        shape = Scenario.Dumbbell 1;
+        rate_mbps = 6.0;
+        delay_ms = 40.0;
+        buffer_pkts = 60;
+        red = false;
+        loss = Scenario.Bernoulli 0.01;
+        mangle = Netsim.Mangler.none;
+        mangle_reverse = false;
+        profile = Scenario.P_light Qtp.Capabilities.R_full;
+        workload = Scenario.Greedy;
+        background = false;
+        duration = 2.0;
+        handover = None;
+        trunk =
+          Some
+            {
+              Scenario.tr_users = 25;
+              tr_sched = `Fifo;
+              tr_quantum = 1500;
+              tr_frame_cap = 256;
+            };
+      };
+  }
+
 let corpus =
   [ af_headline; light_headline ]
   @ List.map fuzz_seed [ 101; 102; 103; 104; 105; 106 ]
-  @ [ lfn_af; lfn_light; handover_af; handover_light ]
+  @ [ lfn_af; lfn_light; handover_af; handover_light; trunk_af; trunk_light ]
 
 let find name = List.find_opt (fun e -> e.name = name) corpus
 

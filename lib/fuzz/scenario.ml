@@ -36,6 +36,13 @@ type handover = {
   ho_policy : [ `Keep | `Reset | `Informed ];
 }
 
+type trunk = {
+  tr_users : int;
+  tr_sched : [ `Fifo | `Drr ];
+  tr_quantum : int;
+  tr_frame_cap : int;
+}
+
 type t = {
   seed : int;
   shape : shape;
@@ -51,6 +58,7 @@ type t = {
   background : bool;
   duration : float;
   handover : handover option;
+  trunk : trunk option;
 }
 
 let flows t =
@@ -105,6 +113,8 @@ let faulty t =
    them, which a property test pins. *)
 
 let ho_schedule_key = 0x484f (* "HO" *)
+
+let trunk_key = 0x5452 (* "TR" *)
 
 let ho_link_of_class hrng cls =
   let lo, hi, dlo, dhi =
@@ -247,30 +257,61 @@ let generate_in ~band ~seed =
       background;
       duration;
       handover = None;
+      trunk = None;
     }
   in
-  if band <> `Handover then base
-  else begin
-    (* Mobility: one flow, no cross-traffic, a longer run so every
-       migration has time to show its rate transient, and a clean
-       bottleneck model — losses come from the member links and the
-       schedule instead.  [rate_mbps]/[delay_ms] mirror path 0 so
-       fair-share computations see the initial path. *)
-    let duration = 8.0 +. Engine.Rng.float rng 8.0 in
-    let ho = generate_handover ~seed ~duration rng in
-    let first = List.hd ho.ho_links in
-    {
-      base with
-      shape = Dumbbell 1;
-      rate_mbps = first.ho_rate_mbps;
-      delay_ms = first.ho_delay_ms;
-      red = false;
-      loss = Clean;
-      background = false;
-      duration;
-      handover = Some ho;
-    }
-  end
+  match band with
+  | `Std | `Lfn -> base
+  | `Handover ->
+      (* Mobility: one flow, no cross-traffic, a longer run so every
+         migration has time to show its rate transient, and a clean
+         bottleneck model — losses come from the member links and the
+         schedule instead.  [rate_mbps]/[delay_ms] mirror path 0 so
+         fair-share computations see the initial path. *)
+      let duration = 8.0 +. Engine.Rng.float rng 8.0 in
+      let ho = generate_handover ~seed ~duration rng in
+      let first = List.hd ho.ho_links in
+      {
+        base with
+        shape = Dumbbell 1;
+        rate_mbps = first.ho_rate_mbps;
+        delay_ms = first.ho_delay_ms;
+        red = false;
+        loss = Clean;
+        background = false;
+        duration;
+        handover = Some ho;
+      }
+  | `Trunk ->
+      (* Flow aggregation: ONE gTFRC connection fronting many user
+         micro-flows.  The base draw sequence is fully consumed first,
+         then the trunk-specific draws come from a derived stream keyed
+         by the seed — like the handover schedule, they are independent
+         of draw position.  Reliability is forced to full (the
+         conservation oracle needs every shipped byte delivered); the
+         path, loss model and mangler come from the base scenario, so
+         trunks face reordering, duplication and corruption too. *)
+      let trng = Engine.Rng.derive rng ~key:(trunk_key lxor seed) in
+      let tr_users =
+        int_of_float (Engine.Dist.log_uniform_range trng ~lo:10.0 ~hi:1000.0)
+      in
+      let tr_sched = if Engine.Rng.chance trng 0.5 then `Drr else `Fifo in
+      let tr_quantum = Engine.Dist.choice trng [| 500; 1500; 3000 |] in
+      let tr_frame_cap = Engine.Dist.choice trng [| 128; 256; 512 |] in
+      let profile =
+        match base.profile with
+        | P_light _ -> P_light Caps.R_full
+        | P_tfrc -> P_full
+        | (P_af _ | P_full) as p -> p
+      in
+      {
+        base with
+        shape = Dumbbell 1;
+        profile;
+        workload = Greedy;
+        background = false;
+        trunk = Some { tr_users; tr_sched; tr_quantum; tr_frame_cap };
+      }
 
 let generate ~seed = generate_in ~band:`Std ~seed
 
@@ -332,6 +373,16 @@ let pp_handover_opt fmt = function
   | None -> ()
   | Some h -> Format.fprintf fmt "@,handover: %a" pp_handover h
 
+let sched_name = function `Fifo -> "fifo" | `Drr -> "drr"
+
+let pp_trunk fmt tr =
+  Format.fprintf fmt "%d users, %s, quantum=%d, frame_cap=%d" tr.tr_users
+    (sched_name tr.tr_sched) tr.tr_quantum tr.tr_frame_cap
+
+let pp_trunk_opt fmt = function
+  | None -> ()
+  | Some tr -> Format.fprintf fmt "@,trunk:    %a" pp_trunk tr
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v 2>scenario seed=%d@,\
@@ -341,23 +392,30 @@ let pp fmt t =
      mangle:   %a%s@,\
      profile:  %a@,\
      workload: %a%s@,\
-     duration: %.2f s%a@]"
+     duration: %.2f s%a%a@]"
     t.seed pp_shape t.shape t.rate_mbps t.delay_ms t.buffer_pkts
     (if t.red then "(RED)" else "(droptail)")
     pp_loss t.loss Netsim.Mangler.pp_profile t.mangle
     (if t.mangle_reverse then " +reverse" else "")
     pp_profile t.profile pp_workload t.workload
     (if t.background then " +background" else "")
-    t.duration pp_handover_opt t.handover
+    t.duration pp_handover_opt t.handover pp_trunk_opt t.trunk
 
 let summary t =
   Format.asprintf "seed=%d %a %a %a %.2fs%s" t.seed pp_shape t.shape pp_profile
     t.profile pp_loss t.loss t.duration
-    (match t.handover with
+    ((match t.handover with
+     | None -> ""
+     | Some h ->
+         Format.sprintf " handover(%s, %d migrations)"
+           (policy_name h.ho_policy)
+           (List.length h.ho_schedule))
+    ^
+    match t.trunk with
     | None -> ""
-    | Some h ->
-        Format.sprintf " handover(%s, %d migrations)" (policy_name h.ho_policy)
-          (List.length h.ho_schedule))
+    | Some tr ->
+        Format.sprintf " trunk(%d users, %s)" tr.tr_users
+          (sched_name tr.tr_sched))
 
 let equal (a : t) (b : t) =
   a.seed = b.seed && a.shape = b.shape
@@ -400,7 +458,7 @@ let equal (a : t) (b : t) =
   let sched_equal (ta, pa, ma) (tb, pb, mb) =
     Float.equal ta tb && pa = pb && ma = mb
   in
-  match (a.handover, b.handover) with
+  (match (a.handover, b.handover) with
   | None, None -> true
   | Some x, Some y ->
       x.ho_policy = y.ho_policy
@@ -408,4 +466,12 @@ let equal (a : t) (b : t) =
       && List.for_all2 ho_link_equal x.ho_links y.ho_links
       && List.length x.ho_schedule = List.length y.ho_schedule
       && List.for_all2 sched_equal x.ho_schedule y.ho_schedule
+  | _ -> false)
+  &&
+  match (a.trunk, b.trunk) with
+  | None, None -> true
+  | Some x, Some y ->
+      x.tr_users = y.tr_users && x.tr_sched = y.tr_sched
+      && x.tr_quantum = y.tr_quantum
+      && x.tr_frame_cap = y.tr_frame_cap
   | _ -> false

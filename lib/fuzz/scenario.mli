@@ -58,6 +58,20 @@ type handover = {
       (** sender rate policy applied on each migration *)
 }
 
+(** {2 Trunking}
+
+    A trunk scenario multiplexes many user micro-flows over ONE
+    gTFRC-controlled connection ({!Trunk.Mux}): heavy-tailed per-user
+    workloads, an intra-trunk scheduler, and full reliability so the
+    byte-conservation oracle applies end to end. *)
+
+type trunk = {
+  tr_users : int;  (** multiplexed micro-flows (10..1000) *)
+  tr_sched : [ `Fifo | `Drr ];  (** intra-trunk scheduling discipline *)
+  tr_quantum : int;  (** DRR byte quantum *)
+  tr_frame_cap : int;  (** max user payload bytes per sub-frame *)
+}
+
 type t = {
   seed : int;  (** replay key: seeds the generator and the simulation *)
   shape : shape;
@@ -74,6 +88,8 @@ type t = {
   duration : float;  (** seconds of data transfer before close *)
   handover : handover option;
       (** mobility schedule; [None] outside the [`Handover] band *)
+  trunk : trunk option;
+      (** flow-aggregation setup; [None] outside the [`Trunk] band *)
 }
 
 val generate : seed:int -> t
@@ -81,7 +97,7 @@ val generate : seed:int -> t
     {!generate_in}[ ~band:`Std] — byte-identical to what every
     committed fuzz seed has always produced. *)
 
-val generate_in : band:[ `Std | `Lfn | `Handover ] -> seed:int -> t
+val generate_in : band:[ `Std | `Lfn | `Handover | `Trunk ] -> seed:int -> t
 (** The scenario is a pure function of [band] and [seed].  [`Std]
     draws the classic short-path bounds; [`Lfn] draws the same
     scenario structure over long-fat-network paths: 125..250 ms
@@ -91,9 +107,13 @@ val generate_in : band:[ `Std | `Lfn | `Handover ] -> seed:int -> t
     with no background traffic over a heterogeneous WiFi / cellular /
     satellite path triple and a 2–4-event migration schedule whose
     times come from an {!Engine.Rng.derive}d stream (independent of
-    draw position).  All bands consume the base generator
-    identically, so a seed's [`Std] scenario never changes as bands
-    are added. *)
+    draw position).  [`Trunk] likewise replays the standard sequence,
+    then forces a single full-reliability connection fronting
+    10..1000 multiplexed users (trunk parameters from a derived
+    stream); the base path, loss model and mangler stay, so trunks
+    face reordered / duplicated / corrupted links.  All bands consume
+    the base generator identically, so a seed's [`Std] scenario never
+    changes as bands are added. *)
 
 val flows : t -> int
 (** Number of VTP connections the scenario runs. *)
@@ -122,3 +142,4 @@ val pp_loss : Format.formatter -> loss -> unit
 val pp_profile : Format.formatter -> profile -> unit
 val pp_workload : Format.formatter -> workload -> unit
 val pp_handover : Format.formatter -> handover -> unit
+val pp_trunk : Format.formatter -> trunk -> unit

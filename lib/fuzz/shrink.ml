@@ -53,6 +53,28 @@ let candidates : (Scenario.t -> Scenario.t option) list =
       match sc.Scenario.handover with
       | Some _ -> Some { sc with Scenario.handover = None }
       | None -> None);
+    (* Trunking: first halve the user population (10 is the band's
+       floor), then drop the trunk entirely — the scenario then runs
+       its plain greedy workload. *)
+    (fun sc ->
+      match sc.Scenario.trunk with
+      | Some tr when tr.Scenario.tr_users > 10 ->
+          Some
+            {
+              sc with
+              Scenario.trunk =
+                Some
+                  {
+                    tr with
+                    Scenario.tr_users =
+                      Stdlib.max 10 (tr.Scenario.tr_users / 2);
+                  };
+            }
+      | _ -> None);
+    (fun sc ->
+      match sc.Scenario.trunk with
+      | Some _ -> Some { sc with Scenario.trunk = None }
+      | None -> None);
     (fun sc ->
       if sc.Scenario.red then Some { sc with Scenario.red = false } else None);
     (fun sc ->

@@ -279,27 +279,45 @@ let next_seq t = t.snd_nxt
 
 let una t = t.snd_una
 
-let cover_at t a =
-  {
-    cov_seq = ser_of t a;
-    cov_sent_at = t.first_sent.(a land t.mask);
-    cov_was_retx = t.meta.(a land t.mask) lsr retx_shift > 0;
-  }
-
 let size_at t a = t.meta.(a land t.mask) land size_mask
 
-let on_feedback t ~cum_ack ~blocks =
+type feedback_summary = {
+  fb_acked : int;
+  fb_sacked : int;
+  fb_lost : int;
+  fb_cum_advanced : bool;
+}
+
+(* The streaming feedback digest.  Covers are pushed to the callbacks in
+   globally ascending sequence order without materialising cover records
+   or lists: every cumulative-ack cover lies below the advanced
+   [una_abs] and every SACK cover at or above it, and processing blocks
+   in ascending order of clipped lower bound keeps the SACK emissions
+   ascending too (a block's range is merged into the run set before the
+   next block is scanned, so a later block can only uncover positions
+   above everything an earlier one emitted).  The emitted set and the
+   final run state are both order-independent, which keeps this
+   byte-compatible with the list-building wrapper below. *)
+let iter_feedback t ~cum_ack ~blocks ~on_ack ~on_sack ~on_lost =
   charge t "send.scoreboard.feedback";
+  let n_acked = ref 0 and n_sacked = ref 0 and n_lost = ref 0 in
+  let emit on a =
+    let i = a land t.mask in
+    let meta = Array.unsafe_get t.meta i in
+    t.unsacked_bytes <- t.unsacked_bytes - (meta land size_mask);
+    on ~seq:(ser_of t a)
+      ~sent_at:(Array.unsafe_get t.first_sent i)
+      ~was_retx:(meta lsr retx_shift > 0)
+  in
   (* 1. Cumulative advance: every not-yet-SACKed position up to the
      (clipped) ack point is a fresh cover. *)
-  let newly_acked = ref [] in
   let cum_advanced = Serial.( > ) cum_ack t.snd_una in
   if cum_advanced then begin
     let target = Stdlib.min (abs_of t cum_ack) t.nxt_abs in
     Runs.iter_gaps t.sacked t.una_abs target (fun gl gh ->
         for a = gl to gh - 1 do
-          newly_acked := cover_at t a :: !newly_acked;
-          t.unsacked_bytes <- t.unsacked_bytes - size_at t a
+          incr n_acked;
+          emit on_ack a
         done);
     t.acked <- t.acked + (target - t.una_abs);
     Runs.trim_below t.sacked target;
@@ -310,52 +328,79 @@ let on_feedback t ~cum_ack ~blocks =
   (* 2. SACK coverage: the uncovered gaps of each (clipped) block are
      the newly SACKed positions; then the block merges into the run
      set in one splice. *)
-  let newly_sacked = ref [] in
+  let clipped =
+    List.filter_map
+      (fun (b : Blocks.t) ->
+        let l = Stdlib.max (abs_of t b.block_start) t.una_abs in
+        let h = Stdlib.min (abs_of t b.block_end) t.nxt_abs in
+        if l < h then Some (l, h) else None)
+      blocks
+  in
+  let clipped =
+    List.sort (fun (l1, _) (l2, _) -> Int.compare l1 l2) clipped
+  in
   List.iter
-    (fun (b : Blocks.t) ->
-      let l = Stdlib.max (abs_of t b.block_start) t.una_abs in
-      let h = Stdlib.min (abs_of t b.block_end) t.nxt_abs in
-      if l < h then begin
-        Runs.iter_gaps t.sacked l h (fun gl gh ->
-            for a = gl to gh - 1 do
-              newly_sacked := cover_at t a :: !newly_sacked;
-              t.unsacked_bytes <- t.unsacked_bytes - size_at t a
-            done);
-        Runs.remove t.lost l h;
-        Runs.add t.sacked l h
-      end)
-    blocks;
+    (fun (l, h) ->
+      Runs.iter_gaps t.sacked l h (fun gl gh ->
+          for a = gl to gh - 1 do
+            incr n_sacked;
+            emit on_sack a
+          done);
+      Runs.remove t.lost l h;
+      Runs.add t.sacked l h)
+    clipped;
   (* 3. Loss inference: a position is lost once [dupthresh] SACKed
      positions lie above it, i.e. everything below the dupthresh-th
      highest SACKed point that is neither SACKed nor already lost. *)
-  let newly_lost = ref [] in
   let fresh_runs = ref [] in
   let p = Runs.kth_from_top t.sacked t.dupthresh in
   if p > t.una_abs then begin
     Runs.iter_gaps t.sacked t.una_abs p (fun gl gh ->
         Runs.iter_gaps t.lost gl gh (fun ll lh ->
-            fresh_runs := (ll, lh) :: !fresh_runs;
-            for a = ll to lh - 1 do
-              newly_lost := a :: !newly_lost
-            done));
+            fresh_runs := (ll, lh) :: !fresh_runs));
     List.iter (fun (ll, lh) -> Runs.add t.lost ll lh) !fresh_runs;
     (* The reference walk marks from the top down; emit in the same
-       descending order so traces stay byte-identical. *)
+       descending order so traces stay byte-identical ([fresh_runs] is
+       already in descending run order). *)
     if Trace.Sink.on t.trace then
       List.iter
-        (fun a ->
-          Trace.Sink.emit t.trace
-            (Trace.Event.Loss_inferred
-               { seq = ser_of t a; by = Trace.Event.I_dupthresh }))
-        !newly_lost
+        (fun (ll, lh) ->
+          for a = lh - 1 downto ll do
+            Trace.Sink.emit t.trace
+              (Trace.Event.Loss_inferred
+                 { seq = ser_of t a; by = Trace.Event.I_dupthresh })
+          done)
+        !fresh_runs;
+    List.iter
+      (fun (ll, lh) ->
+        for a = ll to lh - 1 do
+          incr n_lost;
+          on_lost (ser_of t a)
+        done)
+      (List.rev !fresh_runs)
   end;
-  let by_seq f a b = Serial.compare (f a) (f b) in
   {
-    newly_acked = List.sort (by_seq (fun c -> c.cov_seq)) !newly_acked;
-    newly_sacked = List.sort (by_seq (fun c -> c.cov_seq)) !newly_sacked;
-    newly_lost =
-      List.fold_left (fun acc a -> ser_of t a :: acc) [] !newly_lost;
-    cum_advanced;
+    fb_acked = !n_acked;
+    fb_sacked = !n_sacked;
+    fb_lost = !n_lost;
+    fb_cum_advanced = cum_advanced;
+  }
+
+let on_feedback t ~cum_ack ~blocks =
+  let acked = ref [] and sacked = ref [] and lost = ref [] in
+  let push acc ~seq ~sent_at ~was_retx =
+    acc := { cov_seq = seq; cov_sent_at = sent_at; cov_was_retx = was_retx }
+           :: !acc
+  in
+  let s =
+    iter_feedback t ~cum_ack ~blocks ~on_ack:(push acked) ~on_sack:(push sacked)
+      ~on_lost:(fun seq -> lost := seq :: !lost)
+  in
+  {
+    newly_acked = List.rev !acked;
+    newly_sacked = List.rev !sacked;
+    newly_lost = List.rev !lost;
+    cum_advanced = s.fb_cum_advanced;
   }
 
 let lost_pending t =

@@ -49,8 +49,37 @@ val next_seq : t -> Packet.Serial.t
 val una : t -> Packet.Serial.t
 (** Lowest unacknowledged sequence number ([snd_una]). *)
 
+type feedback_summary = {
+  fb_acked : int;
+  fb_sacked : int;
+  fb_lost : int;
+  fb_cum_advanced : bool;
+}
+(** Counts of what one feedback digest uncovered — everything the hot
+    path needs that is not already streamed through the callbacks. *)
+
+val iter_feedback :
+  t ->
+  cum_ack:Packet.Serial.t ->
+  blocks:Blocks.t list ->
+  on_ack:(seq:Packet.Serial.t -> sent_at:float -> was_retx:bool -> unit) ->
+  on_sack:(seq:Packet.Serial.t -> sent_at:float -> was_retx:bool -> unit) ->
+  on_lost:(Packet.Serial.t -> unit) ->
+  feedback_summary
+(** Streaming feedback digest: the iterator twin of {!on_feedback},
+    with identical state effects but no per-cover list materialisation —
+    the fast path for bulk cumulative advances over trunk- and LFN-sized
+    windows.  [on_ack] fires for every cumulative-ack cover and
+    [on_sack] for every fresh SACK cover, each ascending, all acks
+    before all sacks (so a single callback passed to both observes the
+    merged covers in globally ascending sequence order).  [on_lost]
+    fires ascending for every fresh dupthresh loss inference, after all
+    covers.  [sent_at] is the cover's first transmission time. *)
+
 val on_feedback :
   t -> cum_ack:Packet.Serial.t -> blocks:Blocks.t list -> feedback_result
+(** List-building wrapper over {!iter_feedback} (kept as the
+    differential-test surface against [Scoreboard_ref]). *)
 
 val lost_pending : t -> Packet.Serial.t list
 (** Numbers currently inferred lost and not yet retransmitted,

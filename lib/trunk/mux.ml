@@ -1,0 +1,388 @@
+type config = {
+  users : int;
+  discipline : Sched.kind;
+  quantum : int;
+  frame_cap : int;
+  per_user_cap : int;
+  audit : bool;
+}
+
+let config ?(discipline = Sched.Drr) ?(quantum = Sched.default_quantum)
+    ?(frame_cap = Frame.default_frame_cap) ?(per_user_cap = 65536)
+    ?(audit = true) ~users () =
+  if users < 1 || users > Frame.max_user + 1 then
+    invalid_arg "Trunk.Mux: users out of range";
+  if quantum < 1 then invalid_arg "Trunk.Mux: quantum < 1";
+  if frame_cap < 1 || frame_cap > Frame.max_len then
+    invalid_arg "Trunk.Mux: frame_cap out of range";
+  if per_user_cap < 1 then invalid_arg "Trunk.Mux: per_user_cap < 1";
+  { users; discipline; quantum; frame_cap; per_user_cap; audit }
+
+(* Conservation digests: a chunk-invariant running hash of one user's
+   byte stream at a station.  Bytes gather little-endian into a pending
+   word; every full 8-byte word folds djb2-style into the accumulator.
+   The fold is a pure function of the byte stream — slice boundaries
+   never matter, so the three stations digest identical streams to
+   identical values even though admission hashes 4 KiB offers, shipping
+   hashes sub-frame takes and delivery hashes parsed frames.  Word-at-
+   a-time keeps the bookkeeping to a fraction of the segment path's
+   copy cost (a per-byte fold costed more than the blits it audited). *)
+module Dig = struct
+  type t = {
+    acc : int array;  (* folded whole words *)
+    pend : int array;  (* gathered tail bytes, little-endian *)
+    pk : int array;  (* how many tail bytes are gathered, 0..7 *)
+  }
+
+  let seed = 5381
+
+  let create n =
+    { acc = Array.make n seed; pend = Array.make n 0; pk = Array.make n 0 }
+
+  let mix acc w = (((acc lsl 5) + acc) lxor w) land max_int
+
+  let update d u buf ~pos ~len =
+    let acc = ref d.acc.(u) in
+    let pend = ref d.pend.(u) in
+    let pk = ref d.pk.(u) in
+    let i = ref pos in
+    let stop = pos + len in
+    while !pk <> 0 && !i < stop do
+      pend := !pend lor (Char.code (Bytes.unsafe_get buf !i) lsl (8 * !pk));
+      incr i;
+      pk := (!pk + 1) land 7;
+      if !pk = 0 then begin
+        acc := mix !acc !pend;
+        pend := 0
+      end
+    done;
+    while stop - !i >= 8 do
+      let b k = Char.code (Bytes.unsafe_get buf (!i + k)) in
+      let w =
+        b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) lor (b 4 lsl 32)
+        lor (b 5 lsl 40) lor (b 6 lsl 48) lor (b 7 lsl 56)
+      in
+      acc := mix !acc w;
+      i := !i + 8
+    done;
+    while !i < stop do
+      pend := !pend lor (Char.code (Bytes.unsafe_get buf !i) lsl (8 * !pk));
+      incr i;
+      incr pk
+    done;
+    d.acc.(u) <- !acc;
+    d.pend.(u) <- !pend;
+    d.pk.(u) <- !pk
+
+  (* Finalised view: equal streams give equal values; the tail state is
+     folded in so "abc" and "abc" + pending junk can't collide by
+     accident of timing. *)
+  let value d u = mix (mix d.acc.(u) d.pend.(u)) d.pk.(u)
+end
+
+(* Per-user admission queue: a compacting byte FIFO.  Bytes.blit is
+   memmove-safe, so compaction within the same buffer is fine. *)
+module Q = struct
+  type t = { mutable buf : Bytes.t; mutable head : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 256; head = 0; len = 0 }
+
+  let length q = q.len
+
+  let ensure q extra =
+    let need = q.len + extra in
+    if q.head + need > Bytes.length q.buf then
+      if need <= Bytes.length q.buf then begin
+        Bytes.blit q.buf q.head q.buf 0 q.len;
+        q.head <- 0
+      end
+      else begin
+        let cap = ref (Bytes.length q.buf) in
+        while !cap < need do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit q.buf q.head nb 0 q.len;
+        q.buf <- nb;
+        q.head <- 0
+      end
+
+  let append q src pos len =
+    ensure q len;
+    Bytes.blit src pos q.buf (q.head + q.len) len;
+    q.len <- q.len + len
+
+  let pop_into q dst ~pos ~len =
+    Bytes.blit q.buf q.head dst pos len;
+    q.head <- q.head + len;
+    q.len <- q.len - len;
+    if q.len = 0 then q.head <- 0
+end
+
+type t = {
+  cfg : config;
+  sched : Sched.t;
+  queues : Q.t array;
+  src : Qtp.Source.t;
+  mutable conn : Qtp.Connection.t option;
+  mutable seg_payload : int;  (* 0 until attached *)
+  admitted : int array;
+  shipped : int array;
+  delivered : int array;
+  adm_dig : Dig.t;
+  shp_dig : Dig.t;
+  dlv_dig : Dig.t;
+  mutable segs : Bytes.t array;  (* k-th packed segment, freed on delivery *)
+  mutable seg_lens : int array;  (* packed bytes of segs.(k): buffers are
+                                    sized for the full budget up front so
+                                    pack can write in place without a
+                                    trailing Bytes.sub copy *)
+  mutable nsegs : int;
+  mutable rejected : int;
+  mutable frames_packed : int;
+  mutable junk : int;
+  mutable on_data : (user:int -> buf:Bytes.t -> pos:int -> len:int -> unit) option;
+}
+
+let pack t =
+  if t.seg_payload = 0 || Sched.total t.sched = 0 then false
+  else begin
+    let budget = t.seg_payload in
+    let buf = Bytes.create budget in
+    let wpos = ref 0 in
+    let frames = ref 0 in
+    let used =
+      Sched.fill t.sched ~budget ~overhead:Frame.header_bytes
+        ~cap:t.cfg.frame_cap ~f:(fun ~user ~take ->
+          Frame.put_header buf ~pos:!wpos ~user ~len:take;
+          let ppos = !wpos + Frame.header_bytes in
+          Q.pop_into t.queues.(user) buf ~pos:ppos ~len:take;
+          t.shipped.(user) <- t.shipped.(user) + take;
+          if t.cfg.audit then Dig.update t.shp_dig user buf ~pos:ppos ~len:take;
+          wpos := ppos + take;
+          incr frames)
+    in
+    if used = 0 then false
+    else begin
+      let k = t.nsegs in
+      if k = Array.length t.segs then begin
+        let nb = Array.make (2 * Array.length t.segs) Bytes.empty in
+        Array.blit t.segs 0 nb 0 t.nsegs;
+        t.segs <- nb;
+        let nl = Array.make (2 * Array.length t.seg_lens) 0 in
+        Array.blit t.seg_lens 0 nl 0 t.nsegs;
+        t.seg_lens <- nl
+      end;
+      t.segs.(k) <- buf;
+      t.seg_lens.(k) <- used;
+      t.nsegs <- k + 1;
+      t.frames_packed <- t.frames_packed + !frames;
+      (match Tap.hooks () with
+      | Some h ->
+          h.Tap.on_segment
+            {
+              Tap.sg_index = k;
+              sg_frames = !frames;
+              sg_payload = used;
+              sg_budget = budget;
+            }
+      | None -> ());
+      true
+    end
+  end
+
+let deliver t ~seq =
+  let k = Packet.Serial.to_int seq in
+  if k >= 0 && k < t.nsegs then begin
+    let seg = t.segs.(k) in
+    let seg_len = t.seg_lens.(k) in
+    if seg_len > 0 then begin
+      Frame.iter seg ~pos:0 ~len:seg_len
+        ~frame:(fun ~user ~off ~len ->
+          t.delivered.(user) <- t.delivered.(user) + len;
+          if t.cfg.audit then Dig.update t.dlv_dig user seg ~pos:off ~len;
+          (match Tap.hooks () with
+          | Some h ->
+              h.Tap.on_user_deliver { Tap.dv_user = user; dv_bytes = len }
+          | None -> ());
+          match t.on_data with
+          | Some f -> f ~user ~buf:seg ~pos:off ~len
+          | None -> ())
+        ~junk:(fun ~bytes -> t.junk <- t.junk + bytes);
+      (* Exactly-once: reassembly delivers each sequence once; freeing
+         the slot also makes any accounting bug loud instead of a
+         silent double count. *)
+      t.segs.(k) <- Bytes.empty;
+      t.seg_lens.(k) <- 0
+    end
+  end
+
+let create ?weights cfg =
+  let t_ref = ref None in
+  let src =
+    Qtp.Source.pull
+      ~take:(fun () -> match !t_ref with Some t -> pack t | None -> false)
+      ()
+  in
+  let t =
+    {
+      cfg;
+      sched =
+        Sched.create ~quantum:cfg.quantum ?weights cfg.discipline
+          ~users:cfg.users ();
+      queues = Array.init cfg.users (fun _ -> Q.create ());
+      src;
+      conn = None;
+      seg_payload = 0;
+      admitted = Array.make cfg.users 0;
+      shipped = Array.make cfg.users 0;
+      delivered = Array.make cfg.users 0;
+      adm_dig = Dig.create cfg.users;
+      shp_dig = Dig.create cfg.users;
+      dlv_dig = Dig.create cfg.users;
+      segs = Array.make 64 Bytes.empty;
+      seg_lens = Array.make 64 0;
+      nsegs = 0;
+      rejected = 0;
+      frames_packed = 0;
+      junk = 0;
+      on_data = None;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let source t = t.src
+
+let attach t ~conn ~seg_payload =
+  if seg_payload <= Frame.header_bytes then
+    invalid_arg "Trunk.Mux.attach: seg_payload must exceed frame header";
+  t.seg_payload <- Stdlib.min seg_payload (Bytes.length (Frame.scratch ()));
+  t.conn <- Some conn;
+  Qtp.Connection.set_on_deliver conn (fun ~seq ~size:_ -> deliver t ~seq)
+
+let connection t = t.conn
+
+let admit t ~user ~src ~pos ~len =
+  if user < 0 || user >= t.cfg.users then
+    invalid_arg "Trunk.Mux.admit: user out of range";
+  if len < 0 || pos < 0 || pos + len > Bytes.length src then
+    invalid_arg "Trunk.Mux.admit: bad slice";
+  let space = t.cfg.per_user_cap - Q.length t.queues.(user) in
+  let acc = Stdlib.min len (Stdlib.max 0 space) in
+  if acc > 0 then begin
+    Q.append t.queues.(user) src pos acc;
+    t.admitted.(user) <- t.admitted.(user) + acc;
+    if t.cfg.audit then Dig.update t.adm_dig user src ~pos ~len:acc;
+    Sched.enqueue t.sched ~user acc;
+    Qtp.Source.wake t.src
+  end;
+  t.rejected <- t.rejected + (len - acc);
+  (match Tap.hooks () with
+  | Some h ->
+      h.Tap.on_admit
+        {
+          Tap.au_user = user;
+          au_offered = len;
+          au_accepted = acc;
+          au_backlog = Q.length t.queues.(user);
+        }
+  | None -> ());
+  acc
+
+let set_on_data t f = t.on_data <- Some f
+
+let feed t ~sim ~workloads ?(chunk = 4096) ?(period = 0.05) ?(seed = 0)
+    ~stop_at () =
+  if Array.length workloads > t.cfg.users then
+    invalid_arg "Trunk.Mux.feed: more workloads than users";
+  if chunk < 1 || period <= 0.0 then invalid_arg "Trunk.Mux.feed";
+  let n = Array.length workloads in
+  let sent = Array.make t.cfg.users 0 in
+  let scratch = Bytes.create chunk in
+  let rec tick () =
+    if Engine.Sim.now sim < stop_at then begin
+      let pending = ref false in
+      for u = 0 to n - 1 do
+        let remaining = workloads.(u) - sent.(u) in
+        if remaining > 0 then begin
+          (* Only render the bytes admission has room for — a
+             backpressured user would otherwise regenerate (and then
+             discard) a full chunk every tick. *)
+          let space = t.cfg.per_user_cap - Q.length t.queues.(u) in
+          let want = Stdlib.min (Stdlib.min chunk remaining) space in
+          if want > 0 then begin
+            (* Byte o of user u's stream is (seed + u*131 + o*31) mod 256;
+               stepping the accumulator by 31 keeps the render loop free
+               of per-byte multiplies. *)
+            let b = ref (seed + (u * 131) + (sent.(u) * 31)) in
+            for i = 0 to want - 1 do
+              Bytes.unsafe_set scratch i (Char.unsafe_chr (!b land 0xff));
+              b := !b + 31
+            done;
+            let acc = admit t ~user:u ~src:scratch ~pos:0 ~len:want in
+            sent.(u) <- sent.(u) + acc
+          end;
+          if sent.(u) < workloads.(u) then pending := true
+        end
+      done;
+      if !pending then Engine.Sim.post_after sim period tick
+    end
+  in
+  Engine.Sim.post_after sim 0.0 tick;
+  sent
+
+let users t = t.cfg.users
+
+let backlog t = Sched.total t.sched
+
+let backlog_user t ~user = Q.length t.queues.(user)
+
+let admitted_bytes t ~user = t.admitted.(user)
+
+let shipped_bytes t ~user = t.shipped.(user)
+
+let delivered_bytes t ~user = t.delivered.(user)
+
+let admit_digest t ~user = Dig.value t.adm_dig user
+
+let ship_digest t ~user = Dig.value t.shp_dig user
+
+let deliver_digest t ~user = Dig.value t.dlv_dig user
+
+let delivered_per_user t = Array.map float_of_int t.delivered
+
+let segments_packed t = t.nsegs
+
+let frames_packed t = t.frames_packed
+
+let rejected t = t.rejected
+
+let junk_bytes t = t.junk
+
+let check_conservation t =
+  let r = ref (Ok ()) in
+  for u = t.cfg.users - 1 downto 0 do
+    let adm = Dig.value t.adm_dig u
+    and shp = Dig.value t.shp_dig u
+    and dlv = Dig.value t.dlv_dig u in
+    if t.delivered.(u) <> t.shipped.(u) || dlv <> shp then
+      r :=
+        Error
+          (Printf.sprintf
+             "user %d: shipped %dB digest %x but delivered %dB digest %x" u
+             t.shipped.(u) shp t.delivered.(u) dlv)
+    else if
+      Q.length t.queues.(u) = 0
+      && (t.admitted.(u) <> t.shipped.(u) || adm <> shp)
+    then
+      r :=
+        Error
+          (Printf.sprintf
+             "user %d: drained queue but admitted %dB digest %x vs shipped \
+              %dB digest %x"
+             u t.admitted.(u) adm t.shipped.(u) shp)
+  done;
+  if t.junk > 0 && Result.is_ok !r then
+    r := Error (Printf.sprintf "parser skipped %d junk bytes" t.junk);
+  !r

@@ -1,0 +1,32 @@
+type admit_sample = {
+  au_user : int;
+  au_offered : int;
+  au_accepted : int;
+  au_backlog : int;
+}
+
+type segment_sample = {
+  sg_index : int;
+  sg_frames : int;
+  sg_payload : int;
+  sg_budget : int;
+}
+
+type deliver_sample = { dv_user : int; dv_bytes : int }
+
+type hooks = {
+  on_admit : admit_sample -> unit;
+  on_segment : segment_sample -> unit;
+  on_user_deliver : deliver_sample -> unit;
+}
+
+(* Domain-local like Qtp.Inspect: parallel suites get independent
+   registries, one trunk run at a time within a domain. *)
+let current : hooks option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let install h = Domain.DLS.get current := Some h
+
+let clear () = Domain.DLS.get current := None
+
+let hooks () = !(Domain.DLS.get current)

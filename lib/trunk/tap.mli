@@ -1,0 +1,39 @@
+(** Trunk observability hooks, mirroring {!Qtp.Inspect}.
+
+    When installed (experiment / fuzz harness), the trunk reports every
+    admission decision, every packed segment and every per-user delivery
+    — the accounting a checker needs to assert admission backpressure
+    and byte conservation without reaching into mux internals.  The
+    registry is domain-local like {!Qtp.Inspect}: parallel suites each
+    install their own hooks; within a domain, one trunk run at a time. *)
+
+type admit_sample = {
+  au_user : int;
+  au_offered : int;  (** bytes the application tried to admit *)
+  au_accepted : int;  (** bytes actually queued (cap backpressure) *)
+  au_backlog : int;  (** user's queued bytes after the admission *)
+}
+
+type segment_sample = {
+  sg_index : int;  (** packing ordinal == fresh wire sequence number *)
+  sg_frames : int;  (** sub-frames packed into this segment *)
+  sg_payload : int;  (** bytes used (headers + user payload) *)
+  sg_budget : int;  (** segment payload budget offered to the scheduler *)
+}
+
+type deliver_sample = {
+  dv_user : int;
+  dv_bytes : int;  (** user payload bytes in the delivered sub-frame *)
+}
+
+type hooks = {
+  on_admit : admit_sample -> unit;
+  on_segment : segment_sample -> unit;
+  on_user_deliver : deliver_sample -> unit;
+}
+
+val install : hooks -> unit
+
+val clear : unit -> unit
+
+val hooks : unit -> hooks option

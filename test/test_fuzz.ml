@@ -146,6 +146,7 @@ let buggy_scenario =
     background = true;
     duration = 4.0;
     handover = None;
+    trunk = None;
   }
 
 let with_bug f =

@@ -302,8 +302,63 @@ let test_alternating_sack_fragmentation () =
     (SB.runs_held sb);
   Alcotest.(check int) "nothing outstanding" 0 (SB.outstanding sb)
 
+(* --- iter_feedback: callback order and parity with on_feedback ---- *)
+
+let test_iter_feedback_ordering () =
+  (* Two identically-prepared scoreboards digest the same feedback, one
+     through the streaming iterator and one through the list-building
+     wrapper: the callback stream must replay the wrapper's covers
+     exactly, phase by phase (acks, then sacks, then losses), each
+     phase in ascending sequence order, and the summary counts must
+     match. *)
+  let prep () =
+    let sb = SB.create () in
+    send_n sb 12;
+    sb
+  in
+  let cum_ack = S.of_int 3 and blocks = [ blk 5 6; blk 8 11 ] in
+  let events = ref [] in
+  let sum =
+    SB.iter_feedback (prep ()) ~cum_ack ~blocks
+      ~on_ack:(fun ~seq ~sent_at ~was_retx:_ ->
+        events := `Ack (S.to_int seq, sent_at) :: !events)
+      ~on_sack:(fun ~seq ~sent_at ~was_retx:_ ->
+        events := `Sack (S.to_int seq, sent_at) :: !events)
+      ~on_lost:(fun seq -> events := `Lost (S.to_int seq) :: !events)
+  in
+  let ev = List.rev !events in
+  let phase = function `Ack _ -> 0 | `Sack _ -> 1 | `Lost _ -> 2 in
+  let seq_of = function `Ack (s, _) | `Sack (s, _) -> s | `Lost s -> s in
+  let rec phases_ascend = function
+    | a :: (b :: _ as rest) ->
+        (phase a < phase b || (phase a = phase b && seq_of a < seq_of b))
+        && phases_ascend rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "acks, then sacks, then losses; each ascending" true
+    (phases_ascend ev);
+  let r = SB.on_feedback (prep ()) ~cum_ack ~blocks in
+  let covers k l =
+    List.map (fun c -> k (S.to_int c.SB.cov_seq, c.SB.cov_sent_at)) l
+  in
+  Alcotest.(check bool) "stream replays the wrapper's covers" true
+    (ev
+    = covers (fun x -> `Ack x) r.SB.newly_acked
+      @ covers (fun x -> `Sack x) r.SB.newly_sacked
+      @ List.map (fun s -> `Lost (S.to_int s)) r.SB.newly_lost);
+  Alcotest.(check int) "fb_acked" (List.length r.SB.newly_acked) sum.SB.fb_acked;
+  Alcotest.(check int) "fb_sacked" (List.length r.SB.newly_sacked)
+    sum.SB.fb_sacked;
+  Alcotest.(check int) "fb_lost" (List.length r.SB.newly_lost) sum.SB.fb_lost;
+  Alcotest.(check bool) "fb_cum_advanced" r.SB.cum_advanced
+    sum.SB.fb_cum_advanced;
+  Alcotest.(check bool) "losses were actually inferred" true
+    (sum.SB.fb_lost > 0)
+
 let suite =
   [
+    Alcotest.test_case "iter_feedback: callback order and parity" `Quick
+      test_iter_feedback_ordering;
     Alcotest.test_case "sequencing" `Quick test_sequencing;
     Alcotest.test_case "out of order rejected" `Quick
       test_out_of_order_send_rejected;

@@ -1,0 +1,263 @@
+(* Trunk.Sched: the differential battery.  The fast scheduler (circular
+   ring, in-place FIFO columns, O(1) per allocation) is replayed
+   against naive list-based references on random interleavings of
+   admissions and segment fills, demanding the exact same allocation
+   sequence — plus the classic DRR fairness bound as a property of the
+   fast implementation alone. *)
+
+module Sc = Trunk.Sched
+
+(* --- naive references --------------------------------------------- *)
+
+(* Reference DRR: the textbook loop over an explicit user list.  Round
+   state (deficits, the round order, whether the head is still owed its
+   quantum top-up) persists across [fill] calls exactly like the real
+   scheduler's, but every structure is a plain list rebuilt with
+   appends — slow and obvious. *)
+module Ref_drr = struct
+  type t = {
+    quantum : int;
+    weights : int array;
+    backlog : int array;
+    deficit : int array;
+    mutable ring : int list;  (* head first, round order *)
+    mutable fresh : bool;  (* head not yet topped up this turn *)
+  }
+
+  let create ~quantum ~weights ~users =
+    {
+      quantum;
+      weights;
+      backlog = Array.make users 0;
+      deficit = Array.make users 0;
+      ring = [];
+      fresh = true;
+    }
+
+  let enqueue t ~user bytes =
+    if bytes > 0 then begin
+      if t.backlog.(user) = 0 then begin
+        if t.ring = [] then t.fresh <- true;
+        t.ring <- t.ring @ [ user ]
+      end;
+      t.backlog.(user) <- t.backlog.(user) + bytes
+    end
+
+  let fill t ~budget ~overhead ~cap ~f =
+    let used = ref 0 in
+    let left = ref budget in
+    let continue = ref true in
+    while !continue do
+      match t.ring with
+      | [] -> continue := false
+      | u :: rest ->
+          if !left < overhead + 1 then continue := false
+          else begin
+            if t.fresh then begin
+              t.deficit.(u) <- t.deficit.(u) + (t.quantum * t.weights.(u));
+              t.fresh <- false
+            end;
+            let take =
+              Stdlib.min
+                (Stdlib.min t.backlog.(u) t.deficit.(u))
+                (Stdlib.min cap (!left - overhead))
+            in
+            if take >= 1 then begin
+              f ~user:u ~take;
+              t.backlog.(u) <- t.backlog.(u) - take;
+              t.deficit.(u) <- t.deficit.(u) - take;
+              used := !used + overhead + take;
+              left := !left - (overhead + take)
+            end;
+            if t.backlog.(u) = 0 then begin
+              (* Drained: forfeit the unspent deficit, leave the round. *)
+              t.deficit.(u) <- 0;
+              t.ring <- rest;
+              t.fresh <- true
+            end
+            else if t.deficit.(u) = 0 then begin
+              (* Turn spent: to the back of the round. *)
+              t.ring <- rest @ [ u ];
+              t.fresh <- true
+            end
+            else if take = 0 then continue := false
+          end
+    done;
+    !used
+end
+
+(* Reference FIFO: admission chunks in a plain list, same-user tail
+   coalescing, head split on cap/budget. *)
+module Ref_fifo = struct
+  type t = { mutable chunks : (int * int) list (* (user, bytes), head first *) }
+
+  let create () = { chunks = [] }
+
+  let enqueue t ~user bytes =
+    if bytes > 0 then begin
+      match List.rev t.chunks with
+      | (u, b) :: tail_rev when u = user ->
+          t.chunks <- List.rev ((u, b + bytes) :: tail_rev)
+      | _ -> t.chunks <- t.chunks @ [ (user, bytes) ]
+    end
+
+  let fill t ~budget ~overhead ~cap ~f =
+    let used = ref 0 in
+    let left = ref budget in
+    let continue = ref true in
+    while !continue do
+      match t.chunks with
+      | [] -> continue := false
+      | (u, avail) :: rest ->
+          if !left < overhead + 1 then continue := false
+          else begin
+            let take = Stdlib.min avail (Stdlib.min cap (!left - overhead)) in
+            f ~user:u ~take;
+            if take = avail then t.chunks <- rest
+            else t.chunks <- (u, avail - take) :: rest;
+            used := !used + overhead + take;
+            left := !left - (overhead + take)
+          end
+    done;
+    !used
+end
+
+(* --- op-sequence differential ------------------------------------- *)
+
+type op = Enq of int * int | Fill of int
+
+let gen_case =
+  QCheck.Gen.(
+    let* users = int_range 2 8 in
+    let* quantum = int_range 4 64 in
+    let* cap = int_range 1 64 in
+    let* overhead = int_range 0 8 in
+    let* weights = array_size (return users) (int_range 1 7) in
+    let* ops =
+      list_size (int_range 5 40)
+        (oneof
+           [
+             map2 (fun u b -> Enq (u, b)) (int_range 0 (users - 1))
+               (int_range 1 200);
+             map (fun b -> Fill b) (int_range 1 400);
+           ])
+    in
+    return (users, quantum, cap, overhead, weights, ops))
+
+let pp_case fmt (users, quantum, cap, overhead, weights, ops) =
+  Format.fprintf fmt "users=%d q=%d cap=%d ovh=%d w=[%s] ops=[%s]" users
+    quantum cap overhead
+    (String.concat ";" (Array.to_list (Array.map string_of_int weights)))
+    (String.concat ";"
+       (List.map
+          (function
+            | Enq (u, b) -> Printf.sprintf "E%d+%d" u b
+            | Fill b -> Printf.sprintf "F%d" b)
+          ops))
+
+let allocs_of fill =
+  let acc = ref [] in
+  let used = fill ~f:(fun ~user ~take -> acc := (user, take) :: !acc) in
+  (used, List.rev !acc)
+
+let drr_differential (users, quantum, cap, overhead, weights, ops) =
+  let fast = Sc.create ~quantum ~weights Sc.Drr ~users () in
+  let ref_ = Ref_drr.create ~quantum ~weights ~users in
+  List.for_all
+    (fun op ->
+      match op with
+      | Enq (u, b) ->
+          Sc.enqueue fast ~user:u b;
+          Ref_drr.enqueue ref_ ~user:u b;
+          Sc.backlog fast ~user:u = ref_.Ref_drr.backlog.(u)
+      | Fill budget ->
+          let fu, fa =
+            allocs_of (fun ~f -> Sc.fill fast ~budget ~overhead ~cap ~f)
+          in
+          let ru, ra =
+            allocs_of (fun ~f -> Ref_drr.fill ref_ ~budget ~overhead ~cap ~f)
+          in
+          fu = ru && fa = ra)
+    ops
+  && Sc.total fast = Array.fold_left ( + ) 0 ref_.Ref_drr.backlog
+
+let fifo_differential (users, _quantum, cap, overhead, _weights, ops) =
+  let fast = Sc.create Sc.Fifo ~users () in
+  let ref_ = Ref_fifo.create () in
+  List.for_all
+    (fun op ->
+      match op with
+      | Enq (u, b) ->
+          Sc.enqueue fast ~user:u b;
+          Ref_fifo.enqueue ref_ ~user:u b;
+          true
+      | Fill budget ->
+          let fu, fa =
+            allocs_of (fun ~f -> Sc.fill fast ~budget ~overhead ~cap ~f)
+          in
+          let ru, ra =
+            allocs_of (fun ~f -> Ref_fifo.fill ref_ ~budget ~overhead ~cap ~f)
+          in
+          fu = ru && fa = ra)
+    ops
+  && Sc.total fast
+     = List.fold_left (fun n (_, b) -> n + b) 0 ref_.Ref_fifo.chunks
+
+let prop_drr_matches_reference =
+  QCheck.Test.make ~name:"DRR ring matches naive list reference" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" pp_case) gen_case)
+    drr_differential
+
+let prop_fifo_matches_reference =
+  QCheck.Test.make ~name:"FIFO columns match naive list reference" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" pp_case) gen_case)
+    fifo_differential
+
+(* --- DRR fairness bound ------------------------------------------- *)
+
+(* With every user continuously backlogged, a completed turn serves
+   exactly [quantum * weight] bytes (take never exceeds the deficit and
+   a turn only ends when the deficit hits zero or the queue drains), so
+   per-unit-weight service across users can differ by at most one
+   turn's quantum — regardless of how segment budgets slice the rounds. *)
+let prop_drr_fairness_bound =
+  QCheck.Gen.(
+    let* users = int_range 2 6 in
+    let* quantum = int_range 8 64 in
+    let* cap = int_range 1 64 in
+    let* overhead = int_range 0 8 in
+    let* weights = array_size (return users) (int_range 1 5) in
+    let* fills = list_size (int_range 10 60) (int_range 16 512) in
+    return (users, quantum, cap, overhead, weights, fills))
+  |> fun gen ->
+  QCheck.Test.make
+    ~name:"DRR: per-unit-weight service within one quantum" ~count:300
+    (QCheck.make gen)
+    (fun (users, quantum, cap, overhead, weights, fills) ->
+      let t = Sc.create ~quantum ~weights Sc.Drr ~users () in
+      let service = Array.make users 0 in
+      for u = 0 to users - 1 do
+        (* Deep enough that nobody drains within the run. *)
+        Sc.enqueue t ~user:u 10_000_000
+      done;
+      List.iter
+        (fun budget ->
+          ignore
+            (Sc.fill t ~budget ~overhead ~cap ~f:(fun ~user ~take ->
+                 service.(user) <- service.(user) + take)))
+        fills;
+      let per_w u = float_of_int service.(u) /. float_of_int weights.(u) in
+      let lo = ref (per_w 0) and hi = ref (per_w 0) in
+      for u = 1 to users - 1 do
+        let s = per_w u in
+        if s < !lo then lo := s;
+        if s > !hi then hi := s
+      done;
+      !hi -. !lo <= float_of_int quantum +. 1e-9)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_drr_matches_reference;
+    QCheck_alcotest.to_alcotest prop_fifo_matches_reference;
+    QCheck_alcotest.to_alcotest prop_drr_fairness_bound;
+  ]
