@@ -539,6 +539,12 @@ let suite ?(seed = default_seed) ?(jobs = 1) () =
       ("scale_100", `Wheel, 100, 4.0, default_path);
       ("scale_500", `Wheel, 500, 2.0, default_path);
       ("scale_500", `Heap, 500, 2.0, default_path);
+      (* The single-sim scale points: shared profiles and slab-packed
+         flow state are what keep the peak-heap-per-flow density flat
+         from 500 to 10k flows (the per-flow gate in vtp_bench_diff
+         rides on these rows). *)
+      ("scale_2k", `Wheel, 2000, 1.0, default_path);
+      ("scale_10k", `Wheel, 10000, 0.5, default_path);
       ("scale_lfn", `Wheel, 30, 4.0, lfn_path);
     |]
   in

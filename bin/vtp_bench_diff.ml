@@ -7,7 +7,10 @@
      - micro rows by name: ns_per_run higher than baseline is a
        regression;
      - scale rows by name+sched+flows+seed: events_per_sec lower than
-       baseline is a regression.
+       baseline is a regression;
+     - the same scale rows again as max_heap_words/flows: per-flow
+       memory density higher than baseline is a regression (the
+       many-flow scenarios gate footprint as well as speed).
 
    Exit 1 if any comparison regresses by more than the threshold
    (default 15%), 2 on malformed input.  Rows present on only one side
@@ -70,28 +73,41 @@ let micro_rows json =
       | _ -> None)
     (as_list (J.member "micro" json))
 
+let scale_key row =
+  match (str_member "name" row, str_member "sched" row) with
+  | Some name, Some sched ->
+      let flows =
+        match num_member "flows" row with
+        | Some f -> string_of_int (int_of_float f)
+        | None -> "?"
+      and seed =
+        match num_member "seed" row with
+        | Some s -> string_of_int (int_of_float s)
+        | None -> "?"
+      in
+      Some (Printf.sprintf "scale %s/%s flows=%s seed=%s" name sched flows seed)
+  | _ -> None
+
 let scale_rows json =
   List.filter_map
     (fun row ->
-      let key =
-        match (str_member "name" row, str_member "sched" row) with
-        | Some name, Some sched ->
-            let flows =
-              match num_member "flows" row with
-              | Some f -> string_of_int (int_of_float f)
-              | None -> "?"
-            and seed =
-              match num_member "seed" row with
-              | Some s -> string_of_int (int_of_float s)
-              | None -> "?"
-            in
-            Some
-              (Printf.sprintf "scale %s/%s flows=%s seed=%s" name sched flows
-                 seed)
-        | _ -> None
-      in
-      match (key, num_member "events_per_sec" row) with
+      match (scale_key row, num_member "events_per_sec" row) with
       | Some key, Some eps -> Some (key, eps)
+      | _ -> None)
+    (as_list (J.member "scale" json))
+
+(* Peak heap words divided by the flow count: the memory-density gate
+   for the many-flow scenarios.  Lower is better; a candidate whose
+   per-flow footprint grows past the threshold fails even if its
+   throughput improved. *)
+let heap_rows json =
+  List.filter_map
+    (fun row ->
+      match
+        (scale_key row, num_member "max_heap_words" row, num_member "flows" row)
+      with
+      | Some key, Some words, Some flows when flows > 0.0 ->
+          Some (key, words /. flows)
       | _ -> None)
     (as_list (J.member "scale" json))
 
@@ -157,6 +173,12 @@ let run threshold baseline candidate =
         compare_section ~threshold ~higher_is_better:true
           ~label:"scale (events/sec)" (scale_rows base) (scale_rows cand)
       in
+      let heap =
+        compare_section ~threshold ~higher_is_better:false
+          ~label:"scale (peak heap words/flow)" (heap_rows base)
+          (heap_rows cand)
+      in
+      let scale = scale + heap in
       if micro + scale = 0 then begin
         Printf.printf "\nvtp_bench_diff: no regressions beyond %.0f%%\n"
           (100.0 *. threshold);

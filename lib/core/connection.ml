@@ -19,20 +19,26 @@ type config = {
   handover : Tfrc.Handover.policy;
 }
 
+(* Configs are immutable and shared by every flow of a scenario
+   profile: intern them so 10k flows hold one record (and one inner
+   [agreed]) instead of 10k copies. *)
+let config_pool : config Engine.Intern.pool = Engine.Intern.pool ()
+
 let config ?(packet_size = 1500) ?(initial_rtt = 0.5) ?max_rate_bps
     ?(cadence = Per_rtt) ?(selfish_p_factor = 1.0) ?(sack_blocks = 4)
     ?(oscillation_damping = false) ?(handover = `Keep) agreed =
-  {
-    agreed;
-    packet_size;
-    initial_rtt;
-    max_rate_bps;
-    cadence;
-    selfish_p_factor;
-    sack_blocks;
-    oscillation_damping;
-    handover;
-  }
+  Engine.Intern.share config_pool
+    {
+      agreed;
+      packet_size;
+      initial_rtt;
+      max_rate_bps;
+      cadence;
+      selfish_p_factor;
+      sack_blocks;
+      oscillation_damping;
+      handover;
+    }
 
 type state =
   | Negotiating
@@ -41,18 +47,96 @@ type state =
   | Closed
   | Failed of string
 
+(* The receiver half's per-packet numeric state (rate window, timestamp
+   echo, CE accounting) is slab-packed: the old mutable-float record
+   fields boxed two words per write on every data arrival, and the
+   [(tstamp, arrival) option] echo added a tuple per packet. *)
+let rx_lay = Engine.Slab.layout ~floats:5 ~ints:3
+
+(* float cells *)
+let rxf_window_start = 0
+let rxf_x_recv = 1
+let rxf_last_tstamp = 2 (* sender tstamp of the newest data packet *)
+let rxf_last_arrival = 3
+let rxf_last_rtt = 4
+
+(* int cells *)
+let rxi_window_bytes = 0
+let rxi_has_last = 1 (* any data seen yet? (guards the echo cells) *)
+let rxi_ce_count = 2 (* cumulative CE marks seen (light echo) *)
+
 type receiver_side = {
   mutable std_recv : Tfrc.Receiver.t option;
   tracker : Sack.Rcv_tracker.t option;
   reassembly : Sack.Reassembly.t;
-  mutable rx_window_bytes : int;
-  mutable rx_window_start : float;
-  mutable rx_x_recv : float;
-  mutable rx_last : (float * float) option;  (* sender tstamp, arrival *)
-  mutable rx_last_rtt : float;
-  mutable rx_ce_count : int;  (* cumulative CE marks seen (light echo) *)
+  rx_ar : Engine.Slab.t;
+  rx_slot : int;
   mutable sack_timer : Engine.Timer.t option;
 }
+
+let[@inline] rxf r j = Engine.Slab.fget r.rx_ar r.rx_slot j
+let[@inline] rxf_set r j v = Engine.Slab.fset r.rx_ar r.rx_slot j v
+let[@inline] rxi r j = Engine.Slab.iget r.rx_ar r.rx_slot j
+let[@inline] rxi_set r j v = Engine.Slab.iset r.rx_ar r.rx_slot j v
+
+module Sent_times = struct
+  (* Original send time per fresh-data sequence number, replacing a
+     seq→time hashtable: sends record monotonically increasing numbers
+     and the reassembly queue takes them back in order, so a ring over
+     [base, base+cap) with in-order base advance covers the live range
+     with zero steady-state allocation.  NaN marks an absent entry;
+     entries the advancing base passes over (numbers that will never be
+     delivered, e.g. abandoned ones) are dropped — the hashtable kept
+     them forever and merely never looked them up again. *)
+  type t = {
+    mutable buf : float array;  (* NaN = absent *)
+    mutable mask : int;
+    mutable base : Serial.t;  (* lowest possibly-live seq *)
+    mutable span : int;  (* highest recorded (diff seq base) + 1 *)
+  }
+
+  let create () =
+    { buf = Array.make 64 Float.nan; mask = 63; base = Serial.zero; span = 0 }
+
+  let grow t need =
+    let cap = ref (Array.length t.buf) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let buf = Array.make !cap Float.nan in
+    let mask = !cap - 1 in
+    for off = 0 to t.span - 1 do
+      let s = Serial.to_int (Serial.add t.base off) in
+      buf.(s land mask) <- t.buf.(s land t.mask)
+    done;
+    t.buf <- buf;
+    t.mask <- mask
+
+  let[@vtp.hot] record t seq now =
+    let off = Serial.diff seq t.base in
+    if off >= 0 then begin
+      if off >= Array.length t.buf then grow t (off + 1);
+      if off >= t.span then t.span <- off + 1;
+      Array.unsafe_set t.buf (Serial.to_int seq land t.mask) now
+    end
+
+  (* NaN result = no record (delivery of a number never freshly sent
+     here, or one already dropped). *)
+  let[@vtp.hot] take t seq =
+    let off = Serial.diff seq t.base in
+    if off < 0 || off >= t.span then Float.nan
+    else begin
+      let v = t.buf.(Serial.to_int seq land t.mask) in
+      (* Deliveries are in-order: numbers at or below [seq] can never
+         be asked for again, so drop them and advance the base. *)
+      for o = 0 to off do
+        t.buf.(Serial.to_int (Serial.add t.base o) land t.mask) <- Float.nan
+      done;
+      t.base <- Serial.succ seq;
+      t.span <- t.span - (off + 1);
+      v
+    end
+end
 
 type sender_side = {
   cc : Tfrc.Sender.t;
@@ -63,6 +147,13 @@ type sender_side = {
   mutable expiry_timer : Engine.Timer.t option;
   mutable plain_seq : Serial.t;  (* sequencing when no scoreboard *)
   mutable known_ce : int;  (* highest CE echo processed so far *)
+  (* Loss scratch for the SACK feedback path: newly inferred losses
+     are staged here (as raw serial ints) during the scoreboard digest
+     and fed to the reliability plane after the [Sack_rcvd] trace
+     emission, preserving the Loss_inferred* -> Sack_rcvd ->
+     Abandoned* event order without a per-feedback list. *)
+  mutable loss_scr : int array;
+  mutable loss_n : int;
 }
 
 type t = {
@@ -81,8 +172,8 @@ type t = {
   rcv : receiver_side;
   goodput : Stats.Series.t;
   arrivals : Stats.Series.t;
-  first_sent : (int, float) Hashtbl.t;  (* seq -> original send time *)
-  mutable delays : float list;  (* in-order delivery delays, newest first *)
+  first_sent : Sent_times.t;  (* seq -> original send time *)
+  delays : Stats.Fvec.t;  (* in-order delivery delays, oldest first *)
   mutable feedback_packets : int;
   mutable feedback_bytes : int;
   mutable handshake_packets : int;
@@ -189,18 +280,22 @@ let transmit_opportunity t =
               t.snd.plain_seq <- Serial.succ s;
               s
         in
-        Hashtbl.replace t.first_sent (Serial.to_int seq) now;
+        Sent_times.record t.first_sent seq now;
         emit_data t ~seq ~is_retx:false;
         true
       end
       else false
 
-let feed_losses t ~now losses =
-  match t.snd.reliability with
-  | Some rel when losses <> [] ->
-      Sack.Reliability.on_losses rel ~now losses;
-      Tfrc.Sender.notify_data t.snd.cc
-  | Some _ | None -> ()
+let push_loss t seq =
+  let n = t.snd.loss_n in
+  let cap = Array.length t.snd.loss_scr in
+  if n >= cap then begin
+    let nbuf = Array.make (2 * cap) 0 in
+    Array.blit t.snd.loss_scr 0 nbuf 0 cap;
+    t.snd.loss_scr <- nbuf
+  end;
+  t.snd.loss_scr.(n) <- Serial.to_int seq;
+  t.snd.loss_n <- n + 1
 
 (* Report the rate-update outcome to the invariant checker, when one is
    installed (the harness's checked mode).  [x_recv] and [p] are the
@@ -252,11 +347,11 @@ let sender_on_sack t (sf : Header.sack_feedback) =
               ~x_recv:sf.sack_x_recv ~packet_size:t.cfg.packet_size
         | None -> ()
       in
-      let losses = ref [] in
+      t.snd.loss_n <- 0;
       let summary =
         Sack.Scoreboard.iter_feedback sb ~cum_ack:sf.cum_ack ~blocks:sf.blocks
           ~on_ack:on_cover ~on_sack:on_cover
-          ~on_lost:(fun seq -> losses := seq :: !losses)
+          ~on_lost:(fun seq -> push_loss t seq)
       in
       if Trace.Sink.on t.trace then
         Trace.Sink.sack_rcvd t.trace ~cum_ack:sf.cum_ack
@@ -264,7 +359,15 @@ let sender_on_sack t (sf : Header.sack_feedback) =
           ~acked:summary.Sack.Scoreboard.fb_acked
           ~sacked:summary.Sack.Scoreboard.fb_sacked
           ~lost:summary.Sack.Scoreboard.fb_lost;
-      feed_losses t ~now (List.rev !losses);
+      (* Feed the staged losses (ascending) after the Sack_rcvd emit. *)
+      (match t.snd.reliability with
+      | Some rel when t.snd.loss_n > 0 ->
+          for k = 0 to t.snd.loss_n - 1 do
+            Sack.Reliability.on_loss rel ~now (Serial.of_int t.snd.loss_scr.(k))
+          done;
+          Tfrc.Sender.notify_data t.snd.cc
+      | Some _ | None -> ());
+      t.snd.loss_n <- 0;
       (match (t.snd.reconstructor, batch) with
       | Some lr, Some b ->
           Loss_reconstructor.end_batch lr b;
@@ -316,84 +419,93 @@ let arm_expiry_timer t =
 
 let update_x_recv t ~now =
   let r = t.rcv in
-  let elapsed = now -. r.rx_window_start in
+  let elapsed = now -. rxf r rxf_window_start in
   (* Re-estimate only over windows of at least half an RTT so that
      per-packet SACK cadences don't produce a wildly noisy x_recv. *)
-  if elapsed >= 0.5 *. Float.max r.rx_last_rtt 1e-3 && r.rx_window_bytes > 0
+  if
+    elapsed >= 0.5 *. Float.max (rxf r rxf_last_rtt) 1e-3
+    && rxi r rxi_window_bytes > 0
   then begin
-    r.rx_x_recv <- float_of_int r.rx_window_bytes /. elapsed;
-    r.rx_window_bytes <- 0;
-    r.rx_window_start <- now
+    rxf_set r rxf_x_recv (float_of_int (rxi r rxi_window_bytes) /. elapsed);
+    rxi_set r rxi_window_bytes 0;
+    rxf_set r rxf_window_start now
   end
 
 let emit_sack t =
   match t.rcv.tracker with
   | None -> ()
-  | Some tr -> (
-      match t.rcv.rx_last with
-      | None -> ()
-      | Some (tstamp, arrival) ->
-          let now = Engine.Sim.now t.sim in
-          update_x_recv t ~now;
-          let blocks = Sack.Rcv_tracker.sack_blocks tr in
-          let hdr =
-            Header.Sack_feedback
-              {
-                cum_ack = Sack.Rcv_tracker.cum_ack tr;
-                blocks;
-                sack_tstamp_echo = tstamp;
-                sack_t_delay = now -. arrival;
-                sack_x_recv = t.rcv.rx_x_recv;
-                sack_ce_count = t.rcv.rx_ce_count;
-              }
-          in
-          let segment =
-            Vtp_wire.segment ~sim:t.sim
-              ~flow_id:t.endpoint.Netsim.Topology.flow_id ~hdr ~payload:0
-          in
-          t.feedback_packets <- t.feedback_packets + 1;
-          t.feedback_bytes <- t.feedback_bytes + Packet.Segment.size segment;
-          if Trace.Sink.on t.trace then
-            Trace.Sink.sack_sent t.trace
-              ~cum_ack:(Sack.Rcv_tracker.cum_ack tr)
-              ~blocks:(List.length blocks) ~x_recv:t.rcv.rx_x_recv;
-          send_reverse t segment)
+  | Some tr ->
+      let r = t.rcv in
+      if rxi r rxi_has_last <> 0 then begin
+        let tstamp = rxf r rxf_last_tstamp
+        and arrival = rxf r rxf_last_arrival in
+        let now = Engine.Sim.now t.sim in
+        update_x_recv t ~now;
+        let blocks = Sack.Rcv_tracker.sack_blocks tr in
+        let hdr =
+          Header.Sack_feedback
+            {
+              cum_ack = Sack.Rcv_tracker.cum_ack tr;
+              blocks;
+              sack_tstamp_echo = tstamp;
+              sack_t_delay = now -. arrival;
+              sack_x_recv = rxf r rxf_x_recv;
+              sack_ce_count = rxi r rxi_ce_count;
+            }
+        in
+        let segment =
+          Vtp_wire.segment ~sim:t.sim
+            ~flow_id:t.endpoint.Netsim.Topology.flow_id ~hdr ~payload:0
+        in
+        t.feedback_packets <- t.feedback_packets + 1;
+        t.feedback_bytes <- t.feedback_bytes + Packet.Segment.size segment;
+        if Trace.Sink.on t.trace then
+          Trace.Sink.sack_sent t.trace
+            ~cum_ack:(Sack.Rcv_tracker.cum_ack tr)
+            ~blocks:(List.length blocks) ~x_recv:(rxf r rxf_x_recv);
+        send_reverse t segment
+      end
 
 let arm_sack_timer t =
   let fire () =
-    if t.rcv.rx_last <> None then emit_sack t;
+    if rxi t.rcv rxi_has_last <> 0 then emit_sack t;
     match t.rcv.sack_timer with
-    | Some tm -> Engine.Timer.start tm ~after:(Float.max t.rcv.rx_last_rtt 1e-3)
+    | Some tm ->
+        Engine.Timer.start tm ~after:(Float.max (rxf t.rcv rxf_last_rtt) 1e-3)
     | None -> ()
   in
   let tm = Engine.Timer.create t.sim ~on_expire:fire in
   t.rcv.sack_timer <- Some tm
 
-let receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
+let[@vtp.hot] receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
   let now = Engine.Sim.now t.sim in
   let r = t.rcv in
   Stats.Series.record t.arrivals ~time:now ~bytes:wire_size;
   Trace.Sink.seg_recv t.trace ~seq:d.seq ~size:wire_size ~ce
     ~retx:d.is_retransmit;
-  if d.rtt_estimate > 0.0 then r.rx_last_rtt <- d.rtt_estimate;
-  let first = r.rx_last = None in
-  r.rx_last <- Some (d.tstamp, now);
-  r.rx_window_bytes <- r.rx_window_bytes + wire_size;
-  if ce then r.rx_ce_count <- r.rx_ce_count + 1;
+  if d.rtt_estimate > 0.0 then rxf_set r rxf_last_rtt d.rtt_estimate;
+  let first = rxi r rxi_has_last = 0 in
+  rxi_set r rxi_has_last 1;
+  rxf_set r rxf_last_tstamp d.tstamp;
+  rxf_set r rxf_last_arrival now;
+  rxi_set r rxi_window_bytes (rxi r rxi_window_bytes + wire_size);
+  if ce then rxi_set r rxi_ce_count (rxi r rxi_ce_count + 1);
   (* Standard plane: the heavy RFC 3448 receiver. *)
   (match r.std_recv with
   | Some sr -> Tfrc.Receiver.on_data sr ~ce d ~size:wire_size
   | None -> ());
   (* SACK plane: O(1) tracking; note whether this arrival opened a new
      hole (a fresh loss indication worth an expedited report). *)
-  let new_hole = ref false in
-  (match r.tracker with
-  | Some tr ->
-      let expected = Sack.Rcv_tracker.highest_expected tr in
-      if Serial.( > ) d.seq expected then new_hole := true;
-      Sack.Rcv_tracker.on_data tr ~seq:d.seq;
-      Sack.Rcv_tracker.apply_fwd_point tr d.fwd_point
-  | None -> ());
+  let new_hole =
+    match r.tracker with
+    | Some tr ->
+        let expected = Sack.Rcv_tracker.highest_expected tr in
+        let opened = Serial.( > ) d.seq expected in
+        Sack.Rcv_tracker.on_data tr ~seq:d.seq;
+        Sack.Rcv_tracker.apply_fwd_point tr d.fwd_point;
+        opened
+    | None -> false
+  in
   (* Application delivery. *)
   Sack.Reassembly.on_data r.reassembly ~seq:d.seq ~size:payload;
   Sack.Reassembly.apply_fwd_point r.reassembly d.fwd_point;
@@ -407,17 +519,19 @@ let receiver_on_data t (d : Header.data) ~ce ~wire_size ~payload =
       match t.cfg.cadence with
       | Per_packet -> emit_sack t
       | Per_rtt ->
-          if !new_hole || first || ce then begin
+          if new_hole || first || ce then begin
             emit_sack t;
             match r.sack_timer with
             | Some tm ->
-                Engine.Timer.start tm ~after:(Float.max r.rx_last_rtt 1e-3)
+                Engine.Timer.start tm
+                  ~after:(Float.max (rxf r rxf_last_rtt) 1e-3)
             | None -> ()
           end
           else begin
             match r.sack_timer with
             | Some tm when not (Engine.Timer.is_armed tm) ->
-                Engine.Timer.start tm ~after:(Float.max r.rx_last_rtt 1e-3)
+                Engine.Timer.start tm
+                  ~after:(Float.max (rxf r rxf_last_rtt) 1e-3)
             | Some _ | None -> ()
           end)
   | Capabilities.Light, None -> ()
@@ -654,7 +768,7 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
   in
   let reconstructor =
     if agreed.Capabilities.plane = Capabilities.Light then
-      Some (Loss_reconstructor.create ?cost:cost_sender ~trace ())
+      Some (Loss_reconstructor.create ~sim ?cost:cost_sender ~trace ())
     else None
   in
   let source = match source with Some s -> s | None -> Source.greedy () in
@@ -666,11 +780,9 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
         with_t (fun t ->
             let now = Engine.Sim.now sim in
             Stats.Series.record t.goodput ~time:now ~bytes:size;
-            (match Hashtbl.find_opt t.first_sent (Serial.to_int seq) with
-            | Some sent ->
-                t.delays <- (now -. sent) :: t.delays;
-                Hashtbl.remove t.first_sent (Serial.to_int seq)
-            | None -> ());
+            let sent = Sent_times.take t.first_sent seq in
+            if not (Float.is_nan sent) then
+              Stats.Fvec.push t.delays (now -. sent);
             match t.on_deliver with
             | Some f -> f ~seq ~size
             | None -> ()))
@@ -712,29 +824,28 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
           expiry_timer = None;
           plain_seq = Serial.zero;
           known_ce = 0;
+          loss_scr = Array.make 16 0;
+          loss_n = 0;
         };
       rcv =
-        {
-          std_recv = None;
-          tracker =
-            (if uses_sack_plane then
-               Some
-                 (Sack.Rcv_tracker.create ~max_blocks:cfg.sack_blocks
-                    ?cost:cost_receiver ())
-             else None);
-          reassembly;
-          rx_window_bytes = 0;
-          rx_window_start = Engine.Sim.now sim;
-          rx_x_recv = 0.0;
-          rx_last = None;
-          rx_last_rtt = cfg.initial_rtt;
-          rx_ce_count = 0;
-          sack_timer = None;
-        };
+        (let rx_ar = Engine.Sim.arena sim rx_lay in
+         {
+           std_recv = None;
+           tracker =
+             (if uses_sack_plane then
+                Some
+                  (Sack.Rcv_tracker.create ~max_blocks:cfg.sack_blocks
+                     ?cost:cost_receiver ())
+              else None);
+           reassembly;
+           rx_ar;
+           rx_slot = Engine.Slab.alloc rx_ar;
+           sack_timer = None;
+         });
       goodput = Stats.Series.create ();
       arrivals = Stats.Series.create ();
-      first_sent = Hashtbl.create 1024;
-      delays = [];
+      first_sent = Sent_times.create ();
+      delays = Stats.Fvec.create ();
       feedback_packets = 0;
       feedback_bytes = 0;
       handshake_packets = 0;
@@ -747,6 +858,8 @@ let build ~sim ~endpoint ?cost_sender ?cost_receiver ?source ~start_at
     }
   in
   t_ref := Some t;
+  rxf_set t.rcv rxf_window_start (Engine.Sim.now sim);
+  rxf_set t.rcv rxf_last_rtt cfg.initial_rtt;
   Source.set_notify source (fun () -> Tfrc.Sender.notify_data cc);
   if agreed.Capabilities.plane = Capabilities.Standard then begin
     let send_feedback (f : Header.feedback) =
@@ -902,7 +1015,7 @@ let delivered t = Sack.Reassembly.delivered t.rcv.reassembly
 
 let skipped t = Sack.Reassembly.skipped t.rcv.reassembly
 
-let delivery_delays t = Array.of_list (List.rev t.delays)
+let delivery_delays t = Stats.Fvec.to_array t.delays
 
 let feedback_packets t = t.feedback_packets
 

@@ -1,4 +1,8 @@
-(** Sender-side loss-event reconstruction — the heart of QTP_light.
+(** Frozen record-based reference implementation of
+    {!Loss_reconstructor}, kept as the differential-testing oracle for
+    the slab-packed rewrite.
+
+    Sender-side loss-event reconstruction — the heart of QTP_light.
 
     The receiver only reports *which* sequence numbers arrived (SACK);
     this module replays those reports as a virtual arrival stream into
@@ -18,7 +22,6 @@
 type t
 
 val create :
-  ?sim:Engine.Sim.t ->
   ?ndup:int ->
   ?discount:bool ->
   ?cost:Stats.Cost.t ->
@@ -26,9 +29,7 @@ val create :
   unit ->
   t
 (** [trace] records a sender-side loss event whenever a replay batch
-    opens one.  [sim] packs this instance's hot state into the owning
-    simulation's shared arena; without it a private arena is used
-    (standalone/test instances). *)
+    opens one. *)
 
 val on_covers :
   t ->

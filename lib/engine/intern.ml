@@ -1,0 +1,21 @@
+(* Hash-consing pools for immutable configuration records.
+
+   Ten thousand flows opened from the same profile carry structurally
+   equal config/params records; interning collapses them to one shared
+   copy per distinct value.  Pools are domain-local (the same DLS
+   discipline as the trace recorder), so sharing is deterministic and
+   race-free under the worker pool: each domain builds its own copy of
+   each distinct value, which is still O(distinct configs), not
+   O(flows). *)
+
+type 'a pool = ('a, 'a) Hashtbl.t Domain.DLS.key
+
+let pool () : 'a pool = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let share (p : 'a pool) v =
+  let tbl = Domain.DLS.get p in
+  match Hashtbl.find_opt tbl v with
+  | Some shared -> shared
+  | None ->
+      Hashtbl.add tbl v v;
+      v

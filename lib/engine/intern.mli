@@ -1,0 +1,13 @@
+(** Hash-consing pools for immutable records.
+
+    [share pool v] returns a canonical physically-shared copy of the
+    structurally-equal value seen first, so N flows created from the
+    same profile hold one config record, not N.  Only intern values
+    that are deeply immutable and compare structurally (no closures).
+    Pools are domain-local; create them at module init. *)
+
+type 'a pool
+
+val pool : unit -> 'a pool
+
+val share : 'a pool -> 'a -> 'a

@@ -22,6 +22,7 @@ type t = {
   mutable pool_n : int;
   mutable executed : int;
   mutable tracer : (trace_op -> unit) option;
+  mutable arenas : Slab.t option array;  (* indexed by Slab.key *)
 }
 
 let create ?(seed = 42) ?(sched = `Wheel) () =
@@ -37,7 +38,22 @@ let create ?(seed = 42) ?(sched = `Wheel) () =
     pool_n = 0;
     executed = 0;
     tracer = None;
+    arenas = [||];
   }
+
+let arena t lay =
+  let k = Slab.key lay in
+  if k >= Array.length t.arenas then begin
+    let grown = Array.make (Slab.registered ()) None in
+    Array.blit t.arenas 0 grown 0 (Array.length t.arenas);
+    t.arenas <- grown
+  end;
+  match t.arenas.(k) with
+  | Some a -> a
+  | None ->
+      let a = Slab.create lay in
+      t.arenas.(k) <- Some a;
+      a
 
 let sched t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 
@@ -112,20 +128,30 @@ let schedule_after t delay run =
   if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) run
 
+(* Handle-free scheduling for owners that hold the event directly (the
+   timer, the TFRC send tick): no 2-word handle per arming.  Callers
+   must capture [ev.gen] at scheduling time and cancel via
+   {!cancel_ev}. *)
+let schedule_after_ev t delay run =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  enqueue t (t.clock +. delay) run
+
 let post_at t time run = ignore (enqueue t time run : Event.t)
 
 let post_after t delay run =
   if delay < 0.0 then invalid_arg "Sim.post_after: negative delay";
   post_at t (t.clock +. delay) run
 
-let cancel t { ev; h_gen } =
-  if ev.Event.gen = h_gen && ev.Event.live then begin
+let cancel_ev t ev ~gen =
+  if ev.Event.gen = gen && ev.Event.live then begin
     ev.Event.live <- false;
     (match t.tracer with Some f -> f (T_cancel ev.Event.seq) | None -> ());
     match t.queue with
     | Q_heap _ -> () (* lazily collected when it reaches the top *)
     | Q_wheel w -> if Wheel.remove w ev then release t ev
   end
+
+let cancel t { ev; h_gen } = cancel_ev t ev ~gen:h_gen
 
 let pending t =
   match t.queue with Q_heap h -> Heap.length h | Q_wheel w -> Wheel.length w

@@ -38,6 +38,12 @@ val rng : t -> Rng.t
 val split_rng : t -> Rng.t
 (** Convenience for [Rng.split (rng t)]. *)
 
+val arena : t -> Slab.layout -> Slab.t
+(** The simulation's shared arena for [layout], created lazily on first
+    request.  All flows of one state family inside a simulation pack
+    their slots into this one arena, so per-flow state is two flat
+    arrays per family instead of a record per flow. *)
+
 val schedule_at : t -> float -> (unit -> unit) -> handle
 (** [schedule_at t time f] runs [f] at virtual [time].  Scheduling in the
     past raises [Invalid_argument]. *)
@@ -52,6 +58,18 @@ val post_at : t -> float -> (unit -> unit) -> unit
 
 val post_after : t -> float -> (unit -> unit) -> unit
 (** Fire-and-forget {!schedule_after}. *)
+
+val schedule_after_ev : t -> float -> (unit -> unit) -> Event.t
+(** Handle-free {!schedule_after} for owners that keep the event record
+    itself (timers, send ticks): returns the scheduled event, whose
+    [gen] must be captured immediately for a later {!cancel_ev}.  Saves
+    the per-arming handle allocation on hot re-arm paths. *)
+
+val cancel_ev : t -> Event.t -> gen:int -> unit
+(** Cancel an event obtained from {!schedule_after_ev}.  [gen] is the
+    event's generation at scheduling time; a stale pair (the event has
+    already fired and been recycled) is a no-op, exactly like a stale
+    {!handle}. *)
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a

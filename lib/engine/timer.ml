@@ -1,27 +1,48 @@
+(* Restartable one-shot timer over [Sim] scheduling.
+
+   Arming is allocation-free in steady state: the expiry thunk is built
+   once at [create], and the pending event is referenced directly
+   (event + generation) rather than through an option-wrapped handle,
+   so protocol state machines that re-arm on every feedback or RTT do
+   not churn the minor heap. *)
+
 type t = {
   sim : Sim.t;
-  on_expire : unit -> unit;
-  mutable pending : Sim.handle option;
-  mutable deadline : float option;
+  mutable fire : unit -> unit;  (* built once in [create] *)
+  mutable ev : Event.t;  (* pending event; meaningful only when armed *)
+  mutable gen : int;  (* generation of [ev] when it was scheduled *)
+  mutable armed : bool;
 }
 
-let create sim ~on_expire = { sim; on_expire; pending = None; deadline = None }
+let create sim ~on_expire =
+  let t =
+    {
+      sim;
+      fire = Event.noop;
+      ev = Event.make_dummy ();
+      gen = 0;
+      armed = false;
+    }
+  in
+  t.fire <-
+    (fun () ->
+      t.armed <- false;
+      on_expire ());
+  t
 
 let stop t =
-  (match t.pending with Some h -> Sim.cancel t.sim h | None -> ());
-  t.pending <- None;
-  t.deadline <- None
+  if t.armed then begin
+    t.armed <- false;
+    Sim.cancel_ev t.sim t.ev ~gen:t.gen
+  end
 
-let start t ~after =
+let[@vtp.hot] start t ~after =
   stop t;
-  let fire () =
-    t.pending <- None;
-    t.deadline <- None;
-    t.on_expire ()
-  in
-  t.deadline <- Some (Sim.now t.sim +. after);
-  t.pending <- Some (Sim.schedule_after t.sim after fire)
+  let ev = Sim.schedule_after_ev t.sim after t.fire in
+  t.ev <- ev;
+  t.gen <- ev.Event.gen;
+  t.armed <- true
 
-let is_armed t = t.pending <> None
+let is_armed t = t.armed
 
-let deadline t = t.deadline
+let deadline t = if t.armed then Some t.ev.Event.time else None

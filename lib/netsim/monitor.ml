@@ -1,32 +1,36 @@
 type t = {
-  mutable samples : float list;  (* newest first *)
-  mutable times : float list;
+  samples : Stats.Fvec.t;  (* occupancy, insertion (= time) order *)
+  times : Stats.Fvec.t;
   mutable count : int;
 }
 
 let start ~sim ~qdisc ?(interval = 0.01) ?until () =
   assert (interval > 0.0);
-  let t = { samples = []; times = []; count = 0 } in
+  let t = { samples = Stats.Fvec.create (); times = Stats.Fvec.create (); count = 0 } in
   let active () =
     match until with Some u -> Engine.Sim.now sim < u | None -> true
   in
   let rec tick () =
     if active () then begin
-      t.samples <- float_of_int (Qdisc.length_pkts qdisc) :: t.samples;
-      t.times <- Engine.Sim.now sim :: t.times;
+      Stats.Fvec.push t.samples (float_of_int (Qdisc.length_pkts qdisc));
+      Stats.Fvec.push t.times (Engine.Sim.now sim);
       t.count <- t.count + 1;
-      ignore (Engine.Sim.schedule_after sim interval tick)
+      Engine.Sim.post_after sim interval tick
     end
   in
-  ignore (Engine.Sim.schedule_after sim interval tick);
+  Engine.Sim.post_after sim interval tick;
   t
 
-let samples_pkts t = Array.of_list (List.rev t.samples)
+let samples_pkts t = Stats.Fvec.to_array t.samples
 
-let times t = Array.of_list (List.rev t.times)
+let times t = Stats.Fvec.to_array t.times
 
 let mean_pkts t =
   if t.count = 0 then nan
-  else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.count
+  else begin
+    let acc = ref 0.0 in
+    Stats.Fvec.iter (fun v -> acc := !acc +. v) t.samples;
+    !acc /. float_of_int t.count
+  end
 
 let summary t = Stats.Summary.of_array (samples_pkts t)

@@ -17,39 +17,54 @@ let default_params =
     idle_pkt_time = 1500.0 *. 8.0 /. 10_000_000.0;
   }
 
+(* The estimator state is an all-float record so it stays flat in the
+   heap: [avg] is rewritten on every packet arrival (twice per arrival
+   under RIO), and a mixed record would box a float each time.  The
+   idle mark uses NaN as "not idle" instead of an option for the same
+   reason. *)
+type state = {
+  mutable avg : float;
+  mutable idle_since : float;  (* NaN = not idle *)
+}
+
 type t = {
   params : params;
   rng : Engine.Rng.t;
-  mutable avg : float;
+  st : state;
   mutable count : int;  (* packets since last early drop *)
-  mutable idle_since : float option;
   mutable early_drops : int;
 }
 
 let create params ~rng =
-  { params; rng; avg = 0.0; count = -1; idle_since = None; early_drops = 0 }
+  {
+    params;
+    rng;
+    st = { avg = 0.0; idle_since = Float.nan };
+    count = -1;
+    early_drops = 0;
+  }
 
-let avg t = t.avg
+let avg t = t.st.avg
 
-let note_idle_start t ~now = t.idle_since <- Some now
+let note_idle_start t ~now = t.st.idle_since <- now
 
 let drops t = t.early_drops
 
-let update_avg t ~now ~qlen =
+let[@vtp.hot] update_avg t ~now ~qlen =
   let p = t.params in
-  (match t.idle_since with
-  | Some since when qlen = 0 ->
-      (* Decay the average as if m packets had drained while idle. *)
-      let m = Float.max 0.0 ((now -. since) /. p.idle_pkt_time) in
-      t.avg <- t.avg *. ((1.0 -. p.w_q) ** m)
-  | Some _ | None -> ());
-  if qlen > 0 then t.idle_since <- None;
-  t.avg <- ((1.0 -. p.w_q) *. t.avg) +. (p.w_q *. float_of_int qlen)
+  let since = t.st.idle_since in
+  if (not (Float.is_nan since)) && qlen = 0 then begin
+    (* Decay the average as if m packets had drained while idle. *)
+    let m = Float.max 0.0 ((now -. since) /. p.idle_pkt_time) in
+    t.st.avg <- t.st.avg *. ((1.0 -. p.w_q) ** m)
+  end;
+  if qlen > 0 then t.st.idle_since <- Float.nan;
+  t.st.avg <- ((1.0 -. p.w_q) *. t.st.avg) +. (p.w_q *. float_of_int qlen)
 
-let decide t ~now ~qlen =
+let[@vtp.hot] decide t ~now ~qlen =
   let p = t.params in
   update_avg t ~now ~qlen;
-  let avg = t.avg in
+  let avg = t.st.avg in
   let hard_limit = if p.gentle then 2.0 *. p.max_th else p.max_th in
   if avg < p.min_th then begin
     t.count <- -1;

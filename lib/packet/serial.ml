@@ -1,20 +1,31 @@
-type t = int32
+(* Unboxed 32-bit serial arithmetic.
 
-let zero = 0l
+   Values are kept canonical in [0, 2^32) inside a native int, so every
+   operation below is straight-line integer arithmetic with no
+   allocation — the previous int32 representation boxed every result,
+   which priced a heap word pair into each seq-number touch on the
+   per-packet path.  [diff] sign-extends the low 32 bits of the plain
+   difference, which is exactly int32 subtraction's wrap-around. *)
 
-let of_int i = Int32.of_int (i land 0xFFFFFFFF)
+type t = int
 
-let to_int t = Int32.to_int t land 0xFFFFFFFF
+let mask = 0xFFFFFFFF
 
-let succ t = Int32.add t 1l
+let zero = 0
 
-let pred t = Int32.sub t 1l
+let of_int i = i land mask
 
-let add t n = Int32.add t (Int32.of_int n)
+let to_int t = t
 
-(* Int32 subtraction already wraps, so the result is the signed circular
-   distance in [-2^31, 2^31). *)
-let diff a b = Int32.to_int (Int32.sub a b)
+let succ t = (t + 1) land mask
+
+let pred t = (t - 1) land mask
+
+let add t n = (t + n) land mask
+
+(* Signed circular distance in [-2^31, 2^31): two's-complement
+   sign-extension of the low 32 bits of (a - b). *)
+let diff a b = (((a - b) land mask) lxor 0x80000000) - 0x80000000
 
 let compare a b = Stdlib.compare (diff a b) 0
 
@@ -22,12 +33,12 @@ let ( < ) a b = compare a b < 0
 let ( <= ) a b = compare a b <= 0
 let ( > ) a b = compare a b > 0
 let ( >= ) a b = compare a b >= 0
-let equal a b = Int32.equal a b
+let equal (a : t) (b : t) = Stdlib.( = ) a b
 let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
 let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
-let hash t = Hashtbl.hash t
+let hash (t : t) = Hashtbl.hash t
 
-let pp fmt t = Format.fprintf fmt "%Lu" (Int64.logand (Int64.of_int32 t) 0xFFFFFFFFL)
+let pp fmt t = Format.fprintf fmt "%u" t
 
 let to_string t = Format.asprintf "%a" pp t
 

@@ -48,18 +48,17 @@ let abandon t seq =
   if Trace.Sink.on t.trace then
     Trace.Sink.emit t.trace (Trace.Event.Abandoned { seq })
 
-let on_losses t ~now:_ losses =
-  List.iter
-    (fun seq ->
-      match t.policy with
-      | Unreliable -> abandon t seq
-      | Partial _ | Full ->
-          if not (Hashtbl.mem t.queued (key seq)) then begin
-            Hashtbl.replace t.queued (key seq) ();
-            Queue.add seq t.queue;
-            charge t "send.reliability.queue"
-          end)
-    losses
+let on_loss t ~now:_ seq =
+  match t.policy with
+  | Unreliable -> abandon t seq
+  | Partial _ | Full ->
+      if not (Hashtbl.mem t.queued (key seq)) then begin
+        Hashtbl.replace t.queued (key seq) ();
+        Queue.add seq t.queue;
+        charge t "send.reliability.queue"
+      end
+
+let on_losses t ~now losses = List.iter (fun seq -> on_loss t ~now seq) losses
 
 let rec next_decision t ~now =
   match Queue.take_opt t.queue with

@@ -41,6 +41,11 @@ val create :
 
 val policy : t -> policy
 
+val on_loss : t -> now:float -> Packet.Serial.t -> unit
+(** Feed one fresh loss inference from the scoreboard — the streaming
+    twin of {!on_losses} for call sites that hold losses in a scratch
+    buffer rather than a list. *)
+
 val on_losses : t -> now:float -> Packet.Serial.t list -> unit
 (** Feed fresh loss inferences from the scoreboard. *)
 

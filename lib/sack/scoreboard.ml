@@ -183,6 +183,12 @@ type t = {
   mutable sent : int;
   mutable retx : int;
   mutable acked : int;
+  (* reusable per-feedback scratch runs: the clipped SACK blocks
+     (phase 2) and the freshly inferred loss runs (phase 3) of
+     [iter_feedback] — per-call lists here would be the last
+     allocations on the feedback fast path *)
+  mutable scr_lo : int array;
+  mutable scr_hi : int array;
 }
 
 let retx_shift = 30
@@ -215,6 +221,8 @@ let create ?(dupthresh = 3) ?(capacity = 256) ?cost ?trace () =
     sent = 0;
     retx = 0;
     acked = 0;
+    scr_lo = Array.make 8 0;
+    scr_hi = Array.make 8 0;
   }
 
 let charge t ?ops name =
@@ -298,6 +306,17 @@ type feedback_summary = {
    above everything an earlier one emitted).  The emitted set and the
    final run state are both order-independent, which keeps this
    byte-compatible with the list-building wrapper below. *)
+let ensure_scr t n =
+  let cap = Array.length t.scr_lo in
+  if n > cap then begin
+    let ncap = Stdlib.max n (2 * cap) in
+    let nlo = Array.make ncap 0 and nhi = Array.make ncap 0 in
+    Array.blit t.scr_lo 0 nlo 0 cap;
+    Array.blit t.scr_hi 0 nhi 0 cap;
+    t.scr_lo <- nlo;
+    t.scr_hi <- nhi
+  end
+
 let iter_feedback t ~cum_ack ~blocks ~on_ack ~on_sack ~on_lost =
   charge t "send.scoreboard.feedback";
   let n_acked = ref 0 and n_sacked = ref 0 and n_lost = ref 0 in
@@ -327,57 +346,71 @@ let iter_feedback t ~cum_ack ~blocks ~on_ack ~on_sack ~on_lost =
   end;
   (* 2. SACK coverage: the uncovered gaps of each (clipped) block are
      the newly SACKed positions; then the block merges into the run
-     set in one splice. *)
-  let clipped =
-    List.filter_map
-      (fun (b : Blocks.t) ->
-        let l = Stdlib.max (abs_of t b.block_start) t.una_abs in
-        let h = Stdlib.min (abs_of t b.block_end) t.nxt_abs in
-        if l < h then Some (l, h) else None)
-      blocks
-  in
-  let clipped =
-    List.sort (fun (l1, _) (l2, _) -> Int.compare l1 l2) clipped
-  in
+     set in one splice.  The clipped runs go through the reusable
+     scratch arrays, insertion-sorted by lower bound (stable, like the
+     [List.sort] this replaces; real feedback carries at most a
+     handful of blocks). *)
+  let nclip = ref 0 in
   List.iter
-    (fun (l, h) ->
-      Runs.iter_gaps t.sacked l h (fun gl gh ->
-          for a = gl to gh - 1 do
-            incr n_sacked;
-            emit on_sack a
-          done);
-      Runs.remove t.lost l h;
-      Runs.add t.sacked l h)
-    clipped;
+    (fun (b : Blocks.t) ->
+      let l = Stdlib.max (abs_of t b.block_start) t.una_abs in
+      let h = Stdlib.min (abs_of t b.block_end) t.nxt_abs in
+      if l < h then begin
+        ensure_scr t (!nclip + 1);
+        let j = ref !nclip in
+        while !j > 0 && t.scr_lo.(!j - 1) > l do
+          t.scr_lo.(!j) <- t.scr_lo.(!j - 1);
+          t.scr_hi.(!j) <- t.scr_hi.(!j - 1);
+          decr j
+        done;
+        t.scr_lo.(!j) <- l;
+        t.scr_hi.(!j) <- h;
+        incr nclip
+      end)
+    blocks;
+  for k = 0 to !nclip - 1 do
+    let l = t.scr_lo.(k) and h = t.scr_hi.(k) in
+    Runs.iter_gaps t.sacked l h (fun gl gh ->
+        for a = gl to gh - 1 do
+          incr n_sacked;
+          emit on_sack a
+        done);
+    Runs.remove t.lost l h;
+    Runs.add t.sacked l h
+  done;
   (* 3. Loss inference: a position is lost once [dupthresh] SACKed
      positions lie above it, i.e. everything below the dupthresh-th
-     highest SACKed point that is neither SACKed nor already lost. *)
-  let fresh_runs = ref [] in
+     highest SACKed point that is neither SACKed nor already lost.
+     The fresh runs reuse the same scratch (phase 2 is done with it),
+     collected in ascending order. *)
+  let nfresh = ref 0 in
   let p = Runs.kth_from_top t.sacked t.dupthresh in
   if p > t.una_abs then begin
     Runs.iter_gaps t.sacked t.una_abs p (fun gl gh ->
         Runs.iter_gaps t.lost gl gh (fun ll lh ->
-            fresh_runs := (ll, lh) :: !fresh_runs));
-    List.iter (fun (ll, lh) -> Runs.add t.lost ll lh) !fresh_runs;
+            ensure_scr t (!nfresh + 1);
+            t.scr_lo.(!nfresh) <- ll;
+            t.scr_hi.(!nfresh) <- lh;
+            incr nfresh));
+    for k = 0 to !nfresh - 1 do
+      Runs.add t.lost t.scr_lo.(k) t.scr_hi.(k)
+    done;
     (* The reference walk marks from the top down; emit in the same
-       descending order so traces stay byte-identical ([fresh_runs] is
-       already in descending run order). *)
+       descending order so traces stay byte-identical. *)
     if Trace.Sink.on t.trace then
-      List.iter
-        (fun (ll, lh) ->
-          for a = lh - 1 downto ll do
-            Trace.Sink.emit t.trace
-              (Trace.Event.Loss_inferred
-                 { seq = ser_of t a; by = Trace.Event.I_dupthresh })
-          done)
-        !fresh_runs;
-    List.iter
-      (fun (ll, lh) ->
-        for a = ll to lh - 1 do
-          incr n_lost;
-          on_lost (ser_of t a)
-        done)
-      (List.rev !fresh_runs)
+      for k = !nfresh - 1 downto 0 do
+        for a = t.scr_hi.(k) - 1 downto t.scr_lo.(k) do
+          Trace.Sink.emit t.trace
+            (Trace.Event.Loss_inferred
+               { seq = ser_of t a; by = Trace.Event.I_dupthresh })
+        done
+      done;
+    for k = 0 to !nfresh - 1 do
+      for a = t.scr_lo.(k) to t.scr_hi.(k) - 1 do
+        incr n_lost;
+        on_lost (ser_of t a)
+      done
+    done
   end;
   {
     fb_acked = !n_acked;
@@ -413,20 +446,29 @@ let lost_pending t =
   !acc
 
 let mark_expired t ~now ~timeout =
-  let fresh = ref [] in
+  (* The expired positions go through the feedback scratch (ascending);
+     the common fire finds nothing expired and allocates nothing. *)
+  let nfresh = ref 0 in
   Runs.iter_gaps t.sacked t.una_abs t.nxt_abs (fun gl gh ->
       Runs.iter_gaps t.lost gl gh (fun ll lh ->
           for a = ll to lh - 1 do
             if now -. t.last_sent.(a land t.mask) > timeout then begin
-              fresh := a :: !fresh;
+              ensure_scr t (!nfresh + 1);
+              t.scr_lo.(!nfresh) <- a;
+              incr nfresh;
               if Trace.Sink.on t.trace then
                 Trace.Sink.emit t.trace
                   (Trace.Event.Loss_inferred
                      { seq = ser_of t a; by = Trace.Event.I_timeout })
             end
           done));
-  List.iter (fun a -> Runs.add t.lost a (a + 1)) !fresh;
-  List.fold_left (fun acc a -> ser_of t a :: acc) [] !fresh
+  let acc = ref [] in
+  for k = !nfresh - 1 downto 0 do
+    let a = t.scr_lo.(k) in
+    Runs.add t.lost a (a + 1);
+    acc := ser_of t a :: !acc
+  done;
+  !acc
 
 let abandon_below t limit =
   let limit = Serial.min limit t.snd_nxt in

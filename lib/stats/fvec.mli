@@ -1,0 +1,20 @@
+(** Growable unboxed float vector — an allocation-light replacement for
+    [float list] sample accumulators (one word per sample amortised
+    versus five for a cons + boxed float).  Doubling growth; samples
+    keep insertion order. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val push : t -> float -> unit
+
+val get : t -> int -> float
+(** Raises [Invalid_argument] out of bounds. *)
+
+val to_array : t -> float array
+(** The samples in insertion order (a fresh array). *)
+
+val iter : (float -> unit) -> t -> unit

@@ -21,24 +21,37 @@ let default_params =
     delayed_acks = false;
   }
 
+(* Congestion-control numerics in one all-float record: flat in the
+   heap, so the per-ack cwnd/RTT updates write in place instead of
+   boxing a float each (the fields used to be mutable floats in the
+   mixed sender record).  [srtt] uses NaN for "no sample yet". *)
+type cc = {
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable srtt : float;  (* NaN = no sample *)
+  mutable rttvar : float;
+  mutable rto : float;
+}
+
 type t = {
   sim : Engine.Sim.t;
   p : params;
   transmit : Tcp_wire.seg -> payload:int -> unit;
-  sent_times : (int, float) Hashtbl.t;  (* seq -> first send time *)
-  retx_flag : (int, unit) Hashtbl.t;  (* ever retransmitted *)
-  sacked : (int, unit) Hashtbl.t;  (* SACK-covered, when use_sack *)
+  (* Per-sequence flag bits (retransmitted / SACK-covered) for the
+     in-flight window [snd_una, snd_nxt), kept in a power-of-two ring
+     indexed by the sequence number — the hashtable version allocated a
+     bucket per send and a removal walk per ack.  A slot is cleared
+     when a fresh send claims its sequence number; growth keeps the
+     window span strictly below capacity so live slots never collide. *)
+  mutable meta : int array;
+  mutable mask : int;
   mutable running : bool;
   mutable snd_una : Serial.t;
   mutable snd_nxt : Serial.t;
-  mutable cwnd : float;
-  mutable ssthresh : float;
+  cc : cc;
   mutable dupacks : int;
   mutable recover : Serial.t;  (* NewReno recovery point *)
   mutable in_recovery : bool;
-  mutable srtt : float option;
-  mutable rttvar : float;
-  mutable rto : float;
   mutable backoff : int;
   rto_timer : Engine.Timer.t option ref;
   mutable sent : int;
@@ -46,9 +59,31 @@ type t = {
   mutable timeouts : int;
 }
 
+let m_retx = 1
+let m_sacked = 2
+
 let flight t = Stdlib.max 0 (Serial.diff t.snd_nxt t.snd_una)
 
-let rto_value t = Float.min t.p.max_rto (t.rto *. float_of_int (1 lsl t.backoff))
+let grow_meta t =
+  let cap = 2 * Array.length t.meta in
+  let meta = Array.make cap 0 in
+  let mask = cap - 1 in
+  Serial.iter_range
+    (fun s ->
+      let i = Serial.to_int s in
+      meta.(i land mask) <- t.meta.(i land t.mask))
+    t.snd_una t.snd_nxt;
+  t.meta <- meta;
+  t.mask <- mask
+
+let[@inline] meta_get t seq = t.meta.(Serial.to_int seq land t.mask)
+
+let[@inline] meta_or t seq m =
+  let i = Serial.to_int seq land t.mask in
+  t.meta.(i) <- t.meta.(i) lor m
+
+let rto_value t =
+  Float.min t.p.max_rto (t.cc.rto *. float_of_int (1 lsl t.backoff))
 
 let arm_rto t =
   match !(t.rto_timer) with
@@ -60,14 +95,17 @@ let disarm_rto t =
   | Some timer -> Engine.Timer.stop timer
   | None -> ()
 
-let send_segment t ~seq ~is_retx =
+let[@vtp.hot] send_segment t ~seq ~is_retx =
   let now = Engine.Sim.now t.sim in
   if is_retx then begin
     t.retx <- t.retx + 1;
-    Hashtbl.replace t.retx_flag (Serial.to_int seq) ()
+    meta_or t seq m_retx
   end
   else begin
-    Hashtbl.replace t.sent_times (Serial.to_int seq) now;
+    (* Fresh sends advance the window head: claim (and clear) the
+       sequence number's ring slot. *)
+    if flight t >= Array.length t.meta then grow_meta t;
+    t.meta.(Serial.to_int seq land t.mask) <- 0;
     t.sent <- t.sent + 1
   end;
   t.transmit { Tcp_wire.seq; tstamp = now; is_retx } ~payload:t.p.packet_size;
@@ -77,9 +115,7 @@ let send_segment t ~seq ~is_retx =
    greedy). *)
 let fill_window t =
   if t.running then begin
-    let allowance () =
-      int_of_float t.cwnd - flight t
-    in
+    let allowance () = int_of_float t.cc.cwnd - flight t in
     while allowance () > 0 do
       let seq = t.snd_nxt in
       t.snd_nxt <- Serial.succ t.snd_nxt;
@@ -92,33 +128,33 @@ let sample_rtt t ~tstamp_echo ~echo_is_retx ~acked_was_retx =
   if not (echo_is_retx || acked_was_retx) then begin
     let sample = Engine.Sim.now t.sim -. tstamp_echo in
     if sample > 0.0 then begin
-      (match t.srtt with
-      | None ->
-          t.srtt <- Some sample;
-          t.rttvar <- sample /. 2.0
-      | Some srtt ->
-          let err = sample -. srtt in
-          t.srtt <- Some (srtt +. (0.125 *. err));
-          t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs err));
-      let srtt = Option.get t.srtt in
-      t.rto <-
+      (if Float.is_nan t.cc.srtt then begin
+         t.cc.srtt <- sample;
+         t.cc.rttvar <- sample /. 2.0
+       end
+       else begin
+         let err = sample -. t.cc.srtt in
+         t.cc.srtt <- t.cc.srtt +. (0.125 *. err);
+         t.cc.rttvar <- (0.75 *. t.cc.rttvar) +. (0.25 *. Float.abs err)
+       end);
+      t.cc.rto <-
         Float.max t.p.min_rto
-          (Float.min t.p.max_rto (srtt +. (4.0 *. t.rttvar)))
+          (Float.min t.p.max_rto (t.cc.srtt +. (4.0 *. t.cc.rttvar)))
     end
   end
 
 let enter_fast_recovery t =
   let fl = float_of_int (flight t) in
-  t.ssthresh <- Float.max 2.0 (fl /. 2.0);
-  t.cwnd <- t.ssthresh +. 3.0;
+  t.cc.ssthresh <- Float.max 2.0 (fl /. 2.0);
+  t.cc.cwnd <- t.cc.ssthresh +. 3.0;
   t.in_recovery <- true;
   t.recover <- t.snd_nxt;
   send_segment t ~seq:t.snd_una ~is_retx:true
 
 let on_timeout t =
   t.timeouts <- t.timeouts + 1;
-  t.ssthresh <- Float.max 2.0 (float_of_int (flight t) /. 2.0);
-  t.cwnd <- 1.0;
+  t.cc.ssthresh <- Float.max 2.0 (float_of_int (flight t) /. 2.0);
+  t.cc.cwnd <- 1.0;
   t.dupacks <- 0;
   t.in_recovery <- false;
   t.backoff <- Stdlib.min 6 (t.backoff + 1);
@@ -133,20 +169,22 @@ let create ~sim p ~transmit () =
       sim;
       p;
       transmit;
-      sent_times = Hashtbl.create 256;
-      retx_flag = Hashtbl.create 64;
-      sacked = Hashtbl.create 64;
+      meta = Array.make 64 0;
+      mask = 63;
       running = false;
       snd_una = Serial.zero;
       snd_nxt = Serial.zero;
-      cwnd = p.initial_window;
-      ssthresh = p.initial_ssthresh;
+      cc =
+        {
+          cwnd = p.initial_window;
+          ssthresh = p.initial_ssthresh;
+          srtt = Float.nan;
+          rttvar = 0.0;
+          rto = 1.0;
+        };
       dupacks = 0;
       recover = Serial.zero;
       in_recovery = false;
-      srtt = None;
-      rttvar = 0.0;
-      rto = 1.0;
       backoff = 0;
       rto_timer = ref None;
       sent = 0;
@@ -154,7 +192,8 @@ let create ~sim p ~transmit () =
       timeouts = 0;
     }
   in
-  t.rto_timer := Some (Engine.Timer.create sim ~on_expire:(fun () -> on_timeout t));
+  t.rto_timer :=
+    Some (Engine.Timer.create sim ~on_expire:(fun () -> on_timeout t));
   t
 
 let start t =
@@ -174,32 +213,29 @@ let next_hole t =
   else begin
     let rec scan s =
       if Serial.( >= ) s t.snd_nxt then t.snd_una
-      else if Hashtbl.mem t.sacked (Serial.to_int s) then scan (Serial.succ s)
+      else if meta_get t s land m_sacked <> 0 then scan (Serial.succ s)
       else s
     in
     scan t.snd_una
   end
 
-let on_ack t (ack : Tcp_wire.ack) =
-  if t.p.use_sack then
-    List.iter
-      (fun (b : Sack.Blocks.t) ->
-        List.iter
-          (fun s -> Hashtbl.replace t.sacked (Serial.to_int s) ())
-          (Serial.range b.block_start b.block_end))
-      ack.blocks;
+(* Cold path: only runs when use_sack is on and blocks are present. *)
+let mark_sacked t blocks =
+  List.iter
+    (fun (b : Sack.Blocks.t) ->
+      Serial.iter_range
+        (fun s -> if Serial.( >= ) s t.snd_una then meta_or t s m_sacked)
+        b.block_start b.block_end)
+    blocks
+
+let[@vtp.hot] on_ack t (ack : Tcp_wire.ack) =
+  (match ack.blocks with
+  | [] -> ()
+  | blocks -> if t.p.use_sack then mark_sacked t blocks);
   if Serial.( > ) ack.cum_ack t.snd_una then begin
-    (* New data acknowledged. *)
-    let acked_first = t.snd_una in
-    let acked_was_retx =
-      Hashtbl.mem t.retx_flag (Serial.to_int acked_first)
-    in
-    List.iter
-      (fun s ->
-        Hashtbl.remove t.sent_times (Serial.to_int s);
-        Hashtbl.remove t.retx_flag (Serial.to_int s);
-        Hashtbl.remove t.sacked (Serial.to_int s))
-      (Serial.range t.snd_una ack.cum_ack);
+    (* New data acknowledged.  Acked slots need no cleanup: the ring
+       slot is cleared when a fresh send reclaims the number. *)
+    let acked_was_retx = meta_get t t.snd_una land m_retx <> 0 in
     t.snd_una <- ack.cum_ack;
     t.backoff <- 0;
     sample_rtt t ~tstamp_echo:ack.tstamp_echo ~echo_is_retx:ack.echo_is_retx
@@ -208,19 +244,19 @@ let on_ack t (ack : Tcp_wire.ack) =
       if Serial.( >= ) ack.cum_ack t.recover then begin
         (* Full ack: leave recovery, deflate. *)
         t.in_recovery <- false;
-        t.cwnd <- t.ssthresh;
+        t.cc.cwnd <- t.cc.ssthresh;
         t.dupacks <- 0
       end
       else begin
         (* Partial ack: retransmit the next hole, stay in recovery. *)
         send_segment t ~seq:(next_hole t) ~is_retx:true;
-        t.cwnd <- Float.max 1.0 (t.cwnd -. 1.0)
+        t.cc.cwnd <- Float.max 1.0 (t.cc.cwnd -. 1.0)
       end
     end
     else begin
       t.dupacks <- 0;
-      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
-      else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+      if t.cc.cwnd < t.cc.ssthresh then t.cc.cwnd <- t.cc.cwnd +. 1.0
+      else t.cc.cwnd <- t.cc.cwnd +. (1.0 /. t.cc.cwnd)
     end;
     if Serial.( < ) t.snd_una t.snd_nxt then arm_rto t else disarm_rto t;
     fill_window t
@@ -229,7 +265,7 @@ let on_ack t (ack : Tcp_wire.ack) =
   then begin
     (* Duplicate ack. *)
     if t.in_recovery then begin
-      t.cwnd <- t.cwnd +. 1.0;
+      t.cc.cwnd <- t.cc.cwnd +. 1.0;
       fill_window t
     end
     else begin
@@ -238,9 +274,9 @@ let on_ack t (ack : Tcp_wire.ack) =
     end
   end
 
-let cwnd t = t.cwnd
-let ssthresh t = t.ssthresh
-let srtt t = t.srtt
+let cwnd t = t.cc.cwnd
+let ssthresh t = t.cc.ssthresh
+let srtt t = if Float.is_nan t.cc.srtt then None else Some t.cc.srtt
 let rto t = rto_value t
 let in_fast_recovery t = t.in_recovery
 let segments_sent t = t.sent

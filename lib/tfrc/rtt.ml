@@ -1,28 +1,32 @@
+(* All fields are floats on purpose: an all-float record is flat in
+   the OCaml heap, so the per-feedback estimate update writes in place
+   instead of boxing a fresh float (a mixed record would).  [count]
+   carries an integer value in a float cell for the same reason. *)
 type t = {
   q : float;
   mutable estimate : float;
-  mutable count : int;
+  mutable count : float;
 }
 
 let create ?(q = 0.9) ~initial () =
   assert (initial > 0.0 && q >= 0.0 && q < 1.0);
-  { q; estimate = initial; count = 0 }
+  { q; estimate = initial; count = 0.0 }
 
 let sample t r =
   assert (r > 0.0);
-  if t.count = 0 then t.estimate <- r
+  if Float.equal t.count 0.0 then t.estimate <- r
   else t.estimate <- (t.q *. t.estimate) +. ((1.0 -. t.q) *. r);
-  t.count <- t.count + 1
+  t.count <- t.count +. 1.0
 
 let reseed t r =
   assert (r > 0.0);
   t.estimate <- r;
-  t.count <- 0
+  t.count <- 0.0
 
 let smoothed t = t.estimate
 
-let has_sample t = t.count > 0
+let has_sample t = t.count > 0.0
 
 let t_rto t = 4.0 *. t.estimate
 
-let samples t = t.count
+let samples t = int_of_float t.count
